@@ -1,0 +1,230 @@
+// Package df is the public dataframe API: a pandas-flavoured surface over
+// the dataframe algebra of Petersohn et al. (VLDB 2020). Every method
+// rewrites into one or more of the 14 algebra operators (Section 4.3) and
+// executes on a pluggable engine — the single-threaded baseline (pandas'
+// execution profile) or the partition-parallel MODIN engine.
+//
+// The API is eager, like pandas: each call materializes its result. The
+// lazy and opportunistic regimes of Section 6 are available through the
+// Session type.
+package df
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/eager"
+	"repro/internal/modin"
+	"repro/internal/schema"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Engine executes dataframe-algebra plans; see NewBaselineEngine and
+// NewModinEngine.
+type Engine = algebra.Engine
+
+// NewBaselineEngine returns the single-threaded, eagerly-materializing
+// engine with pandas' execution profile.
+func NewBaselineEngine() Engine { return eager.New() }
+
+// NewModinEngine returns the partition-parallel MODIN engine.
+func NewModinEngine() Engine { return modin.New() }
+
+// Value is a dataframe cell value; construct with Str, Int, Float, Bool and
+// NA.
+type Value = types.Value
+
+// Str returns a string cell value.
+func Str(s string) Value { return types.String(s) }
+
+// Int returns an integer cell value.
+func Int(i int64) Value { return types.IntValue(i) }
+
+// Float returns a float cell value.
+func Float(f float64) Value { return types.FloatValue(f) }
+
+// Bool returns a boolean cell value.
+func Bool(b bool) Value { return types.BoolValue(b) }
+
+// NA returns the null cell value.
+func NA() Value { return types.Null() }
+
+// DataFrame is an ordered, labelled, lazily-typed table: the public face of
+// the data model in Section 4.2.
+type DataFrame struct {
+	frame  *core.DataFrame
+	engine Engine
+}
+
+// New builds a dataframe from column names and row-oriented records of Go
+// values (nil is null). The default engine is MODIN.
+func New(names []string, records [][]any) (*DataFrame, error) {
+	frame, err := core.FromRecords(names, records)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(frame, modin.New()), nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(names []string, records [][]any) *DataFrame {
+	d, err := New(names, records)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ReadCSV ingests CSV with a header row; columns stay untyped (Σ*) until
+// first operated on, per the paper's lazy schema induction.
+func ReadCSV(r io.Reader) (*DataFrame, error) {
+	frame, err := core.ReadCSV(r, core.DefaultCSVOptions())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(frame.WithCache(schema.NewCache()), modin.New()), nil
+}
+
+// ReadCSVString ingests CSV text.
+func ReadCSVString(s string) (*DataFrame, error) {
+	frame, err := core.ReadCSVString(s, core.DefaultCSVOptions())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(frame.WithCache(schema.NewCache()), modin.New()), nil
+}
+
+// ReadCSVFile ingests a CSV file.
+func ReadCSVFile(path string) (*DataFrame, error) {
+	frame, err := core.ReadCSVFile(path, core.DefaultCSVOptions())
+	if err != nil {
+		return nil, err
+	}
+	return wrap(frame.WithCache(schema.NewCache()), modin.New()), nil
+}
+
+func wrap(frame *core.DataFrame, engine Engine) *DataFrame {
+	return &DataFrame{frame: frame, engine: engine}
+}
+
+// WithEngine returns the dataframe bound to a different engine.
+func (d *DataFrame) WithEngine(e Engine) *DataFrame { return wrap(d.frame, e) }
+
+// EngineName reports which engine the dataframe executes on.
+func (d *DataFrame) EngineName() string { return d.engine.Name() }
+
+// Frame exposes the underlying data-model frame for interoperation with the
+// algebra and engines.
+func (d *DataFrame) Frame() *core.DataFrame { return d.frame }
+
+// FromFrame wraps a core frame with the MODIN engine, for callers composing
+// algebra plans directly.
+func FromFrame(frame *core.DataFrame) *DataFrame { return wrap(frame, modin.New()) }
+
+// run executes a single-node plan over this frame on the bound engine.
+func (d *DataFrame) run(build func(algebra.Node) algebra.Node) (*DataFrame, error) {
+	out, err := d.engine.Execute(build(&algebra.Source{DF: d.frame}))
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Shape returns (rows, columns).
+func (d *DataFrame) Shape() (int, int) { return d.frame.NRows(), d.frame.NCols() }
+
+// Len returns the row count.
+func (d *DataFrame) Len() int { return d.frame.NRows() }
+
+// Columns returns the column labels.
+func (d *DataFrame) Columns() []string { return d.frame.ColNames() }
+
+// Dtypes returns each column's (induced) domain name, like pandas' dtypes.
+func (d *DataFrame) Dtypes() map[string]string {
+	out := make(map[string]string, d.frame.NCols())
+	for j := 0; j < d.frame.NCols(); j++ {
+		out[d.frame.ColName(j)] = d.frame.Domain(j).String()
+	}
+	return out
+}
+
+// String renders the tabular prefix/suffix view.
+func (d *DataFrame) String() string { return d.frame.String() }
+
+// Render renders with explicit options.
+func (d *DataFrame) Render(opts core.RenderOptions) string { return d.frame.Render(opts) }
+
+// Equal reports whether two dataframes agree on shape, labels and values.
+func (d *DataFrame) Equal(o *DataFrame) bool { return d.frame.Equal(o.frame) }
+
+// Head returns the first n rows.
+func (d *DataFrame) Head(n int) *DataFrame {
+	return wrap(algebra.LimitFrame(d.frame, n), d.engine)
+}
+
+// Tail returns the last n rows.
+func (d *DataFrame) Tail(n int) *DataFrame {
+	return wrap(algebra.LimitFrame(d.frame, -n), d.engine)
+}
+
+// Iloc returns the cell at row i, column j (positional notation).
+func (d *DataFrame) Iloc(i, j int) (Value, error) {
+	if i < 0 || i >= d.frame.NRows() || j < 0 || j >= d.frame.NCols() {
+		return Value{}, fmt.Errorf("df: iloc (%d,%d) out of range %dx%d", i, j, d.frame.NRows(), d.frame.NCols())
+	}
+	return d.frame.Value(i, j), nil
+}
+
+// SetIloc performs an ordered point update (step C1 of the paper's Figure 1
+// workflow): the cell at (i, j) is replaced. A new frame is produced; the
+// receiver is updated in place to match pandas' mutating feel.
+func (d *DataFrame) SetIloc(i, j int, v Value) error {
+	if i < 0 || i >= d.frame.NRows() || j < 0 || j >= d.frame.NCols() {
+		return fmt.Errorf("df: iloc (%d,%d) out of range %dx%d", i, j, d.frame.NRows(), d.frame.NCols())
+	}
+	col := d.frame.Col(j)
+	vals := vector.Values(col)
+	vals[i] = v
+	dom := col.Domain()
+	if v.Domain() != dom && !v.IsNull() {
+		dom = types.Object
+	}
+	newCol := vector.FromValues(dom, vals)
+	frame, err := d.frame.WithColumn(j, newCol, types.Unspecified)
+	if err != nil {
+		return err
+	}
+	d.frame = frame
+	return nil
+}
+
+// Loc returns the first row whose label equals the given value, as a 1-row
+// dataframe (named notation on the row axis).
+func (d *DataFrame) Loc(label Value) (*DataFrame, error) {
+	labels := d.frame.RowLabels()
+	for i := 0; i < labels.Len(); i++ {
+		if labels.Value(i).Equal(label) {
+			return wrap(d.frame.SliceRows(i, i+1), d.engine), nil
+		}
+	}
+	return nil, fmt.Errorf("df: no row labelled %v", label)
+}
+
+// Col returns the named column as a single-column dataframe.
+func (d *DataFrame) Col(name string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Projection{Input: in, Cols: []string{name}}
+	})
+}
+
+// ColValues returns the named column's parsed values.
+func (d *DataFrame) ColValues(name string) ([]Value, error) {
+	j := d.frame.ColIndex(name)
+	if j < 0 {
+		return nil, fmt.Errorf("df: no column %q", name)
+	}
+	return vector.Values(d.frame.TypedCol(j)), nil
+}

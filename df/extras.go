@@ -1,0 +1,217 @@
+package df
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/schema"
+	"repro/internal/sketch"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// This file carries the longer tail of the pandas API surface (Section 4.6
+// shows astype, unique, value_counts-style usage is common), each still a
+// rewrite into the algebra or a documented metadata operation.
+
+// AsType casts the named column to the given domain ("int", "float",
+// "bool", "object", "category", "datetime"), like pandas astype.
+// Unparseable cells become null.
+func (d *DataFrame) AsType(col, domain string) (*DataFrame, error) {
+	dom, ok := types.ParseDomain(domain)
+	if !ok || !dom.Valid() {
+		return nil, fmt.Errorf("df: unknown domain %q", domain)
+	}
+	j := d.frame.ColIndex(col)
+	if j < 0 {
+		return nil, fmt.Errorf("df: no column %q", col)
+	}
+	parsed := schema.Parse(d.frame.Col(j), dom)
+	frame, err := d.frame.WithColumn(j, parsed, dom)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(frame, d.engine), nil
+}
+
+// Unique returns the distinct non-null values of the column in
+// first-appearance order (pandas unique).
+func (d *DataFrame) Unique(col string) ([]Value, error) {
+	return algebra.DistinctValues(d.frame, col)
+}
+
+// NUnique counts the distinct non-null values of the column exactly
+// (pandas nunique).
+func (d *DataFrame) NUnique(col string) (int, error) {
+	vals, err := algebra.DistinctValues(d.frame, col)
+	if err != nil {
+		return 0, err
+	}
+	return len(vals), nil
+}
+
+// EstimateDistinct estimates the column's distinct-value count with a
+// HyperLogLog sketch — the constant-space arity estimator of Section 5.2.3,
+// usable on intermediates where exact counting is too expensive.
+func (d *DataFrame) EstimateDistinct(col string) (float64, error) {
+	return sketch.EstimateArity(d.frame, col)
+}
+
+// ValueCounts returns a frame of (value, count) for the column, most
+// frequent first (pandas value_counts). Nulls are excluded.
+func (d *DataFrame) ValueCounts(col string) (*DataFrame, error) {
+	grouped, err := d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.GroupBy{Input: in, Spec: expr.GroupBySpec{
+			Keys: []string{col},
+			Aggs: []expr.AggSpec{{Col: col, Agg: expr.AggCount, As: "count"}},
+		}}
+	})
+	if err != nil {
+		return nil, err
+	}
+	nonNull, err := grouped.Filter("non-null value", func(r Row) bool {
+		return !r.ByName(col).IsNull()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nonNull.SortValuesBy([]SortKey{{Col: "count", Desc: true}})
+}
+
+// NLargest returns the n rows with the largest values of the column,
+// descending — executed with the TOPK physical operator, not a full sort.
+func (d *DataFrame) NLargest(n int, col string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.TopK{Input: in, Order: expr.SortOrder{{Col: col, Desc: true}}, N: n}
+	})
+}
+
+// NSmallest returns the n rows with the smallest values of the column,
+// ascending, via TOPK.
+func (d *DataFrame) NSmallest(n int, col string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.TopK{Input: in, Order: expr.SortOrder{{Col: col}}, N: n}
+	})
+}
+
+// Sample returns n rows drawn without replacement using the given seed, in
+// input order (pandas sample(random_state=...)). Sampling is a row
+// shuffle: schema induction is untouched (Section 5.1.1).
+func (d *DataFrame) Sample(n int, seed int64) (*DataFrame, error) {
+	total := d.frame.NRows()
+	if n < 0 || n > total {
+		return nil, fmt.Errorf("df: sample of %d from %d rows", n, total)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(total)[:n]
+	// Keep input order for the chosen rows.
+	chosen := make([]bool, total)
+	for _, p := range perm {
+		chosen[p] = true
+	}
+	idx := make([]int, 0, n)
+	for i := 0; i < total; i++ {
+		if chosen[i] {
+			idx = append(idx, i)
+		}
+	}
+	return wrap(d.frame.TakeRows(idx), d.engine), nil
+}
+
+// StrUpper upper-cases every string cell (pandas str.upper).
+func (d *DataFrame) StrUpper() (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: algebra.StrUpperFn()}
+	})
+}
+
+// StrLower lower-cases every string cell (pandas str.lower).
+func (d *DataFrame) StrLower() (*DataFrame, error) {
+	return d.ApplyMap("str.lower", func(v Value) Value {
+		if v.IsNull() || (v.Domain() != types.Object && v.Domain() != types.Category) {
+			return v
+		}
+		return Str(strings.ToLower(v.Str()))
+	})
+}
+
+// StrContains filters rows whose column value contains the substring
+// (pandas str.contains as a boolean mask + selection).
+func (d *DataFrame) StrContains(col, substr string) (*DataFrame, error) {
+	return d.Filter(fmt.Sprintf("%s contains %q", col, substr), func(r Row) bool {
+		v := r.ByName(col)
+		return !v.IsNull() && strings.Contains(v.Str(), substr)
+	})
+}
+
+// WithColumn appends (or replaces) a column computed from each row, like
+// pandas df["new"] = df.apply(...).
+func (d *DataFrame) WithColumn(name string, fn func(Row) Value) (*DataFrame, error) {
+	vals := make([]types.Value, 0, d.frame.NRows())
+	rowAdapter, err := d.Apply("compute-"+name, []string{name}, func(r Row) []Value {
+		return []Value{fn(r)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	col, err := rowAdapter.ColValues(name)
+	if err != nil {
+		return nil, err
+	}
+	vals = append(vals, col...)
+	vec := vector.FromValues(columnDomain(vals), vals)
+	if j := d.frame.ColIndex(name); j >= 0 {
+		frame, err := d.frame.WithColumn(j, vec, types.Unspecified)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(frame, d.engine), nil
+	}
+	frame, err := d.frame.AppendColumn(types.String(name), vec, types.Unspecified)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(frame, d.engine), nil
+}
+
+// columnDomain picks the narrowest domain covering the values.
+func columnDomain(vals []types.Value) types.Domain {
+	dom := types.Unspecified
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		d := v.Domain()
+		switch {
+		case dom == types.Unspecified:
+			dom = d
+		case dom == d:
+		case dom == types.Int && d == types.Float, dom == types.Float && d == types.Int:
+			dom = types.Float
+		default:
+			return types.Object
+		}
+	}
+	if dom == types.Unspecified {
+		return types.Object
+	}
+	return dom
+}
+
+// Sum computes per-column sums over numeric columns as a 1-row frame.
+func (d *DataFrame) Sum() (*DataFrame, error) { return d.Agg("sum") }
+
+// Mean computes per-column means over numeric columns as a 1-row frame.
+func (d *DataFrame) Mean() (*DataFrame, error) { return d.Agg("mean") }
+
+// Max computes per-column maxima over numeric columns as a 1-row frame.
+func (d *DataFrame) Max() (*DataFrame, error) { return d.Agg("max") }
+
+// Min computes per-column minima over numeric columns as a 1-row frame.
+func (d *DataFrame) Min() (*DataFrame, error) { return d.Agg("min") }
+
+// Count counts non-null cells per numeric column as a 1-row frame.
+func (d *DataFrame) Count() (*DataFrame, error) { return d.Agg("count") }

@@ -1,0 +1,187 @@
+package df
+
+import (
+	"testing"
+)
+
+func extrasSample(t *testing.T) *DataFrame {
+	t.Helper()
+	return MustNew(
+		[]string{"name", "team", "score"},
+		[][]any{
+			{"Ann", "red", 10},
+			{"Bob", "blue", 40},
+			{"Cat", "red", 30},
+			{"Dan", "red", 20},
+			{"Eve", "blue", 50},
+		},
+	)
+}
+
+func TestAsType(t *testing.T) {
+	d := MustNew([]string{"raw"}, [][]any{{"1"}, {"2"}, {"junk"}})
+	cast, err := d.AsType("raw", "int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cast.Dtypes()["raw"] != "int" {
+		t.Error("dtype not cast")
+	}
+	v, _ := cast.Iloc(0, 0)
+	if v.Int() != 1 {
+		t.Error("cast value wrong")
+	}
+	v, _ = cast.Iloc(2, 0)
+	if !v.IsNull() {
+		t.Error("unparseable should become null")
+	}
+	if _, err := d.AsType("raw", "vibes"); err == nil {
+		t.Error("bad domain should fail")
+	}
+	if _, err := d.AsType("ghost", "int"); err == nil {
+		t.Error("bad column should fail")
+	}
+}
+
+func TestUniqueAndNUnique(t *testing.T) {
+	d := extrasSample(t)
+	u, err := d.Unique("team")
+	if err != nil || len(u) != 2 || u[0].Str() != "red" {
+		t.Errorf("unique = %v, %v", u, err)
+	}
+	n, err := d.NUnique("team")
+	if err != nil || n != 2 {
+		t.Error("nunique wrong")
+	}
+	est, err := d.EstimateDistinct("team")
+	if err != nil || est < 1.5 || est > 2.5 {
+		t.Errorf("estimated distinct = %v, %v", est, err)
+	}
+}
+
+func TestValueCounts(t *testing.T) {
+	d := extrasSample(t)
+	vc, err := d.ValueCounts("team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Len() != 2 {
+		t.Fatalf("value counts rows = %d", vc.Len())
+	}
+	v, _ := vc.Iloc(0, 0)
+	c, _ := vc.Iloc(0, 1)
+	if v.Str() != "red" || c.Int() != 3 {
+		t.Errorf("top value = %v (%v)", v, c)
+	}
+}
+
+func TestNLargestNSmallest(t *testing.T) {
+	d := extrasSample(t)
+	top, err := d.NLargest(2, "score")
+	if err != nil || top.Len() != 2 {
+		t.Fatal(err)
+	}
+	v, _ := top.Iloc(0, 0)
+	if v.Str() != "Eve" {
+		t.Errorf("nlargest order wrong:\n%s", top)
+	}
+	bottom, err := d.NSmallest(2, "score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = bottom.Iloc(0, 0)
+	if v.Str() != "Ann" {
+		t.Errorf("nsmallest order wrong:\n%s", bottom)
+	}
+}
+
+func TestSampleDeterministicSubset(t *testing.T) {
+	d := extrasSample(t)
+	a, err := d.Sample(3, 7)
+	if err != nil || a.Len() != 3 {
+		t.Fatal(err)
+	}
+	b, err := d.Sample(3, 7)
+	if err != nil || !a.Equal(b) {
+		t.Error("same seed should reproduce the sample")
+	}
+	// Sample preserves input order among chosen rows.
+	prev := int64(-1)
+	for i := 0; i < a.Len(); i++ {
+		lab := a.Frame().RowLabels().Value(i).Int()
+		if lab <= prev {
+			t.Error("sample should preserve order")
+		}
+		prev = lab
+	}
+	if _, err := d.Sample(99, 1); err == nil {
+		t.Error("oversized sample should fail")
+	}
+}
+
+func TestStrHelpers(t *testing.T) {
+	d := MustNew([]string{"s"}, [][]any{{"Hello"}, {"world"}, {nil}})
+	up, err := d.StrUpper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := up.Iloc(0, 0)
+	if v.Str() != "HELLO" {
+		t.Error("upper wrong")
+	}
+	low, err := d.StrLower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ = low.Iloc(0, 0)
+	if v.Str() != "hello" {
+		t.Error("lower wrong")
+	}
+	has, err := d.StrContains("s", "orl")
+	if err != nil || has.Len() != 1 {
+		t.Error("contains wrong")
+	}
+}
+
+func TestWithColumn(t *testing.T) {
+	d := extrasSample(t)
+	out, err := d.WithColumn("double", func(r Row) Value {
+		return Int(r.ByName("score").Int() * 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Columns()) != 4 {
+		t.Fatalf("columns = %v", out.Columns())
+	}
+	v, _ := out.Iloc(1, 3)
+	if v.Int() != 80 {
+		t.Errorf("computed column wrong: %v", v)
+	}
+	// Replacing an existing column keeps arity.
+	repl, err := out.WithColumn("double", func(r Row) Value { return Int(0) })
+	if err != nil || len(repl.Columns()) != 4 {
+		t.Error("replace should keep arity")
+	}
+	v, _ = repl.Iloc(1, 3)
+	if v.Int() != 0 {
+		t.Error("replace value wrong")
+	}
+}
+
+func TestFrameAggs(t *testing.T) {
+	d := extrasSample(t)
+	for name, f := range map[string]func() (*DataFrame, error){
+		"sum": d.Sum, "mean": d.Mean, "max": d.Max, "min": d.Min, "count": d.Count,
+	} {
+		out, err := f()
+		if err != nil || out.Len() != 1 {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	sum, _ := d.Sum()
+	v, _ := sum.Iloc(0, 0)
+	if v.Float() != 150 {
+		t.Errorf("sum = %v", v)
+	}
+}

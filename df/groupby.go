@@ -1,0 +1,107 @@
+package df
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// GroupBy starts a grouped aggregation, pandas-style:
+//
+//	out, err := d.GroupBy("dept").Sum("salary")
+//
+// Unlike SQL, GROUPBY admits independent use; with AsIndex the grouping
+// values are elevated to the row labels via an implicit TOLABELS, matching
+// pandas' default.
+func (d *DataFrame) GroupBy(keys ...string) *GroupedFrame {
+	return &GroupedFrame{df: d, keys: keys}
+}
+
+// GroupedFrame is a pending grouped aggregation.
+type GroupedFrame struct {
+	df      *DataFrame
+	keys    []string
+	asIndex bool
+	sorted  bool
+}
+
+// AsIndex elevates the group keys to row labels (pandas groupby default).
+func (g *GroupedFrame) AsIndex() *GroupedFrame {
+	g.asIndex = true
+	return g
+}
+
+// Sorted declares the input already ordered by the keys, switching the
+// engine to a streaming group-by (the Figure 8(b) rewrite).
+func (g *GroupedFrame) Sorted() *GroupedFrame {
+	g.sorted = true
+	return g
+}
+
+// Agg computes named aggregates over named columns; each spec is
+// (column, aggregate, output name).
+func (g *GroupedFrame) Agg(specs ...AggSpec) (*DataFrame, error) {
+	aggs := make([]expr.AggSpec, len(specs))
+	for i, s := range specs {
+		kind, ok := expr.ParseAgg(s.Agg)
+		if !ok {
+			return nil, fmt.Errorf("df: unknown aggregate %q", s.Agg)
+		}
+		aggs[i] = expr.AggSpec{Col: s.Col, Agg: kind, As: s.As}
+	}
+	return g.run(aggs)
+}
+
+// AggSpec names one aggregate in GroupedFrame.Agg.
+type AggSpec struct {
+	// Col is the aggregated column.
+	Col string
+	// Agg is the aggregate name ("sum", "mean", "count", "size", "min",
+	// "max", "std", "var", "median", "first", "last", "nunique",
+	// "kurtosis").
+	Agg string
+	// As optionally names the output column.
+	As string
+}
+
+// Count counts non-null values of col per group.
+func (g *GroupedFrame) Count(col string) (*DataFrame, error) {
+	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggCount, As: col + "_count"}})
+}
+
+// Size counts rows per group, nulls included.
+func (g *GroupedFrame) Size() (*DataFrame, error) {
+	return g.run([]expr.AggSpec{{Agg: expr.AggSize, As: "size"}})
+}
+
+// Sum sums col per group.
+func (g *GroupedFrame) Sum(col string) (*DataFrame, error) {
+	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggSum, As: col + "_sum"}})
+}
+
+// Mean averages col per group.
+func (g *GroupedFrame) Mean(col string) (*DataFrame, error) {
+	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggMean, As: col + "_mean"}})
+}
+
+// Min takes the per-group minimum of col.
+func (g *GroupedFrame) Min(col string) (*DataFrame, error) {
+	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggMin, As: col + "_min"}})
+}
+
+// Max takes the per-group maximum of col.
+func (g *GroupedFrame) Max(col string) (*DataFrame, error) {
+	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggMax, As: col + "_max"}})
+}
+
+func (g *GroupedFrame) run(aggs []expr.AggSpec) (*DataFrame, error) {
+	return g.df.run(func(in algebra.Node) algebra.Node {
+		return &algebra.GroupBy{Input: in, Spec: expr.GroupBySpec{
+			Keys:     g.keys,
+			Aggs:     aggs,
+			AsLabels: g.asIndex,
+			Sorted:   g.sorted,
+		}}
+	})
+}

@@ -1,0 +1,387 @@
+package df
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Table 2 of the paper maps pandas operators onto the algebra; the methods
+// in this file are those rewrites, executable.
+
+// Filter implements boolean-predicate SELECTION, like df[df.col == x].
+func (d *DataFrame) Filter(desc string, pred func(Row) bool) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Selection{Input: in, Pred: func(r expr.Row) bool { return pred(Row{r}) }, Desc: desc}
+	})
+}
+
+// Row is the row view handed to user predicates and row functions.
+type Row struct{ inner expr.Row }
+
+// Value returns the parsed cell at column position j.
+func (r Row) Value(j int) Value { return r.inner.Value(j) }
+
+// ByName returns the cell under the named column.
+func (r Row) ByName(name string) Value { return r.inner.ByName(name) }
+
+// NCols returns the row's arity.
+func (r Row) NCols() int { return r.inner.NCols() }
+
+// ColName returns column j's label.
+func (r Row) ColName(j int) string { return r.inner.ColName(j) }
+
+// Label returns the row's label.
+func (r Row) Label() Value { return r.inner.Label() }
+
+// Select implements PROJECTION: keep the named columns in order.
+func (d *DataFrame) Select(cols ...string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Projection{Input: in, Cols: cols}
+	})
+}
+
+// Drop removes the named columns, like pandas drop(columns=...).
+func (d *DataFrame) Drop(cols ...string) (*DataFrame, error) {
+	dropSet := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if d.frame.ColIndex(c) < 0 {
+			return nil, fmt.Errorf("df: drop of unknown column %q", c)
+		}
+		dropSet[c] = true
+	}
+	var keep []string
+	for _, name := range d.frame.ColNames() {
+		if !dropSet[name] {
+			keep = append(keep, name)
+		}
+	}
+	return d.Select(keep...)
+}
+
+// Rename relabels columns per the mapping.
+func (d *DataFrame) Rename(mapping map[string]string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Rename{Input: in, Mapping: mapping}
+	})
+}
+
+// Concat appends other below this frame: the ordered UNION, like
+// pandas.concat / append.
+func (d *DataFrame) Concat(other *DataFrame) (*DataFrame, error) {
+	out, err := d.engine.Execute(&algebra.Union{
+		Left:  &algebra.Source{DF: d.frame},
+		Right: &algebra.Source{DF: other.frame},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Except returns rows not present in other: the ordered DIFFERENCE.
+func (d *DataFrame) Except(other *DataFrame) (*DataFrame, error) {
+	out, err := d.engine.Execute(&algebra.Difference{
+		Left:  &algebra.Source{DF: d.frame},
+		Right: &algebra.Source{DF: other.frame},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// DropDuplicates removes duplicate rows (over the given columns; none means
+// all), keeping first occurrences.
+func (d *DataFrame) DropDuplicates(subset ...string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.DropDuplicates{Input: in, Subset: subset}
+	})
+}
+
+// SortValues orders rows by the given columns ascending, like
+// pandas sort_values.
+func (d *DataFrame) SortValues(cols ...string) (*DataFrame, error) {
+	order := make(expr.SortOrder, len(cols))
+	for i, c := range cols {
+		order[i] = expr.SortKey{Col: c}
+	}
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Sort{Input: in, Order: order}
+	})
+}
+
+// SortValuesBy orders rows with explicit per-key direction.
+func (d *DataFrame) SortValuesBy(order []SortKey) (*DataFrame, error) {
+	o := make(expr.SortOrder, len(order))
+	for i, k := range order {
+		o[i] = expr.SortKey{Col: k.Col, Desc: k.Desc}
+	}
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Sort{Input: in, Order: o}
+	})
+}
+
+// SortKey is one sort key with direction.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// SortIndex orders rows by the row labels, like pandas sort_index.
+func (d *DataFrame) SortIndex() (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Sort{Input: in, ByLabels: true}
+	})
+}
+
+// T is the matrix-like TRANSPOSE (step C2 of Figure 1): rows become columns
+// and labels swap axes; the new schema is re-induced lazily.
+func (d *DataFrame) T() (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Transpose{Input: in}
+	})
+}
+
+// TWithSchema transposes with a declared output schema, skipping induction
+// (the TRANSPOSE(df, myschema) form of Section 5.1.2). Domain names are
+// those of Dtypes: "int", "float", "bool", "object", "category",
+// "datetime".
+func (d *DataFrame) TWithSchema(domains []string) (*DataFrame, error) {
+	doms := make([]types.Domain, len(domains))
+	for i, name := range domains {
+		dom, ok := types.ParseDomain(name)
+		if !ok {
+			return nil, fmt.Errorf("df: unknown domain %q", name)
+		}
+		doms[i] = dom
+	}
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Transpose{Input: in, Schema: doms}
+	})
+}
+
+// ApplyMap applies fn to every cell: the elementwise MAP (pandas applymap /
+// transform).
+func (d *DataFrame) ApplyMap(name string, fn func(Value) Value) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: expr.MapFn{Name: name, Elementwise: fn}}
+	})
+}
+
+// Apply applies fn to every row, producing the named output columns: the
+// general MAP of the algebra (pandas apply(axis=1)).
+func (d *DataFrame) Apply(name string, outCols []string, fn func(Row) []Value) (*DataFrame, error) {
+	labels := make([]types.Value, len(outCols))
+	for i, c := range outCols {
+		labels[i] = types.String(c)
+	}
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: expr.MapFn{
+			Name:    name,
+			OutCols: labels,
+			Fn:      func(r expr.Row) []types.Value { return fn(Row{r}) },
+		}}
+	})
+}
+
+// MapCol transforms one column with fn, leaving the rest unchanged (step C3
+// of Figure 1: products["Wireless Charging"].map(...)).
+func (d *DataFrame) MapCol(col string, name string, fn func(Value) Value) (*DataFrame, error) {
+	j := d.frame.ColIndex(col)
+	if j < 0 {
+		return nil, fmt.Errorf("df: no column %q", col)
+	}
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: expr.MapFn{
+			Name: name,
+			Fn: func(r expr.Row) []types.Value {
+				out := make([]types.Value, r.NCols())
+				for k := 0; k < r.NCols(); k++ {
+					if k == j {
+						out[k] = fn(r.Value(k))
+					} else {
+						out[k] = r.Value(k)
+					}
+				}
+				return out
+			},
+		}}
+	})
+}
+
+// IsNA replaces every cell with whether it is null (pandas isna/isnull).
+func (d *DataFrame) IsNA() (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: algebra.IsNullFn()}
+	})
+}
+
+// FillNA replaces nulls with the given value (pandas fillna).
+func (d *DataFrame) FillNA(v Value) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: algebra.FillNAFn(v)}
+	})
+}
+
+// DropNA removes rows containing any null (pandas dropna).
+func (d *DataFrame) DropNA() (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Selection{
+			Input: in,
+			Desc:  "no nulls",
+			Pred: func(r expr.Row) bool {
+				for j := 0; j < r.NCols(); j++ {
+					if r.Value(j).IsNull() {
+						return false
+					}
+				}
+				return true
+			},
+		}
+	})
+}
+
+// SetIndex implements TOLABELS: promote a data column to the row labels
+// (pandas set_index).
+func (d *DataFrame) SetIndex(col string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.ToLabels{Input: in, Col: col}
+	})
+}
+
+// ResetIndex implements FROMLABELS: demote the row labels into a data
+// column at position 0 and restore positional labels (pandas reset_index).
+func (d *DataFrame) ResetIndex(name string) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.FromLabels{Input: in, Label: name}
+	})
+}
+
+// Merge equi-joins on the named columns with inner semantics (pandas
+// merge(on=...)).
+func (d *DataFrame) Merge(other *DataFrame, on ...string) (*DataFrame, error) {
+	return d.merge(other, expr.JoinInner, on, false)
+}
+
+// MergeKind equi-joins with explicit join kind: "inner", "left", "right",
+// "outer".
+func (d *DataFrame) MergeKind(other *DataFrame, kind string, on ...string) (*DataFrame, error) {
+	var k expr.JoinKind
+	switch kind {
+	case "inner":
+		k = expr.JoinInner
+	case "left":
+		k = expr.JoinLeft
+	case "right":
+		k = expr.JoinRight
+	case "outer":
+		k = expr.JoinOuter
+	default:
+		return nil, fmt.Errorf("df: unknown join kind %q", kind)
+	}
+	return d.merge(other, k, on, false)
+}
+
+// MergeOnIndex joins on the row labels, as in step A2 of Figure 1
+// (merge(left_index=True, right_index=True)).
+func (d *DataFrame) MergeOnIndex(other *DataFrame) (*DataFrame, error) {
+	return d.merge(other, expr.JoinInner, nil, true)
+}
+
+// CrossJoin returns the ordered cross product.
+func (d *DataFrame) CrossJoin(other *DataFrame) (*DataFrame, error) {
+	return d.merge(other, expr.JoinCross, nil, false)
+}
+
+func (d *DataFrame) merge(other *DataFrame, kind expr.JoinKind, on []string, onLabels bool) (*DataFrame, error) {
+	out, err := d.engine.Execute(&algebra.Join{
+		Left:     &algebra.Source{DF: d.frame},
+		Right:    &algebra.Source{DF: other.frame},
+		Kind:     kind,
+		On:       on,
+		OnLabels: onLabels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// GetDummies one-hot encodes every non-numeric column (pandas get_dummies;
+// step A1 of Figure 1).
+func (d *DataFrame) GetDummies() (*DataFrame, error) {
+	out, err := algebra.GetDummies(d.frame)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Cov computes the covariance matrix over numeric columns (step A3 of
+// Figure 1).
+func (d *DataFrame) Cov() (*DataFrame, error) {
+	out, err := algebra.Cov(d.frame)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Pivot reshapes around pivotCol: its distinct values become column labels,
+// indexCol's distinct values become rows, and valueCol fills the cells —
+// the four-operator plan of Figure 6.
+func (d *DataFrame) Pivot(pivotCol, indexCol, valueCol string) (*DataFrame, error) {
+	indexValues, err := algebra.DistinctValues(d.frame, indexCol)
+	if err != nil {
+		return nil, err
+	}
+	plan := algebra.PivotPlan(&algebra.Source{DF: d.frame}, pivotCol, indexCol, valueCol, indexValues, false)
+	out, err := d.engine.Execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Agg computes the named aggregates ("mean", "sum", "min", "max", "count",
+// "std", "var", "median", "kurtosis", "nunique") for every numeric column,
+// one result row per aggregate — the pandas agg(['f1','f2']) rewrite of
+// Section 4.4.
+func (d *DataFrame) Agg(funcs ...string) (*DataFrame, error) {
+	kinds := make([]expr.AggKind, len(funcs))
+	for i, f := range funcs {
+		k, ok := expr.ParseAgg(f)
+		if !ok {
+			return nil, fmt.Errorf("df: unknown aggregate %q", f)
+		}
+		kinds[i] = k
+	}
+	out, err := algebra.AggAll(d.frame, kinds, nil)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Describe summarizes numeric columns with count/mean/std/min/max.
+func (d *DataFrame) Describe() (*DataFrame, error) {
+	return d.Agg("count", "mean", "std", "min", "max")
+}
+
+// ReindexLike reorders rows and columns to match the reference frame
+// (pandas reindex_like).
+func (d *DataFrame) ReindexLike(reference *DataFrame) (*DataFrame, error) {
+	out, err := algebra.ReindexLike(d.frame, reference.frame)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out, d.engine), nil
+}
+
+// Kurtosis computes per-column excess kurtosis over numeric columns.
+func (d *DataFrame) Kurtosis() (*DataFrame, error) {
+	return d.Agg("kurtosis")
+}

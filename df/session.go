@@ -1,0 +1,98 @@
+package df
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/session"
+)
+
+// Session exposes the interactive evaluation regimes of Section 6: eager
+// (pandas-style), lazy, and opportunistic (background computation during
+// think time), with head/tail-prioritized inspection and reuse of
+// materialized intermediates.
+type Session struct {
+	inner *session.Session
+}
+
+// NewSession starts a session on the engine under the named mode: "eager",
+// "lazy" or "opportunistic".
+func NewSession(engine Engine, mode string) (*Session, error) {
+	var m session.Mode
+	switch mode {
+	case "eager":
+		m = session.Eager
+	case "lazy":
+		m = session.Lazy
+	case "opportunistic":
+		m = session.Opportunistic
+	default:
+		return nil, fmt.Errorf("df: unknown session mode %q", mode)
+	}
+	return &Session{inner: session.New(engine, m, nil)}, nil
+}
+
+// Bind introduces a dataframe into the session.
+func (s *Session) Bind(name string, d *DataFrame) *Handle {
+	return &Handle{inner: s.inner.Bind(name, d.frame)}
+}
+
+// ThinkTime models the user pausing: background work drains.
+func (s *Session) ThinkTime() { s.inner.ThinkTime() }
+
+// Stats reports session activity counters: statements issued, full and
+// partial (head/tail-only) evaluations, reuse hits, and background tasks.
+func (s *Session) Stats() (statements, full, partial, reuse, background int64) {
+	st := &s.inner.Stats
+	return st.Statements.Load(), st.FullEvaluations.Load(), st.PartialEvaluations.Load(),
+		st.ReuseHits.Load(), st.BackgroundTasks.Load()
+}
+
+// Handle is a statement's result: an eventually-computed dataframe.
+type Handle struct {
+	inner *session.Handle
+}
+
+// Apply issues a new statement composing on this handle's plan. The build
+// function receives the current logical plan and returns the extended one;
+// plan nodes come from the algebra surfaced via the method helpers below.
+func (h *Handle) Apply(name string, build func(algebra.Node) algebra.Node) *Handle {
+	return &Handle{inner: h.inner.Apply(name, build)}
+}
+
+// Collect materializes the full result.
+func (h *Handle) Collect() (*DataFrame, error) {
+	out, err := h.inner.Collect()
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
+}
+
+// Head returns the ordered k-prefix, computing only the prefix when the
+// full result is not yet materialized (Section 6.1.2).
+func (h *Handle) Head(k int) (*DataFrame, error) {
+	out, err := h.inner.Head(k)
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
+}
+
+// Tail returns the ordered k-suffix with the same prioritization.
+func (h *Handle) Tail(k int) (*DataFrame, error) {
+	out, err := h.inner.Tail(k)
+	if err != nil {
+		return nil, err
+	}
+	return FromFrame(out), nil
+}
+
+// Ready reports whether the full result is already materialized.
+func (h *Handle) Ready() bool { return h.inner.Ready() }
+
+// Wait blocks until background materialization (if any) completes.
+func (h *Handle) Wait() { h.inner.Wait() }
+
+// Plan returns the handle's logical plan for inspection (algebra.Render).
+func (h *Handle) Plan() algebra.Node { return h.inner.Plan() }

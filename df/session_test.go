@@ -1,0 +1,85 @@
+package df
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+func sessionFilter(in algebra.Node) algebra.Node {
+	return &algebra.Selection{
+		Input: in,
+		Pred: func(r expr.Row) bool {
+			return r.ByName("dept").Str() == "eng"
+		},
+		Desc: "dept == eng",
+	}
+}
+
+func TestSessionModes(t *testing.T) {
+	for _, mode := range []string{"eager", "lazy", "opportunistic"} {
+		t.Run(mode, func(t *testing.T) {
+			s, err := NewSession(NewModinEngine(), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := s.Bind("people", sample(t)).Apply("eng", sessionFilter)
+			out, err := h.Collect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Len() != 2 {
+				t.Errorf("rows = %d", out.Len())
+			}
+			head, err := h.Head(1)
+			if err != nil || head.Len() != 1 {
+				t.Errorf("head: %v", err)
+			}
+			tail, err := h.Tail(1)
+			if err != nil || tail.Len() != 1 {
+				t.Errorf("tail: %v", err)
+			}
+			v, _ := tail.Iloc(0, 0)
+			if v.Str() != "cat" {
+				t.Errorf("tail row = %v", v)
+			}
+		})
+	}
+	if _, err := NewSession(NewModinEngine(), "psychic"); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestSessionStatsAndPlan(t *testing.T) {
+	s, err := NewSession(NewBaselineEngine(), "lazy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Bind("people", sample(t)).Apply("eng", sessionFilter)
+	statements, full, partial, _, background := s.Stats()
+	if statements != 2 || full != 0 || background != 0 {
+		t.Errorf("lazy pre-collect stats: stmts=%d full=%d bg=%d", statements, full, background)
+	}
+	if _, err := h.Head(1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, partial, _, _ = s.Stats()
+	if partial != 1 {
+		t.Errorf("head should count as partial eval, got %d", partial)
+	}
+	if algebra.CountNodes(h.Plan()) != 2 {
+		t.Error("plan should have two nodes")
+	}
+	if h.Ready() {
+		t.Error("lazy handle should not be materialized before collect")
+	}
+	if _, err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready() {
+		t.Error("collect should materialize")
+	}
+	h.Wait() // no-op once ready
+	s.ThinkTime()
+}

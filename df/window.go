@@ -1,0 +1,100 @@
+package df
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+)
+
+// The WINDOW operator surfaces here through the pandas-style entry points:
+// Shift, Diff, the cumulative functions, and Rolling. Because dataframes
+// are inherently ordered, none of these need an ORDER BY (Section 4.3).
+
+// Shift moves rows down by offset (up when negative), null-filling, over
+// the named columns (all when none given).
+func (d *DataFrame) Shift(offset int, cols ...string) (*DataFrame, error) {
+	spec := expr.WindowSpec{Kind: expr.WindowShift, Offset: offset}
+	if offset < 0 {
+		spec.Offset = -offset
+		spec.Reverse = true
+	}
+	if len(cols) > 0 {
+		spec.Cols = cols
+	}
+	return d.window(spec)
+}
+
+// Diff subtracts the value offset rows earlier, over numeric columns.
+func (d *DataFrame) Diff(offset int, cols ...string) (*DataFrame, error) {
+	spec := expr.WindowSpec{Kind: expr.WindowDiff, Offset: offset}
+	if len(cols) > 0 {
+		spec.Cols = cols
+	}
+	return d.window(spec)
+}
+
+// CumSum computes the running sum (pandas cumsum).
+func (d *DataFrame) CumSum(cols ...string) (*DataFrame, error) {
+	return d.expanding(expr.AggSum, cols)
+}
+
+// CumMax computes the running maximum (pandas cummax).
+func (d *DataFrame) CumMax(cols ...string) (*DataFrame, error) {
+	return d.expanding(expr.AggMax, cols)
+}
+
+// CumMin computes the running minimum (pandas cummin).
+func (d *DataFrame) CumMin(cols ...string) (*DataFrame, error) {
+	return d.expanding(expr.AggMin, cols)
+}
+
+func (d *DataFrame) expanding(agg expr.AggKind, cols []string) (*DataFrame, error) {
+	spec := expr.WindowSpec{Kind: expr.WindowExpanding, Agg: agg}
+	if len(cols) > 0 {
+		spec.Cols = cols
+	}
+	return d.window(spec)
+}
+
+// Rolling starts a fixed-size trailing window over the named columns (all
+// when none given).
+func (d *DataFrame) Rolling(size int, cols ...string) *RollingFrame {
+	return &RollingFrame{df: d, size: size, cols: cols}
+}
+
+// RollingFrame is a pending rolling-window aggregation.
+type RollingFrame struct {
+	df   *DataFrame
+	size int
+	cols []string
+}
+
+// Mean aggregates each window by mean.
+func (r *RollingFrame) Mean() (*DataFrame, error) { return r.agg(expr.AggMean) }
+
+// Sum aggregates each window by sum.
+func (r *RollingFrame) Sum() (*DataFrame, error) { return r.agg(expr.AggSum) }
+
+// Max aggregates each window by max.
+func (r *RollingFrame) Max() (*DataFrame, error) { return r.agg(expr.AggMax) }
+
+// Min aggregates each window by min.
+func (r *RollingFrame) Min() (*DataFrame, error) { return r.agg(expr.AggMin) }
+
+func (r *RollingFrame) agg(kind expr.AggKind) (*DataFrame, error) {
+	if r.size <= 0 {
+		return nil, fmt.Errorf("df: rolling window size must be positive, got %d", r.size)
+	}
+	spec := expr.WindowSpec{Kind: expr.WindowRolling, Size: r.size, Agg: kind}
+	if len(r.cols) > 0 {
+		spec.Cols = r.cols
+	}
+	return r.df.window(spec)
+}
+
+func (d *DataFrame) window(spec expr.WindowSpec) (*DataFrame, error) {
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Window{Input: in, Spec: spec}
+	})
+}

@@ -1,0 +1,7 @@
+// Package repro is a Go reproduction of "Towards Scalable Dataframe
+// Systems" (Petersohn et al., VLDB 2020): the formal dataframe data model
+// and algebra, a MODIN-style partition-parallel engine with a pandas-profile
+// baseline, and a harness regenerating every table and figure in the
+// paper's evaluation. The public API lives in repro/df; the root package
+// only anchors the module-level benchmark suite (bench_test.go).
+package repro

@@ -1,0 +1,106 @@
+// The featureeng example is the machine-learning preparation workflow the
+// paper's introduction motivates: clean a raw dataset, engineer features
+// (one-hot encoding, derived columns, normalization), and hand a matrix
+// dataframe to the modeling step (here: the covariance analysis of step
+// A3). Along the way it shows the arity-estimation problem of Section
+// 5.2.3 — get_dummies' output width depends on distinct values, estimated
+// here with the HyperLogLog sketch before paying for the encoding.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/df"
+	"repro/internal/workload"
+)
+
+func main() {
+	frame := workload.Taxi(workload.DefaultTaxiOptions(20_000))
+	trips := df.FromFrame(frame)
+	fmt.Println("raw trips:")
+	fmt.Println(trips.Head(5))
+	fmt.Println("dtypes:", trips.Dtypes())
+
+	// Clean: drop rows with any missing value.
+	clean, err := trips.DropNA()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, _ := clean.Shape()
+	fmt.Printf("after dropna: %d of %d rows\n\n", r, trips.Len())
+
+	// Feature selection: the modeling columns.
+	features, err := clean.Select("vendor_id", "payment_type", "passenger_count",
+		"trip_distance", "fare_amount", "tip_amount")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Derived feature: tip rate.
+	features, err = features.WithColumn("tip_rate", func(row df.Row) df.Value {
+		fare := row.ByName("fare_amount").Float()
+		if fare == 0 {
+			return df.NA()
+		}
+		return df.Float(row.ByName("tip_amount").Float() / fare)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Before one-hot encoding, estimate the output arity with a sketch:
+	// the Section 5.2.3 planning question "how wide will this get?".
+	for _, col := range []string{"vendor_id", "payment_type"} {
+		est, err := features.EstimateDistinct(col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, _ := features.NUnique(col)
+		fmt.Printf("distinct %-14s sketch=%.1f exact=%d\n", col, est, exact)
+	}
+
+	oneHot, err := features.GetDummies()
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, c := oneHot.Shape()
+	fmt.Printf("one-hot encoded: %d feature columns\n\n", c)
+
+	// The encoded frame is numeric throughout — a matrix dataframe — so
+	// linear-algebra operations apply.
+	cov, err := oneHot.Cov()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feature covariance (excerpt):")
+	fmt.Println(cov.Head(6))
+
+	// Which features vary most with the tip rate? Rank |cov| against
+	// tip_rate using sort + head — fused to TOPK by the optimizer when
+	// run through a session, here via NLargest directly.
+	tipCov, err := cov.Select("tip_rate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	named, err := tipCov.ResetIndex("feature")
+	if err != nil {
+		log.Fatal(err)
+	}
+	withAbs, err := named.WithColumn("abs_cov", func(row df.Row) df.Value {
+		v := row.ByName("tip_rate").Float()
+		if v < 0 {
+			v = -v
+		}
+		return df.Float(v)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top, err := withAbs.NLargest(5, "abs_cov")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("features most covarying with tip_rate:")
+	fmt.Println(top)
+}

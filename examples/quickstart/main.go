@@ -1,0 +1,109 @@
+// The quickstart walks the end-to-end workflow of Figure 1 in the paper: an
+// analyst exploring iPhone feature data. The paper's read_html/read_excel
+// ingest steps become ReadCSVString (the web page and spreadsheet are not
+// available offline; CSV exercises the same untyped-Σ*-ingest path).
+//
+//	R1  read the comparison chart            → ReadCSVString
+//	C1  fix an anomalous value via iloc      → SetIloc
+//	C2  matrix-like transpose                → T
+//	C3  Yes/No column to binary via map      → MapCol
+//	C4  read price/rating data               → ReadCSVString
+//	A1  one-hot encode non-numeric features  → GetDummies
+//	A2  join features with prices on index   → SetIndex + MergeOnIndex
+//	A3  covariance between the features      → Cov
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/df"
+)
+
+// productsCSV is the Figure 1 comparison chart as scraped: rows are
+// features, columns are products — "oriented for human consumption", which
+// is why step C2 transposes it.
+const productsCSV = `feature,iPhone 11 Pro,iPhone 11 Pro Max,iPhone 11,iPhone XR
+Display,5.8,6.5,6.1,6.1
+Front Camera,120,12,12,7
+Price,999,1099,699,599
+Wireless Charging,Yes,Yes,Yes,No
+Battery Life,18,20,17,16
+`
+
+const pricesCSV = `product,rating
+iPhone 11 Pro,4.6
+iPhone 11 Pro Max,4.7
+iPhone 11,4.5
+iPhone XR,4.4
+`
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	// R1: ingest and immediately inspect — the trial-and-error loop.
+	products, err := df.ReadCSVString(productsCSV)
+	check(err)
+	fmt.Println("R1 — products as ingested:")
+	fmt.Println(products)
+
+	// The first column holds feature names; promote it to row labels so
+	// positional cells are pure data.
+	products, err = products.SetIndex("feature")
+	check(err)
+
+	// C1: the Front Camera of the iPhone 11 Pro reads 120MP; fix the
+	// anomalous value with an ordered point update.
+	check(products.SetIloc(1, 0, df.Str("12")))
+	fmt.Println("C1 — after fixing the 120→12 anomaly:")
+	fmt.Println(products)
+
+	// C2: transpose so rows are products and columns are features.
+	products, err = products.T()
+	check(err)
+	fmt.Println("C2 — transposed to relational orientation:")
+	fmt.Println(products)
+
+	// C3: Wireless Charging Yes/No → 1/0 via a user-defined map.
+	products, err = products.MapCol("Wireless Charging", "yes-to-binary", func(v df.Value) df.Value {
+		if v.Str() == "Yes" {
+			return df.Int(1)
+		}
+		return df.Int(0)
+	})
+	check(err)
+	fmt.Println("C3 — Wireless Charging as binary:")
+	fmt.Println(products)
+
+	// C4: load price/rating information.
+	prices, err := df.ReadCSVString(pricesCSV)
+	check(err)
+	prices, err = prices.SetIndex("product")
+	check(err)
+	fmt.Println("C4 — prices:")
+	fmt.Println(prices)
+
+	// A1: one-hot encode any remaining non-numeric features.
+	oneHot, err := products.GetDummies()
+	check(err)
+	fmt.Println("A1 — one-hot encoded features:")
+	fmt.Println(oneHot)
+	fmt.Println("dtypes:", oneHot.Dtypes())
+
+	// A2: join features with prices on the row labels.
+	iphone, err := prices.MergeOnIndex(oneHot)
+	check(err)
+	fmt.Println("A2 — joined frame:")
+	fmt.Println(iphone)
+
+	// A3: covariance between the numeric features — possible because the
+	// joined frame is a matrix dataframe after one-hot encoding.
+	cov, err := iphone.Cov()
+	check(err)
+	fmt.Println("A3 — feature covariance:")
+	fmt.Println(cov)
+}

@@ -1,0 +1,94 @@
+// The taxi example runs the Section 3.2 case-study workload as an
+// application: the four Figure 2 queries over a synthetic NYC-taxi-profile
+// dataset, timed on both engines, printing per-query speedups — a
+// miniature, single-size version of what cmd/dfbench sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/df"
+	"repro/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 100_000, "trips to generate")
+	flag.Parse()
+
+	frame := workload.Taxi(workload.DefaultTaxiOptions(*rows))
+	data := df.FromFrame(frame)
+	fmt.Printf("synthetic taxi trips: %d rows\n", *rows)
+	fmt.Println(data.Head(5))
+
+	baseline := data.WithEngine(df.NewBaselineEngine())
+	modin := data.WithEngine(df.NewModinEngine())
+
+	run := func(name string, q func(*df.DataFrame) (*df.DataFrame, error)) {
+		start := time.Now()
+		if _, err := q(baseline); err != nil {
+			log.Fatalf("%s baseline: %v", name, err)
+		}
+		base := time.Since(start)
+		start = time.Now()
+		out, err := q(modin)
+		if err != nil {
+			log.Fatalf("%s modin: %v", name, err)
+		}
+		par := time.Since(start)
+		fmt.Printf("%-12s baseline=%-12v modin=%-12v speedup=%.2fx\n", name, base, par, float64(base)/float64(par))
+		if name == "groupby(n)" {
+			fmt.Println(out)
+		}
+	}
+
+	// map: is each value null?
+	run("map", func(d *df.DataFrame) (*df.DataFrame, error) { return d.IsNA() })
+
+	// groupby(n): trips per passenger_count.
+	run("groupby(n)", func(d *df.DataFrame) (*df.DataFrame, error) {
+		return d.GroupBy("passenger_count").Size()
+	})
+
+	// groupby(1): count of non-null rows.
+	run("groupby(1)", func(d *df.DataFrame) (*df.DataFrame, error) {
+		return d.GroupBy().Count("passenger_count")
+	})
+
+	// transpose: swap axes and map over the new rows.
+	run("transpose", func(d *df.DataFrame) (*df.DataFrame, error) {
+		t, err := d.T()
+		if err != nil {
+			return nil, err
+		}
+		return t.IsNA()
+	})
+
+	// Beyond Figure 2: a realistic analysis — average tip rate by vendor
+	// for card payments, via filter + apply + groupby.
+	paid, err := modin.Filter("card payments", func(r df.Row) bool {
+		return r.ByName("payment_type").Str() == "card"
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withRate, err := paid.Apply("tip-rate", []string{"vendor_id", "tip_rate"}, func(r df.Row) []df.Value {
+		fare := r.ByName("fare_amount").Float()
+		tip := r.ByName("tip_amount")
+		if tip.IsNull() || fare == 0 {
+			return []df.Value{r.ByName("vendor_id"), df.NA()}
+		}
+		return []df.Value{r.ByName("vendor_id"), df.Float(tip.Float() / fare)}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	byVendor, err := withRate.GroupBy("vendor_id").Mean("tip_rate")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("average tip rate by vendor (card payments):")
+	fmt.Println(byVendor)
+}

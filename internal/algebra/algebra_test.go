@@ -1,0 +1,868 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// salesDF is the narrow SALES table of Figure 5.
+func salesDF(t *testing.T) *core.DataFrame {
+	t.Helper()
+	return core.MustFromRecords(
+		[]string{"Year", "Month", "Sales"},
+		[][]any{
+			{2001, "Jan", 100},
+			{2001, "Feb", 110},
+			{2001, "Mar", 120},
+			{2002, "Jan", 150},
+			{2002, "Feb", 200},
+			{2002, "Mar", 250},
+			{2003, "Jan", 300},
+			{2003, "Feb", 310},
+		},
+	)
+}
+
+func peopleDF(t *testing.T) *core.DataFrame {
+	t.Helper()
+	return core.MustFromRecords(
+		[]string{"name", "dept", "salary"},
+		[][]any{
+			{"ann", "eng", 100},
+			{"bob", "ops", 80},
+			{"cat", "eng", 120},
+			{"dan", "ops", 90},
+			{"eve", "eng", 110},
+		},
+	)
+}
+
+func TestSelectionPreservesOrder(t *testing.T) {
+	df := peopleDF(t)
+	out := SelectRows(df, expr.ColEquals("dept", types.String("eng")))
+	if out.NRows() != 3 {
+		t.Fatalf("rows = %d", out.NRows())
+	}
+	want := []string{"ann", "cat", "eve"}
+	for i, w := range want {
+		if out.Value(i, 0).Str() != w {
+			t.Errorf("row %d = %s, want %s", i, out.Value(i, 0).Str(), w)
+		}
+	}
+	// Row labels are parent labels, not renumbered.
+	if out.RowLabels().Value(1).Int() != 2 {
+		t.Error("selection should keep parent row labels")
+	}
+}
+
+func TestSelectPositions(t *testing.T) {
+	df := peopleDF(t)
+	out, err := SelectPositions(df, []int{4, 0})
+	if err != nil || out.Value(0, 0).Str() != "eve" {
+		t.Errorf("positional selection wrong: %v", err)
+	}
+	if _, err := SelectPositions(df, []int{9}); err == nil {
+		t.Error("out-of-range position should fail")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	df := peopleDF(t)
+	out, err := Project(df, []string{"salary", "name"})
+	if err != nil || out.NCols() != 2 || out.ColName(0) != "salary" {
+		t.Fatalf("projection wrong: %v", err)
+	}
+	if _, err := Project(df, []string{"ghost"}); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestUnionOrderAndOuterSchema(t *testing.T) {
+	a := core.MustFromRecords([]string{"x", "y"}, [][]any{{1, "a"}, {2, "b"}})
+	b := core.MustFromRecords([]string{"x", "z"}, [][]any{{3, true}})
+	out, err := UnionFrames(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 3 || out.NCols() != 3 {
+		t.Fatalf("shape = %dx%d", out.NRows(), out.NCols())
+	}
+	// Left rows first.
+	if out.Value(0, 0).Int() != 1 || out.Value(2, 0).Int() != 3 {
+		t.Error("union order wrong")
+	}
+	// Missing cells are null.
+	if !out.Value(2, 1).IsNull() || !out.Value(0, 2).IsNull() {
+		t.Error("outer union should null-fill")
+	}
+}
+
+func TestDifference(t *testing.T) {
+	a := core.MustFromRecords([]string{"x"}, [][]any{{1}, {2}, {3}, {2}})
+	b := core.MustFromRecords([]string{"x"}, [][]any{{2}})
+	out, err := DifferenceFrames(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 2 || out.Value(0, 0).Int() != 1 || out.Value(1, 0).Int() != 3 {
+		t.Errorf("difference wrong:\n%s", out)
+	}
+	if _, err := DifferenceFrames(a, core.MustFromRecords([]string{"y"}, [][]any{{1}})); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestCrossProductNestedOrder(t *testing.T) {
+	a := core.MustFromRecords([]string{"l"}, [][]any{{"a"}, {"b"}})
+	b := core.MustFromRecords([]string{"r"}, [][]any{{1}, {2}, {3}})
+	out, err := JoinFrames(a, b, expr.JoinCross, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 6 {
+		t.Fatalf("rows = %d", out.NRows())
+	}
+	// Nested order: each left tuple with each right tuple in order.
+	wantL := []string{"a", "a", "a", "b", "b", "b"}
+	wantR := []int64{1, 2, 3, 1, 2, 3}
+	for i := range wantL {
+		if out.Value(i, 0).Str() != wantL[i] || out.Value(i, 1).Int() != wantR[i] {
+			t.Errorf("row %d = (%s,%d)", i, out.Value(i, 0).Str(), out.Value(i, 1).Int())
+		}
+	}
+}
+
+func TestInnerJoinOrderAndSuffixes(t *testing.T) {
+	left := core.MustFromRecords([]string{"k", "v"}, [][]any{{"a", 1}, {"b", 2}, {"c", 3}})
+	right := core.MustFromRecords([]string{"k", "v"}, [][]any{{"b", 20}, {"a", 10}, {"a", 11}})
+	out, err := JoinFrames(left, right, expr.JoinInner, []string{"k"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 3 {
+		t.Fatalf("rows = %d\n%s", out.NRows(), out)
+	}
+	// Left order first; a's two right matches in right order.
+	if out.Value(0, 0).Str() != "a" || out.Value(1, 0).Str() != "a" || out.Value(2, 0).Str() != "b" {
+		t.Errorf("join order wrong:\n%s", out)
+	}
+	if out.ColIndex("v_x") < 0 || out.ColIndex("v_y") < 0 {
+		t.Errorf("collision suffixes missing: %v", out.ColNames())
+	}
+	if out.Value(0, out.ColIndex("v_y")).Int() != 10 || out.Value(1, out.ColIndex("v_y")).Int() != 11 {
+		t.Errorf("right match order wrong:\n%s", out)
+	}
+}
+
+func TestLeftRightOuterJoin(t *testing.T) {
+	left := core.MustFromRecords([]string{"k", "l"}, [][]any{{"a", 1}, {"x", 2}})
+	right := core.MustFromRecords([]string{"k", "r"}, [][]any{{"a", 10}, {"y", 20}})
+
+	lj, err := JoinFrames(left, right, expr.JoinLeft, []string{"k"}, false)
+	if err != nil || lj.NRows() != 2 {
+		t.Fatalf("left join: %v, %d rows", err, lj.NRows())
+	}
+	if !lj.Value(1, lj.ColIndex("r")).IsNull() {
+		t.Error("unmatched left row should null-extend")
+	}
+
+	rj, err := JoinFrames(left, right, expr.JoinRight, []string{"k"}, false)
+	if err != nil || rj.NRows() != 2 {
+		t.Fatalf("right join: %v", err)
+	}
+	oj, err := JoinFrames(left, right, expr.JoinOuter, []string{"k"}, false)
+	if err != nil || oj.NRows() != 3 {
+		t.Fatalf("outer join: %v, %d rows", err, oj.NRows())
+	}
+	// Outer join fills the key from the right side for unmatched rights.
+	if oj.Value(2, oj.ColIndex("k")).Str() != "y" {
+		t.Errorf("outer join key fill wrong:\n%s", oj)
+	}
+}
+
+func TestJoinOnLabels(t *testing.T) {
+	left := core.MustFromRecords([]string{"a"}, [][]any{{1}, {2}, {3}})
+	right := core.MustFromRecords([]string{"b"}, [][]any{{10}, {20}, {30}})
+	// Give right reversed labels 2,1,0.
+	right, err := right.WithRowLabels(vector.NewInt([]int64{2, 1, 0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := JoinFrames(left, right, expr.JoinInner, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 3 {
+		t.Fatalf("rows = %d", out.NRows())
+	}
+	// Label 0 row of left (a=1) joins label 0 row of right (b=30).
+	if out.Value(0, 0).Int() != 1 || out.Value(0, 1).Int() != 30 {
+		t.Errorf("label join wrong:\n%s", out)
+	}
+	// Result keeps the label.
+	if out.RowLabels().Value(0).Int() != 0 {
+		t.Error("label join should keep labels")
+	}
+}
+
+func TestJoinNullKeysNeverMatch(t *testing.T) {
+	left := core.MustFromRecords([]string{"k", "l"}, [][]any{{nil, 1}, {"a", 2}})
+	right := core.MustFromRecords([]string{"k", "r"}, [][]any{{nil, 10}, {"a", 20}})
+	out, err := JoinFrames(left, right, expr.JoinInner, []string{"k"}, false)
+	if err != nil || out.NRows() != 1 {
+		t.Fatalf("null keys must not match: %v rows=%d", err, out.NRows())
+	}
+}
+
+func TestDropDuplicates(t *testing.T) {
+	df := core.MustFromRecords([]string{"a", "b"}, [][]any{
+		{1, "x"}, {1, "x"}, {2, "x"}, {1, "y"},
+	})
+	out, err := DropDuplicatesFrame(df, nil)
+	if err != nil || out.NRows() != 3 {
+		t.Fatalf("dropdup all cols: %v rows=%d", err, out.NRows())
+	}
+	out, err = DropDuplicatesFrame(df, []string{"b"})
+	if err != nil || out.NRows() != 2 {
+		t.Fatalf("dropdup subset: %v rows=%d", err, out.NRows())
+	}
+	// First occurrence kept, in order.
+	if out.Value(0, 0).Int() != 1 || out.Value(1, 1).Str() != "y" {
+		t.Error("dropdup should keep first occurrences")
+	}
+	if _, err := DropDuplicatesFrame(df, []string{"zzz"}); err == nil {
+		t.Error("unknown subset column should fail")
+	}
+}
+
+func TestRename(t *testing.T) {
+	df := peopleDF(t)
+	out, err := RenameFrame(df, map[string]string{"dept": "team"})
+	if err != nil || out.ColIndex("team") != 1 || out.ColIndex("dept") != -1 {
+		t.Errorf("rename wrong: %v", err)
+	}
+	if _, err := RenameFrame(df, map[string]string{"ghost": "x"}); err == nil {
+		t.Error("renaming missing column should fail")
+	}
+}
+
+func TestSortStableAndDesc(t *testing.T) {
+	df := core.MustFromRecords([]string{"k", "seq"}, [][]any{
+		{2, 0}, {1, 1}, {2, 2}, {1, 3},
+	})
+	out, err := SortFrame(df, expr.SortOrder{{Col: "k"}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := []int64{1, 3, 0, 2} // stable within equal keys
+	for i, w := range wantSeq {
+		if out.Value(i, 1).Int() != w {
+			t.Errorf("row %d seq = %d, want %d", i, out.Value(i, 1).Int(), w)
+		}
+	}
+	desc, err := SortFrame(df, expr.SortOrder{{Col: "k", Desc: true}, {Col: "seq", Desc: true}}, false)
+	if err != nil || desc.Value(0, 1).Int() != 2 {
+		t.Error("desc sort wrong")
+	}
+	byLab, err := SortFrame(out, expr.SortOrder{}, true)
+	if err != nil || byLab.Value(0, 1).Int() != 0 {
+		t.Error("sort by labels should restore original order")
+	}
+}
+
+func TestLimitPrefixSuffix(t *testing.T) {
+	df := peopleDF(t)
+	if LimitFrame(df, 2).NRows() != 2 || LimitFrame(df, 2).Value(0, 0).Str() != "ann" {
+		t.Error("prefix wrong")
+	}
+	tail := LimitFrame(df, -2)
+	if tail.NRows() != 2 || tail.Value(1, 0).Str() != "eve" {
+		t.Error("suffix wrong")
+	}
+	if LimitFrame(df, 100).NRows() != 5 || LimitFrame(df, -100).NRows() != 5 {
+		t.Error("over-limit should clamp")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	df := peopleDF(t)
+	out, err := GroupByFrame(df, expr.GroupBySpec{
+		Keys: []string{"dept"},
+		Aggs: []expr.AggSpec{
+			{Col: "salary", Agg: expr.AggCount, As: "n"},
+			{Col: "salary", Agg: expr.AggSum, As: "total"},
+			{Col: "salary", Agg: expr.AggMean, As: "avg"},
+			{Col: "salary", Agg: expr.AggMin, As: "lo"},
+			{Col: "salary", Agg: expr.AggMax, As: "hi"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 2 {
+		t.Fatalf("groups = %d", out.NRows())
+	}
+	// First-appearance order: eng then ops.
+	if out.Value(0, 0).Str() != "eng" || out.Value(1, 0).Str() != "ops" {
+		t.Errorf("group order wrong:\n%s", out)
+	}
+	if out.Value(0, out.ColIndex("n")).Int() != 3 {
+		t.Error("count wrong")
+	}
+	if out.Value(0, out.ColIndex("total")).Float() != 330 {
+		t.Error("sum wrong")
+	}
+	if out.Value(0, out.ColIndex("avg")).Float() != 110 {
+		t.Error("mean wrong")
+	}
+	if out.Value(0, out.ColIndex("lo")).Int() != 100 || out.Value(0, out.ColIndex("hi")).Int() != 120 {
+		t.Error("min/max wrong")
+	}
+}
+
+func TestGroupByAsLabels(t *testing.T) {
+	df := peopleDF(t)
+	out, err := GroupByFrame(df, expr.GroupBySpec{
+		Keys:     []string{"dept"},
+		Aggs:     []expr.AggSpec{{Col: "salary", Agg: expr.AggSum, As: "total"}},
+		AsLabels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NCols() != 1 {
+		t.Errorf("AsLabels should drop key columns: %v", out.ColNames())
+	}
+	if out.RowLabels().Value(0).Str() != "eng" {
+		t.Error("keys should become row labels")
+	}
+}
+
+func TestGroupByNullsFormOneGroup(t *testing.T) {
+	df := core.MustFromRecords([]string{"k", "v"}, [][]any{
+		{nil, 1}, {"a", 2}, {nil, 3},
+	})
+	out, err := GroupByFrame(df, expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "s"}},
+	})
+	if err != nil || out.NRows() != 2 {
+		t.Fatalf("null grouping: %v rows=%d", err, out.NRows())
+	}
+	if out.Value(0, 1).Float() != 4 {
+		t.Error("null group should aggregate 1+3")
+	}
+}
+
+func TestGroupBySortedStreamingMatchesHash(t *testing.T) {
+	df := salesDF(t) // already sorted by Year
+	spec := expr.GroupBySpec{
+		Keys: []string{"Year"},
+		Aggs: []expr.AggSpec{{Col: "Sales", Agg: expr.AggSum, As: "total"}},
+	}
+	hash, err := GroupByFrame(df, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Sorted = true
+	stream, err := GroupByFrame(df, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hash.Equal(stream) {
+		t.Errorf("sorted streaming != hash:\n%s\nvs\n%s", hash, stream)
+	}
+}
+
+func TestGroupByCollectComposite(t *testing.T) {
+	df := salesDF(t)
+	out, err := GroupByFrame(df, expr.GroupBySpec{
+		Keys: []string{"Year"},
+		Aggs: []expr.AggSpec{{Col: "Sales", Agg: expr.AggCollect}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 3 {
+		t.Fatalf("groups = %d", out.NRows())
+	}
+	comp := out.Value(0, out.ColIndex("Sales_collect"))
+	sub, ok := comp.CompositePayload().(*core.DataFrame)
+	if !ok {
+		t.Fatalf("collect cell is %T", comp.CompositePayload())
+	}
+	// The 2001 group holds its three (Month, Sales) rows, keys excluded.
+	if sub.NRows() != 3 || sub.ColIndex("Month") < 0 || sub.ColIndex("Year") >= 0 {
+		t.Errorf("collect sub-frame wrong:\n%s", sub)
+	}
+}
+
+func TestGroupPartialMergeEqualsWhole(t *testing.T) {
+	df := peopleDF(t)
+	spec := expr.GroupBySpec{
+		Keys: []string{"dept"},
+		Aggs: []expr.AggSpec{
+			{Col: "salary", Agg: expr.AggSum, As: "s"},
+			{Col: "salary", Agg: expr.AggStd, As: "sd"},
+			{Col: "salary", Agg: expr.AggCountDistinct, As: "d"},
+		},
+	}
+	whole := NewGroupPartial(spec)
+	if err := whole.AddFrame(df); err != nil {
+		t.Fatal(err)
+	}
+	wantDF, err := whole.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	split := NewGroupPartial(spec)
+	other := NewGroupPartial(spec)
+	if err := split.AddFrame(df.SliceRows(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.AddFrame(df.SliceRows(2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	split.Merge(other)
+	gotDF, err := split.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantDF.Equal(gotDF) {
+		t.Errorf("partial merge mismatch:\n%s\nvs\n%s", wantDF, gotDF)
+	}
+	if split.NumGroups() != 2 {
+		t.Error("NumGroups wrong")
+	}
+}
+
+func TestWindowShiftDiffCum(t *testing.T) {
+	df := core.MustFromRecords([]string{"v"}, [][]any{{1}, {3}, {6}, {10}})
+
+	sh, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowShift, Offset: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Value(0, 0).IsNull() || sh.Value(1, 0).Int() != 1 {
+		t.Errorf("shift wrong:\n%s", sh)
+	}
+
+	di, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowDiff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !di.Value(0, 0).IsNull() || di.Value(1, 0).Float() != 2 || di.Value(3, 0).Float() != 4 {
+		t.Errorf("diff wrong:\n%s", di)
+	}
+
+	cm, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowExpanding, Agg: expr.AggMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Value(3, 0).Int() != 10 || cm.Value(0, 0).Int() != 1 {
+		t.Errorf("cummax wrong:\n%s", cm)
+	}
+
+	cs, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowExpanding, Agg: expr.AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Value(3, 0).Float() != 20 {
+		t.Errorf("cumsum wrong:\n%s", cs)
+	}
+}
+
+func TestWindowRollingMean(t *testing.T) {
+	df := core.MustFromRecords([]string{"v"}, [][]any{{1}, {2}, {3}, {4}})
+	out, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowRolling, Size: 2, Agg: expr.AggMean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Value(0, 0).IsNull() {
+		t.Error("first rolling cell should be null (min periods)")
+	}
+	if out.Value(1, 0).Float() != 1.5 || out.Value(3, 0).Float() != 3.5 {
+		t.Errorf("rolling mean wrong:\n%s", out)
+	}
+	if _, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowRolling, Agg: expr.AggMean}); err == nil {
+		t.Error("rolling without size should fail")
+	}
+}
+
+func TestWindowReverse(t *testing.T) {
+	df := core.MustFromRecords([]string{"v"}, [][]any{{1}, {2}, {3}})
+	out, err := WindowFrame(df, expr.WindowSpec{Kind: expr.WindowShift, Offset: 1, Reverse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse shift pulls values upward: last becomes null.
+	if out.Value(0, 0).Int() != 2 || !out.Value(2, 0).IsNull() {
+		t.Errorf("reverse shift wrong:\n%s", out)
+	}
+}
+
+func TestTransposeDefinition(t *testing.T) {
+	df := core.MustFromRecords([]string{"a", "b"}, [][]any{{1, "x"}, {2, "y"}, {3, "z"}})
+	tr, err := TransposeFrame(df, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NRows() != 2 || tr.NCols() != 3 {
+		t.Fatalf("transposed shape = %dx%d", tr.NRows(), tr.NCols())
+	}
+	// Row labels become column labels and vice versa.
+	if tr.RowLabels().Value(0).Str() != "a" || tr.ColName(0) != "0" {
+		t.Errorf("label swap wrong:\n%s", tr)
+	}
+	// Cell (i,j) moves to (j,i); heterogeneous data re-renders via Σ*.
+	if tr.Value(0, 2).Str() != "3" || tr.Value(1, 0).Str() != "x" {
+		t.Errorf("cells wrong:\n%s", tr)
+	}
+}
+
+func TestDoubleTransposeRecoversFrame(t *testing.T) {
+	df := core.MustFromRecords([]string{"a", "b"}, [][]any{{1, 4}, {2, 5}, {3, 6}})
+	once, err := TransposeFrame(df, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := TransposeFrame(once, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Equal(twice) {
+		t.Errorf("T∘T should be identity:\n%s\nvs\n%s", df, twice)
+	}
+	// Homogeneous input keeps its domain through transpose.
+	if once.Domain(0) != types.Int {
+		t.Errorf("homogeneous transpose domain = %v", once.Domain(0))
+	}
+}
+
+func TestTransposeDeclaredSchema(t *testing.T) {
+	df := core.MustFromRecords([]string{"a", "b"}, [][]any{{"1", "2"}})
+	tr, err := TransposeFrame(df, []types.Domain{types.Int})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DeclaredDomain(0) != types.Int || tr.Value(0, 0).Int() != 1 {
+		t.Error("declared schema should skip induction and parse")
+	}
+	if _, err := TransposeFrame(df, []types.Domain{types.Int, types.Int}); err == nil {
+		t.Error("wrong declared schema length should fail")
+	}
+}
+
+func TestMapRowFnChangesArity(t *testing.T) {
+	df := core.MustFromRecords([]string{"a", "b"}, [][]any{{1, 2}, {3, 4}})
+	fn := expr.MapFn{
+		Name:    "sum-and-product",
+		OutCols: []types.Value{types.String("sum"), types.String("prod")},
+		OutDoms: []types.Domain{types.Int, types.Int},
+		Fn: func(r expr.Row) []types.Value {
+			a, b := r.Value(0).Int(), r.Value(1).Int()
+			return []types.Value{types.IntValue(a + b), types.IntValue(a * b)}
+		},
+	}
+	out, err := MapFrame(df, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NCols() != 2 || out.Value(1, 0).Int() != 7 || out.Value(1, 1).Int() != 12 {
+		t.Errorf("map wrong:\n%s", out)
+	}
+	// Declared domains skip induction.
+	if out.DeclaredDomain(0) != types.Int {
+		t.Error("OutDoms should set declared domains")
+	}
+	// Row labels survive MAP.
+	if out.RowLabels().Value(1).Int() != 1 {
+		t.Error("map should keep row labels")
+	}
+}
+
+func TestMapUniformArityEnforced(t *testing.T) {
+	df := core.MustFromRecords([]string{"a"}, [][]any{{1}, {2}})
+	fn := expr.MapFn{
+		Name:    "ragged",
+		OutCols: []types.Value{types.String("x")},
+		Fn: func(r expr.Row) []types.Value {
+			if r.Position() == 0 {
+				return []types.Value{types.IntValue(1)}
+			}
+			return []types.Value{types.IntValue(1), types.IntValue(2)}
+		},
+	}
+	if _, err := MapFrame(df, fn); err == nil {
+		t.Error("non-uniform arity should fail")
+	}
+	if _, err := MapFrame(df, expr.MapFn{Name: "none"}); err == nil {
+		t.Error("MapFn with no function should fail")
+	}
+}
+
+func TestMapElementwiseIsNullFillNA(t *testing.T) {
+	df := core.MustFromRecords([]string{"a", "b"}, [][]any{{1, nil}, {nil, "x"}})
+	isnull, err := MapFrame(df, IsNullFn())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isnull.Value(0, 0).Bool() || !isnull.Value(0, 1).Bool() {
+		t.Errorf("isnull wrong:\n%s", isnull)
+	}
+	if isnull.DeclaredDomain(0) != types.Bool {
+		t.Error("isnull output domain should be declared Bool")
+	}
+	filled, err := MapFrame(df, FillNAFn(types.IntValue(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filled.Value(1, 0).Int() != 0 || filled.Value(1, 1).Str() != "x" {
+		t.Errorf("fillna wrong:\n%s", filled)
+	}
+}
+
+func TestStrUpperAndNormalize(t *testing.T) {
+	df := core.MustFromRecords([]string{"s"}, [][]any{{"abc"}, {nil}})
+	up, err := MapFrame(df, StrUpperFn())
+	if err != nil || up.Value(0, 0).Str() != "ABC" || !up.Value(1, 0).IsNull() {
+		t.Errorf("str.upper wrong: %v", err)
+	}
+
+	nf := core.MustFromRecords([]string{"x", "y", "tag"}, [][]any{{1.0, 3.0, "a"}, {2.0, 2.0, "b"}})
+	doms := []types.Domain{nf.Domain(0), nf.Domain(1), nf.Domain(2)}
+	norm, err := MapFrame(nf, NormalizeFloatsFn(doms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Value(0, 0).Float() != 0.25 || norm.Value(0, 1).Float() != 0.75 {
+		t.Errorf("normalize wrong:\n%s", norm)
+	}
+	if norm.Value(0, 2).Str() != "a" {
+		t.Error("non-float columns should pass through")
+	}
+}
+
+func TestToLabelsFromLabelsInverse(t *testing.T) {
+	df := peopleDF(t)
+	labeled, err := ToLabelsFrame(df, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labeled.NCols() != 2 || labeled.RowLabels().Value(0).Str() != "ann" {
+		t.Errorf("tolabels wrong:\n%s", labeled)
+	}
+	back, err := FromLabelsFrame(labeled, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FROMLABELS inserts at position 0 and resets labels positionally.
+	if back.ColName(0) != "name" || back.Value(0, 0).Str() != "ann" {
+		t.Errorf("fromlabels wrong:\n%s", back)
+	}
+	if back.RowLabels().Value(2).Int() != 2 {
+		t.Error("fromlabels should reset to positional labels")
+	}
+	if !back.Equal(df) {
+		t.Errorf("TOLABELS∘FROMLABELS should recover the frame:\n%s\nvs\n%s", df, back)
+	}
+	if _, err := ToLabelsFrame(df, "ghost"); err == nil {
+		t.Error("tolabels of unknown column should fail")
+	}
+}
+
+func TestPivotFigure5(t *testing.T) {
+	df := salesDF(t)
+	// Pivot around Year: Year values become column labels (Wide Table of
+	// MONTHs in Figure 5).
+	wide, err := Pivot(df, "Year", "Month", "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NRows() != 3 || wide.NCols() != 3 {
+		t.Fatalf("pivot shape = %dx%d\n%s", wide.NRows(), wide.NCols(), wide)
+	}
+	if wide.ColName(0) != "2001" || wide.ColName(2) != "2003" {
+		t.Errorf("pivot columns = %v", wide.ColNames())
+	}
+	if wide.RowLabels().Value(0).Str() != "Jan" || wide.RowLabels().Value(2).Str() != "Mar" {
+		t.Errorf("pivot rows wrong:\n%s", wide)
+	}
+	check := map[[2]int]int64{
+		{0, 0}: 100, {1, 0}: 110, {2, 0}: 120,
+		{0, 1}: 150, {1, 1}: 200, {2, 1}: 250,
+		{0, 2}: 300, {1, 2}: 310,
+	}
+	for pos, want := range check {
+		if got := wide.Value(pos[0], pos[1]); got.Int() != want {
+			t.Errorf("cell %v = %v, want %d", pos, got, want)
+		}
+	}
+	// 2003 has no Mar: NULL, exactly as Figure 5 shows.
+	if !wide.Value(2, 2).IsNull() {
+		t.Errorf("missing cell should be null:\n%s", wide)
+	}
+}
+
+func TestPivotTransposeIsOtherPivot(t *testing.T) {
+	// Section 4.4: transposing the pivot over Year yields the pivot over
+	// Month (Wide Table of YEARs).
+	df := salesDF(t)
+	overYear, err := Pivot(df, "Year", "Month", "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	transposed, err := TransposeFrame(overYear, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overMonth, err := Pivot(df, "Month", "Year", "Sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !transposed.Equal(overMonth) {
+		t.Errorf("T(pivot Year) != pivot Month:\n%s\nvs\n%s", transposed, overMonth)
+	}
+}
+
+func TestPivotPlanRendering(t *testing.T) {
+	src := &Source{DF: salesDF(t), Name: "sales"}
+	plan := PivotPlan(src, "Year", "Month", "Sales",
+		[]types.Value{types.String("Jan"), types.String("Feb"), types.String("Mar")}, false)
+	text := Render(plan)
+	for _, op := range []string{"TRANSPOSE", "TOLABELS(Year)", "MAP(flatten)", "GROUPBY", "SOURCE(sales"} {
+		if !strings.Contains(text, op) {
+			t.Errorf("plan missing %s:\n%s", op, text)
+		}
+	}
+	if CountNodes(plan) != 5 {
+		t.Errorf("plan nodes = %d, want 5", CountNodes(plan))
+	}
+}
+
+func TestGetDummies(t *testing.T) {
+	df := core.MustFromRecords([]string{"color", "n"}, [][]any{
+		{"red", 1}, {"blue", 2}, {"red", 3},
+	})
+	out, err := GetDummies(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ColIndex("color_red") < 0 || out.ColIndex("color_blue") < 0 {
+		t.Fatalf("dummy columns missing: %v", out.ColNames())
+	}
+	if out.ColIndex("n") < 0 {
+		t.Error("numeric column should pass through")
+	}
+	if !out.Value(0, out.ColIndex("color_red")).Bool() || out.Value(1, out.ColIndex("color_red")).Bool() {
+		t.Errorf("one-hot values wrong:\n%s", out)
+	}
+	if !out.IsMatrix() {
+		t.Log("note: get_dummies output with ints+bools is numeric-homogeneousness dependent")
+	}
+}
+
+func TestAggAllUnionRewrite(t *testing.T) {
+	df := peopleDF(t)
+	out, err := AggAll(df, []expr.AggKind{expr.AggMean, expr.AggMax}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 2 {
+		t.Fatalf("agg rows = %d\n%s", out.NRows(), out)
+	}
+	if out.RowLabels().Value(0).Str() != "mean" || out.RowLabels().Value(1).Str() != "max" {
+		t.Error("agg row labels wrong")
+	}
+	if out.Value(0, 0).Float() != 100 {
+		t.Errorf("mean salary = %v", out.Value(0, 0))
+	}
+	if out.Value(1, 0).Int() != 120 {
+		t.Errorf("max salary = %v", out.Value(1, 0))
+	}
+}
+
+func TestReindexLike(t *testing.T) {
+	target := core.MustFromRecords([]string{"a", "b"}, [][]any{{1, 10}, {2, 20}, {3, 30}})
+	reference := core.MustFromRecords([]string{"b", "a"}, [][]any{{0, 0}, {0, 0}})
+	var err error
+	reference, err = reference.WithRowLabels(vector.NewInt([]int64{2, 0}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReindexLike(target, reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows reordered to reference labels (2, 0); columns to (b, a).
+	if out.ColName(0) != "b" || out.Value(0, 0).Int() != 30 || out.Value(1, 1).Int() != 1 {
+		t.Errorf("reindex wrong:\n%s", out)
+	}
+}
+
+func TestCovMatrix(t *testing.T) {
+	df := core.MustFromRecords([]string{"x", "y", "tag"}, [][]any{
+		{1.0, 2.0, "a"}, {2.0, 4.0, "b"}, {3.0, 6.0, "c"},
+	})
+	out, err := Cov(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 2 || out.NCols() != 2 {
+		t.Fatalf("cov shape = %dx%d", out.NRows(), out.NCols())
+	}
+	// var(x)=1, cov(x,y)=2, var(y)=4.
+	if out.Value(0, 0).Float() != 1 || out.Value(0, 1).Float() != 2 || out.Value(1, 1).Float() != 4 {
+		t.Errorf("cov values wrong:\n%s", out)
+	}
+	if _, err := Cov(core.MustFromRecords([]string{"s"}, [][]any{{"x"}})); err == nil {
+		t.Error("cov of non-numeric frame should fail")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	df := salesDF(t)
+	months, err := DistinctValues(df, "Month")
+	if err != nil || len(months) != 3 {
+		t.Fatalf("distinct months = %v, %v", months, err)
+	}
+	if months[0].Str() != "Jan" || months[2].Str() != "Mar" {
+		t.Error("first-appearance order wrong")
+	}
+	if _, err := DistinctValues(df, "nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestInduceFrame(t *testing.T) {
+	df, err := core.ReadCSVString("a,b\n1,x\n2,y\n", core.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := InduceFrame(df)
+	if typed.DeclaredDomain(0) != types.Int || typed.DeclaredDomain(1) != types.Object {
+		t.Error("InduceFrame should declare every domain")
+	}
+}
+
+func TestPlanRenderAndWalk(t *testing.T) {
+	df := peopleDF(t)
+	plan := &Selection{
+		Input: &Projection{Input: &Source{DF: df}, Cols: []string{"name", "salary"}},
+		Pred:  expr.ColNotNull("salary"),
+		Desc:  "salary not null",
+	}
+	text := Render(plan)
+	if !strings.Contains(text, "SELECTION(salary not null)") || !strings.Contains(text, "PROJECTION(name, salary)") {
+		t.Errorf("render wrong:\n%s", text)
+	}
+	if CountNodes(plan) != 3 {
+		t.Error("walk count wrong")
+	}
+}

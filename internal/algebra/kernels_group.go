@@ -1,0 +1,384 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// groupEntry is the running state for one group.
+type groupEntry struct {
+	keyVals   []types.Value
+	accs      []*expr.Accumulator
+	collected []*core.DataFrame // sub-frames contributed per partition (collect aggs)
+}
+
+// GroupPartial is a mergeable partial GROUPBY aggregation. The MODIN engine
+// computes one per partition and merges them; the baseline engine uses a
+// single partial over the whole frame. Groups are emitted in first-
+// appearance order, preserving the ordered-dataframe semantics.
+type GroupPartial struct {
+	spec    expr.GroupBySpec
+	order   []string
+	groups  map[string]*groupEntry
+	hasColl bool
+}
+
+// NewGroupPartial returns an empty partial aggregation for the spec.
+func NewGroupPartial(spec expr.GroupBySpec) *GroupPartial {
+	g := &GroupPartial{spec: spec, groups: make(map[string]*groupEntry)}
+	for _, a := range spec.Aggs {
+		if a.Agg == expr.AggCollect {
+			g.hasColl = true
+		}
+	}
+	return g
+}
+
+// AddFrame folds every row of df into the partial aggregation.
+func (g *GroupPartial) AddFrame(df *core.DataFrame) error {
+	keyCols := make([]vector.Vector, len(g.spec.Keys))
+	keyIdx := allColIdx(len(g.spec.Keys))
+	for k, name := range g.spec.Keys {
+		j := df.ColIndex(name)
+		if j < 0 {
+			return fmt.Errorf("algebra: groupby key %q not found", name)
+		}
+		keyCols[k] = df.TypedCol(j)
+	}
+	aggCols := make([]vector.Vector, len(g.spec.Aggs))
+	for k, a := range g.spec.Aggs {
+		if a.Col == "" {
+			continue
+		}
+		j := df.ColIndex(a.Col)
+		if j < 0 {
+			return fmt.Errorf("algebra: groupby aggregate column %q not found", a.Col)
+		}
+		aggCols[k] = df.TypedCol(j)
+	}
+
+	// Row positions per group, gathered only when a collect agg needs
+	// them.
+	var collectRows map[string][]int
+	if g.hasColl {
+		collectRows = make(map[string][]int)
+	}
+
+	var b strings.Builder
+	for i := 0; i < df.NRows(); i++ {
+		key := rowKey(keyCols, keyIdx, i, &b)
+		e, ok := g.groups[key]
+		if !ok {
+			e = &groupEntry{
+				keyVals: make([]types.Value, len(keyCols)),
+				accs:    make([]*expr.Accumulator, len(g.spec.Aggs)),
+			}
+			for k, c := range keyCols {
+				e.keyVals[k] = c.Value(i)
+			}
+			for k, a := range g.spec.Aggs {
+				e.accs[k] = expr.NewAccumulator(a.Agg)
+			}
+			g.groups[key] = e
+			g.order = append(g.order, key)
+		}
+		for k, a := range g.spec.Aggs {
+			if a.Agg == expr.AggCollect {
+				continue
+			}
+			if aggCols[k] != nil {
+				e.accs[k].Add(aggCols[k].Value(i))
+			} else {
+				// Whole-row aggregates (size) count the row itself.
+				e.accs[k].Add(types.IntValue(int64(i)))
+			}
+		}
+		if g.hasColl {
+			collectRows[key] = append(collectRows[key], i)
+		}
+	}
+
+	if g.hasColl {
+		nonKey := g.nonKeyColumns(df)
+		for key, rows := range collectRows {
+			sub := df.TakeRows(rows)
+			if len(nonKey) > 0 {
+				sub = sub.SelectCols(nonKey)
+			}
+			g.groups[key].collected = append(g.groups[key].collected, sub)
+		}
+	}
+	return nil
+}
+
+func (g *GroupPartial) nonKeyColumns(df *core.DataFrame) []int {
+	keySet := make(map[string]bool, len(g.spec.Keys))
+	for _, k := range g.spec.Keys {
+		keySet[k] = true
+	}
+	var idx []int
+	for j := 0; j < df.NCols(); j++ {
+		if !keySet[df.ColName(j)] {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// Merge folds another partial (same spec) into g, preserving g's group
+// order first, then appending groups first seen in other.
+func (g *GroupPartial) Merge(other *GroupPartial) {
+	for _, key := range other.order {
+		oe := other.groups[key]
+		e, ok := g.groups[key]
+		if !ok {
+			g.groups[key] = oe
+			g.order = append(g.order, key)
+			continue
+		}
+		for k := range e.accs {
+			e.accs[k].Merge(oe.accs[k])
+		}
+		e.collected = append(e.collected, oe.collected...)
+	}
+}
+
+// NumGroups returns the number of distinct groups seen so far.
+func (g *GroupPartial) NumGroups() int { return len(g.order) }
+
+// Finalize materializes the grouped result: key columns (or key row labels
+// when AsLabels), then one column per aggregate. Collect aggregates yield
+// Composite cells holding each group's sub-dataframe.
+func (g *GroupPartial) Finalize() (*core.DataFrame, error) {
+	n := len(g.order)
+	keyVals := make([][]types.Value, len(g.spec.Keys))
+	for k := range keyVals {
+		keyVals[k] = make([]types.Value, 0, n)
+	}
+	aggVals := make([][]types.Value, len(g.spec.Aggs))
+	for k := range aggVals {
+		aggVals[k] = make([]types.Value, 0, n)
+	}
+
+	for _, key := range g.order {
+		e := g.groups[key]
+		for k := range g.spec.Keys {
+			keyVals[k] = append(keyVals[k], e.keyVals[k])
+		}
+		for k, a := range g.spec.Aggs {
+			if a.Agg == expr.AggCollect {
+				sub, err := unionAll(e.collected)
+				if err != nil {
+					return nil, err
+				}
+				aggVals[k] = append(aggVals[k], types.CompositeValue(sub))
+				continue
+			}
+			aggVals[k] = append(aggVals[k], e.accs[k].Result())
+		}
+	}
+
+	var cols []vector.Vector
+	var labels []types.Value
+	if !g.spec.AsLabels {
+		for k, name := range g.spec.Keys {
+			cols = append(cols, buildColumn(keyVals[k]))
+			labels = append(labels, types.String(name))
+		}
+	}
+	for k, a := range g.spec.Aggs {
+		if a.Agg == expr.AggCollect {
+			cols = append(cols, vector.NewAny(aggVals[k]))
+		} else {
+			cols = append(cols, buildColumn(aggVals[k]))
+		}
+		labels = append(labels, types.String(a.OutName()))
+	}
+
+	var rowLab vector.Vector
+	if g.spec.AsLabels {
+		// Implicit TOLABELS: key values become the row labels
+		// (composite for multiple keys).
+		labs := make([]types.Value, n)
+		for i := range labs {
+			parts := make([]types.Value, len(g.spec.Keys))
+			for k := range g.spec.Keys {
+				parts[k] = keyVals[k][i]
+			}
+			labs[i] = core.CompositeLabel(parts...)
+		}
+		rowLab = buildColumn(labs)
+	}
+	return core.Build(cols, rowLab, labels, nil, nil)
+}
+
+// GroupByFrame implements GROUPBY over a single frame. When spec.Sorted is
+// set the input is assumed ordered by the keys and a streaming pass is used
+// instead of hashing — the rewrite opportunity of Figure 8(b).
+func GroupByFrame(df *core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, error) {
+	if spec.Sorted {
+		return groupBySorted(df, spec)
+	}
+	g := NewGroupPartial(spec)
+	if err := g.AddFrame(df); err != nil {
+		return nil, err
+	}
+	return g.Finalize()
+}
+
+// groupBySorted performs a streaming group-by over key-sorted input: runs
+// of equal keys become groups in one pass, with no hash table and no
+// per-row key rendering — the advantage the Figure 8(b) pivot rewrite
+// exploits. Non-adjacent duplicate keys (input not actually sorted) still
+// merge correctly because run boundaries fall back to the hashed entry map.
+func groupBySorted(df *core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, error) {
+	keyCols := make([]vector.Vector, len(spec.Keys))
+	for k, name := range spec.Keys {
+		j := df.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: groupby key %q not found", name)
+		}
+		keyCols[k] = df.TypedCol(j)
+	}
+	aggCols := make([]vector.Vector, len(spec.Aggs))
+	for k, a := range spec.Aggs {
+		if a.Col == "" {
+			continue
+		}
+		j := df.ColIndex(a.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: groupby aggregate column %q not found", a.Col)
+		}
+		aggCols[k] = df.TypedCol(j)
+	}
+
+	inner := spec
+	inner.Sorted = false
+	g := NewGroupPartial(inner)
+
+	sameKey := func(a, b int) bool {
+		for _, c := range keyCols {
+			if !c.Value(a).Equal(c.Value(b)) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var b strings.Builder
+	keyIdx := allColIdx(len(keyCols))
+	var cur *groupEntry
+	for i := 0; i < df.NRows(); i++ {
+		if cur == nil || !sameKey(i-1, i) {
+			// Run boundary: locate (or create) the group entry. The
+			// hashed lookup happens once per run, not once per row.
+			key := rowKey(keyCols, keyIdx, i, &b)
+			e, ok := g.groups[key]
+			if !ok {
+				e = &groupEntry{
+					keyVals: make([]types.Value, len(keyCols)),
+					accs:    make([]*expr.Accumulator, len(spec.Aggs)),
+				}
+				for k, c := range keyCols {
+					e.keyVals[k] = c.Value(i)
+				}
+				for k, a := range spec.Aggs {
+					e.accs[k] = expr.NewAccumulator(a.Agg)
+				}
+				g.groups[key] = e
+				g.order = append(g.order, key)
+			}
+			cur = e
+		}
+		for k, a := range spec.Aggs {
+			if a.Agg == expr.AggCollect {
+				continue
+			}
+			if aggCols[k] != nil {
+				cur.accs[k].Add(aggCols[k].Value(i))
+			} else {
+				cur.accs[k].Add(types.IntValue(int64(i)))
+			}
+		}
+	}
+
+	if g.hasColl {
+		if err := collectRuns(df, g, keyCols, sameKey); err != nil {
+			return nil, err
+		}
+	}
+	return g.Finalize()
+}
+
+// collectRuns attaches each run's sub-frame for collect aggregates during a
+// streaming group-by.
+func collectRuns(df *core.DataFrame, g *GroupPartial, keyCols []vector.Vector, sameKey func(a, b int) bool) error {
+	var b strings.Builder
+	keyIdx := allColIdx(len(keyCols))
+	nonKey := g.nonKeyColumns(df)
+	start := 0
+	for i := 1; i <= df.NRows(); i++ {
+		if i < df.NRows() && sameKey(i-1, i) {
+			continue
+		}
+		key := rowKey(keyCols, keyIdx, start, &b)
+		sub := df.SliceRows(start, i)
+		if len(nonKey) > 0 {
+			sub = sub.SelectCols(nonKey)
+		}
+		g.groups[key].collected = append(g.groups[key].collected, sub)
+		start = i
+	}
+	return nil
+}
+
+// unionAll concatenates frames in order (used to merge collected groups
+// across partitions).
+func unionAll(frames []*core.DataFrame) (*core.DataFrame, error) {
+	if len(frames) == 0 {
+		return core.Empty(), nil
+	}
+	out := frames[0]
+	var err error
+	for _, f := range frames[1:] {
+		out, err = VStackFrames(out, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// buildColumn picks the narrowest domain covering the values and builds a
+// typed vector; mixed domains fall back to Object.
+func buildColumn(vals []types.Value) vector.Vector {
+	dom := types.Unspecified
+	mixed := false
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		d := v.Domain()
+		switch {
+		case dom == types.Unspecified:
+			dom = d
+		case dom == d:
+		case dom == types.Int && d == types.Float, dom == types.Float && d == types.Int:
+			dom = types.Float
+		default:
+			mixed = true
+		}
+	}
+	if dom == types.Composite {
+		return vector.NewAny(vals)
+	}
+	if mixed || dom == types.Unspecified {
+		dom = types.Object
+	}
+	return vector.FromValues(dom, vals)
+}

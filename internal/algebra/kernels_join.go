@@ -1,0 +1,194 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// JoinFrames implements JOIN and CROSS-PRODUCT. The result order is nested:
+// left rows in order, each associated in order with its matching right rows
+// (Table 1 †). Unmatched right rows of right/outer joins follow in right
+// order. Column-label collisions outside the join keys get pandas-style
+// "_x"/"_y" suffixes.
+func JoinFrames(left, right *core.DataFrame, kind expr.JoinKind, on []string, onLabels bool) (*core.DataFrame, error) {
+	if kind == expr.JoinCross {
+		return crossProduct(left, right)
+	}
+	if !onLabels && len(on) == 0 {
+		return nil, fmt.Errorf("algebra: %s join requires key columns or onLabels", kind)
+	}
+
+	leftKeys, rightKeys, err := joinKeyColumns(left, right, on, onLabels)
+	if err != nil {
+		return nil, err
+	}
+	keyIdx := allColIdx(len(leftKeys))
+
+	// Build side: right key → ordered row positions. Null keys never
+	// match (SQL and pandas semantics).
+	var b strings.Builder
+	build := make(map[string][]int, right.NRows())
+	for i := 0; i < right.NRows(); i++ {
+		if anyNullAt(rightKeys, i) {
+			continue
+		}
+		k := rowKey(rightKeys, keyIdx, i, &b)
+		build[k] = append(build[k], i)
+	}
+
+	var leftIdx, rightIdx []int
+	rightMatched := make([]bool, right.NRows())
+	for i := 0; i < left.NRows(); i++ {
+		var matches []int
+		if !anyNullAt(leftKeys, i) {
+			matches = build[rowKey(leftKeys, keyIdx, i, &b)]
+		}
+		if len(matches) == 0 {
+			if kind == expr.JoinLeft || kind == expr.JoinOuter {
+				leftIdx = append(leftIdx, i)
+				rightIdx = append(rightIdx, -1)
+			}
+			continue
+		}
+		for _, ri := range matches {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, ri)
+			rightMatched[ri] = true
+		}
+	}
+	if kind == expr.JoinRight || kind == expr.JoinOuter {
+		for i := 0; i < right.NRows(); i++ {
+			if !rightMatched[i] {
+				leftIdx = append(leftIdx, -1)
+				rightIdx = append(rightIdx, i)
+			}
+		}
+	}
+
+	return assembleJoin(left, right, on, onLabels, leftIdx, rightIdx)
+}
+
+// crossProduct yields the ordered cross product: each left tuple paired, in
+// order, with every right tuple.
+func crossProduct(left, right *core.DataFrame) (*core.DataFrame, error) {
+	nl, nr := left.NRows(), right.NRows()
+	leftIdx := make([]int, 0, nl*nr)
+	rightIdx := make([]int, 0, nl*nr)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, j)
+		}
+	}
+	return assembleJoin(left, right, nil, false, leftIdx, rightIdx)
+}
+
+// joinKeyColumns resolves the typed key vectors for both sides.
+func joinKeyColumns(left, right *core.DataFrame, on []string, onLabels bool) (lk, rk []vector.Vector, err error) {
+	if onLabels {
+		return []vector.Vector{left.RowLabels()}, []vector.Vector{right.RowLabels()}, nil
+	}
+	for _, name := range on {
+		lj, rj := left.ColIndex(name), right.ColIndex(name)
+		if lj < 0 {
+			return nil, nil, fmt.Errorf("algebra: join key %q missing from left input", name)
+		}
+		if rj < 0 {
+			return nil, nil, fmt.Errorf("algebra: join key %q missing from right input", name)
+		}
+		lk = append(lk, left.TypedCol(lj))
+		rk = append(rk, right.TypedCol(rj))
+	}
+	return lk, rk, nil
+}
+
+func anyNullAt(cols []vector.Vector, i int) bool {
+	for _, c := range cols {
+		if c.IsNull(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// assembleJoin materializes the joined frame from matched row index pairs
+// (-1 meaning null-extension on that side).
+func assembleJoin(left, right *core.DataFrame, on []string, onLabels bool, leftIdx, rightIdx []int) (*core.DataFrame, error) {
+	onSet := make(map[string]bool, len(on))
+	for _, name := range on {
+		onSet[name] = true
+	}
+	leftNames := make(map[string]bool, left.NCols())
+	for _, n := range left.ColNames() {
+		leftNames[n] = true
+	}
+
+	var cols []vector.Vector
+	var labels []types.Value
+
+	for j := 0; j < left.NCols(); j++ {
+		name := left.ColName(j)
+		col := left.Col(j).Take(leftIdx)
+		if onSet[name] {
+			// Join keys appear once; fill left-null slots (unmatched
+			// right rows of outer joins) from the right side.
+			if rj := right.ColIndex(name); rj >= 0 {
+				col = coalesceTake(left.Col(j), right.Col(rj), leftIdx, rightIdx)
+			}
+			labels = append(labels, types.String(name))
+		} else if right.ColIndex(name) >= 0 {
+			labels = append(labels, types.String(name+"_x"))
+		} else {
+			labels = append(labels, types.String(name))
+		}
+		cols = append(cols, col)
+	}
+	for j := 0; j < right.NCols(); j++ {
+		name := right.ColName(j)
+		if onSet[name] {
+			continue
+		}
+		if leftNames[name] {
+			labels = append(labels, types.String(name+"_y"))
+		} else {
+			labels = append(labels, types.String(name))
+		}
+		cols = append(cols, right.Col(j).Take(rightIdx))
+	}
+
+	// Row labels: label-joins keep the join label; data joins reset to
+	// positional notation (pandas merge semantics).
+	var rowLab vector.Vector
+	if onLabels {
+		rowLab = coalesceTake(left.RowLabels(), right.RowLabels(), leftIdx, rightIdx)
+	} else {
+		rowLab = vector.Range(0, len(leftIdx))
+	}
+	return core.Build(cols, rowLab, labels, nil, left.Cache())
+}
+
+// coalesceTake takes from primary at pIdx, falling back to secondary at
+// sIdx where pIdx is -1.
+func coalesceTake(primary, secondary vector.Vector, pIdx, sIdx []int) vector.Vector {
+	vals := make([]types.Value, len(pIdx))
+	dom := primary.Domain()
+	for k := range pIdx {
+		switch {
+		case pIdx[k] >= 0:
+			vals[k] = primary.Value(pIdx[k])
+		case sIdx[k] >= 0:
+			vals[k] = secondary.Value(sIdx[k])
+		default:
+			vals[k] = types.Null()
+		}
+	}
+	if dom != secondary.Domain() {
+		dom = types.Object
+	}
+	return vector.FromValues(dom, vals)
+}

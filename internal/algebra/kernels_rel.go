@@ -1,0 +1,305 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// SelectRows implements SELECTION: rows for which pred holds, in input
+// order.
+func SelectRows(df *core.DataFrame, pred expr.Predicate) *core.DataFrame {
+	rv := newRowView(df)
+	idx := make([]int, 0, df.NRows())
+	for i := 0; i < df.NRows(); i++ {
+		if pred(rv.at(i)) {
+			idx = append(idx, i)
+		}
+	}
+	return df.TakeRows(idx)
+}
+
+// SelectPositions implements positional SELECTION (dataframes support
+// selection by row position, Section 5.2.1).
+func SelectPositions(df *core.DataFrame, positions []int) (*core.DataFrame, error) {
+	for _, p := range positions {
+		if p < 0 || p >= df.NRows() {
+			return nil, fmt.Errorf("algebra: row position %d out of range [0, %d)", p, df.NRows())
+		}
+	}
+	return df.TakeRows(positions), nil
+}
+
+// Project implements PROJECTION: the named columns in the given order.
+func Project(df *core.DataFrame, cols []string) (*core.DataFrame, error) {
+	idx := make([]int, len(cols))
+	for k, name := range cols {
+		j := df.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: projection of unknown column %q", name)
+		}
+		idx[k] = j
+	}
+	return df.SelectCols(idx), nil
+}
+
+// ProjectPositions implements positional PROJECTION.
+func ProjectPositions(df *core.DataFrame, positions []int) (*core.DataFrame, error) {
+	for _, p := range positions {
+		if p < 0 || p >= df.NCols() {
+			return nil, fmt.Errorf("algebra: column position %d out of range [0, %d)", p, df.NCols())
+		}
+	}
+	return df.SelectCols(positions), nil
+}
+
+// UnionFrames implements UNION: ordered concatenation, left rows first.
+// Columns are aligned by label; the output schema is the left schema
+// extended with right-only columns (an "outer" union), with missing cells
+// null. When both schemas match positionally this is plain concatenation.
+func UnionFrames(left, right *core.DataFrame) (*core.DataFrame, error) {
+	names := left.ColNames()
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, n := range right.ColNames() {
+		if !seen[n] {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	cols := make([]vector.Vector, len(names))
+	labels := make([]types.Value, len(names))
+	for k, name := range names {
+		labels[k] = types.String(name)
+		lj, rj := left.ColIndex(name), right.ColIndex(name)
+		var lv, rv vector.Vector
+		if lj >= 0 {
+			lv = left.Col(lj)
+		} else {
+			lv = vector.Nulls(types.Object, left.NRows())
+		}
+		if rj >= 0 {
+			rv = right.Col(rj)
+		} else {
+			rv = vector.Nulls(types.Object, right.NRows())
+		}
+		cols[k] = vector.Concat(lv, rv)
+	}
+	rowLab := vector.Concat(left.RowLabels(), right.RowLabels())
+	return core.Build(cols, rowLab, labels, nil, left.Cache())
+}
+
+// VStackFrames concatenates frames that share a column structure,
+// positionally: column j of the result is the concatenation of every input's
+// column j, labels and declared domains taken from the first input (domains
+// reset to unspecified where inputs disagree). It is the gather operation
+// for row partitions; unlike UNION it never realigns columns by label, so
+// duplicate or non-string labels pass through untouched.
+func VStackFrames(frames ...*core.DataFrame) (*core.DataFrame, error) {
+	if len(frames) == 0 {
+		return core.Empty(), nil
+	}
+	first := frames[0]
+	if len(frames) == 1 {
+		return first, nil
+	}
+	n := first.NCols()
+	for _, f := range frames[1:] {
+		if f.NCols() != n {
+			return nil, fmt.Errorf("algebra: vstack arity mismatch: %d vs %d", f.NCols(), n)
+		}
+	}
+	cols := make([]vector.Vector, n)
+	doms := make([]types.Domain, n)
+	for j := 0; j < n; j++ {
+		parts := make([]vector.Vector, len(frames))
+		dom := first.DeclaredDomain(j)
+		for k, f := range frames {
+			parts[k] = f.Col(j)
+			if f.DeclaredDomain(j) != dom {
+				dom = types.Unspecified
+			}
+		}
+		cols[j] = vector.Concat(parts...)
+		if cols[j].Domain() != dom {
+			dom = types.Unspecified
+		}
+		doms[j] = dom
+	}
+	labParts := make([]vector.Vector, len(frames))
+	for k, f := range frames {
+		labParts[k] = f.RowLabels()
+	}
+	return core.Build(cols, vector.Concat(labParts...), first.ColLabels(), doms, first.Cache())
+}
+
+// rowKey builds a hashable key from the given column positions of row i.
+func rowKey(cols []vector.Vector, idx []int, i int, b *strings.Builder) string {
+	b.Reset()
+	for _, j := range idx {
+		b.WriteString(cols[j].Value(i).Key())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// allColIdx returns [0, n).
+func allColIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// DifferenceFrames implements DIFFERENCE: left rows whose full tuple does
+// not appear in right, in left order. Schemas must agree on labels.
+func DifferenceFrames(left, right *core.DataFrame) (*core.DataFrame, error) {
+	if left.NCols() != right.NCols() {
+		return nil, fmt.Errorf("algebra: difference arity mismatch: %d vs %d", left.NCols(), right.NCols())
+	}
+	// Align right columns to left's label order.
+	aligned, err := Project(right, left.ColNames())
+	if err != nil {
+		return nil, fmt.Errorf("algebra: difference schema mismatch: %w", err)
+	}
+	var b strings.Builder
+	rcols := make([]vector.Vector, aligned.NCols())
+	for j := range rcols {
+		rcols[j] = aligned.TypedCol(j)
+	}
+	rIdx := allColIdx(len(rcols))
+	present := make(map[string]struct{}, aligned.NRows())
+	for i := 0; i < aligned.NRows(); i++ {
+		present[rowKey(rcols, rIdx, i, &b)] = struct{}{}
+	}
+	lcols := make([]vector.Vector, left.NCols())
+	for j := range lcols {
+		lcols[j] = left.TypedCol(j)
+	}
+	keep := make([]int, 0, left.NRows())
+	for i := 0; i < left.NRows(); i++ {
+		if _, ok := present[rowKey(lcols, rIdx, i, &b)]; !ok {
+			keep = append(keep, i)
+		}
+	}
+	return left.TakeRows(keep), nil
+}
+
+// DropDuplicatesFrame implements DROP-DUPLICATES: first occurrence of each
+// distinct tuple (over subset columns, or all columns when nil), in input
+// order.
+func DropDuplicatesFrame(df *core.DataFrame, subset []string) (*core.DataFrame, error) {
+	var idx []int
+	if len(subset) == 0 {
+		idx = allColIdx(df.NCols())
+	} else {
+		idx = make([]int, len(subset))
+		for k, name := range subset {
+			j := df.ColIndex(name)
+			if j < 0 {
+				return nil, fmt.Errorf("algebra: drop-duplicates on unknown column %q", name)
+			}
+			idx[k] = j
+		}
+	}
+	cols := make([]vector.Vector, df.NCols())
+	for _, j := range idx {
+		cols[j] = df.TypedCol(j)
+	}
+	var b strings.Builder
+	seen := make(map[string]struct{}, df.NRows())
+	keep := make([]int, 0, df.NRows())
+	for i := 0; i < df.NRows(); i++ {
+		k := rowKey(cols, idx, i, &b)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		keep = append(keep, i)
+	}
+	return df.TakeRows(keep), nil
+}
+
+// RenameFrame implements RENAME: relabel columns per mapping.
+func RenameFrame(df *core.DataFrame, mapping map[string]string) (*core.DataFrame, error) {
+	labels := append([]types.Value(nil), df.ColLabels()...)
+	found := 0
+	for j := range labels {
+		if to, ok := mapping[labels[j].String()]; ok {
+			labels[j] = types.String(to)
+			found++
+		}
+	}
+	if found < len(mapping) {
+		for from := range mapping {
+			if df.ColIndex(from) < 0 {
+				return nil, fmt.Errorf("algebra: rename of unknown column %q", from)
+			}
+		}
+	}
+	return df.WithColLabels(labels)
+}
+
+// SortFrame implements SORT: stable lexicographic order by the given keys.
+// Stability preserves the prior order among ties, which the incremental
+// inspection workflow relies on.
+func SortFrame(df *core.DataFrame, order expr.SortOrder, byLabels bool) (*core.DataFrame, error) {
+	n := df.NRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if byLabels {
+		labels := df.RowLabels()
+		sort.SliceStable(idx, func(a, b int) bool {
+			return labels.Value(idx[a]).Less(labels.Value(idx[b]))
+		})
+		return df.TakeRows(idx), nil
+	}
+	keys := make([]vector.Vector, len(order))
+	for k, o := range order {
+		j := df.ColIndex(o.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: sort on unknown column %q", o.Col)
+		}
+		keys[k] = df.TypedCol(j)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, o := range order {
+			c := keys[k].Value(idx[a]).Compare(keys[k].Value(idx[b]))
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return df.TakeRows(idx), nil
+}
+
+// LimitFrame retains the ordered prefix (n>0) or suffix (n<0).
+func LimitFrame(df *core.DataFrame, n int) *core.DataFrame {
+	switch {
+	case n >= 0:
+		if n > df.NRows() {
+			n = df.NRows()
+		}
+		return df.SliceRows(0, n)
+	default:
+		k := -n
+		if k > df.NRows() {
+			k = df.NRows()
+		}
+		return df.SliceRows(df.NRows()-k, df.NRows())
+	}
+}

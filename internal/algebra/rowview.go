@@ -1,0 +1,73 @@
+// Package algebra implements the dataframe algebra of Section 4.3 (Table 1):
+// ordered analogs of the extended relational operators (SELECTION,
+// PROJECTION, UNION, DIFFERENCE, CROSS-PRODUCT/JOIN, DROP-DUPLICATES,
+// GROUPBY, SORT, RENAME), WINDOW, and the four dataframe-specific operators
+// (TRANSPOSE, MAP, TOLABELS, FROMLABELS).
+//
+// The package provides both a logical plan representation (plan.go) and the
+// single-node reference kernels that engines execute (kernels_*.go). The
+// kernels define operator semantics; the eager baseline engine calls them
+// directly, and the MODIN engine parallelizes them over partitions.
+package algebra
+
+import (
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// rowView adapts one dataframe row to expr.Row. A single view is reused
+// across rows by bumping its position, so per-row UDF application does not
+// allocate. Columns are parsed lazily, on first touch: a predicate that
+// never reads a column never pays its schema induction (Section 5.1.1's
+// deferral applies inside operators too).
+type rowView struct {
+	df    *core.DataFrame
+	pos   int
+	typed []vector.Vector // lazily resolved per column
+	raw   bool            // read stored representation without induction
+}
+
+// newRowView returns a reusable, lazily-typing row view over df.
+func newRowView(df *core.DataFrame) *rowView {
+	return &rowView{df: df, typed: make([]vector.Vector, df.NCols())}
+}
+
+func (r *rowView) at(pos int) *rowView { r.pos = pos; return r }
+
+func (r *rowView) column(j int) vector.Vector {
+	v := r.typed[j]
+	if v == nil {
+		if r.raw {
+			v = r.df.Col(j)
+		} else {
+			v = r.df.TypedCol(j)
+		}
+		r.typed[j] = v
+	}
+	return v
+}
+
+// NCols returns the arity.
+func (r *rowView) NCols() int { return r.df.NCols() }
+
+// Value returns the parsed cell at column j.
+func (r *rowView) Value(j int) types.Value { return r.column(j).Value(r.pos) }
+
+// ColName returns column j's label.
+func (r *rowView) ColName(j int) string { return r.df.ColName(j) }
+
+// ByName returns the cell under the named column, or null when absent.
+func (r *rowView) ByName(name string) types.Value {
+	j := r.df.ColIndex(name)
+	if j < 0 {
+		return types.Null()
+	}
+	return r.Value(j)
+}
+
+// Label returns the row's label.
+func (r *rowView) Label() types.Value { return r.df.RowLabels().Value(r.pos) }
+
+// Position returns the row's position.
+func (r *rowView) Position() int { return r.pos }

@@ -1,0 +1,125 @@
+package algebra
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// TopK is a physical operator (not part of the 14-operator logical algebra)
+// produced by the optimizer's LIMIT∘SORT fusion: the ordered k-prefix
+// (N>0) or k-suffix (N<0) of the sorted input, computed with a bounded heap
+// in O(n log k) instead of a full O(n log n) sort. It is the paper's
+// Section 6.1.2 answer to SORT being a blocking operator when the user only
+// inspects head/tail.
+type TopK struct {
+	Input Node
+	Order expr.SortOrder
+	N     int
+}
+
+// Children returns the single input.
+func (t *TopK) Children() []Node { return []Node{t.Input} }
+
+// Describe renders the node.
+func (t *TopK) Describe() string {
+	keys := make([]string, len(t.Order))
+	for i, k := range t.Order {
+		keys[i] = k.Col
+		if k.Desc {
+			keys[i] += " desc"
+		}
+	}
+	return fmt.Sprintf("TOPK(%d, by=%v)", t.N, keys)
+}
+
+// rowHeap keeps the k best row positions, worst at the top, so a better
+// candidate evicts the current worst in O(log k).
+type rowHeap struct {
+	idx []int
+	// worse reports whether row a orders after row b in the kept
+	// direction (i.e., a is a worse candidate).
+	worse func(a, b int) bool
+}
+
+func (h *rowHeap) Len() int           { return len(h.idx) }
+func (h *rowHeap) Less(i, j int) bool { return h.worse(h.idx[i], h.idx[j]) }
+func (h *rowHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *rowHeap) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *rowHeap) Pop() any           { last := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return last }
+
+// TopKFrame computes the ordered k-prefix (n>0) or k-suffix (n<0) of
+// SORT(df, order) without sorting the whole frame. Ties resolve by input
+// position, matching the stable SORT kernel exactly.
+func TopKFrame(df *core.DataFrame, order expr.SortOrder, n int) (*core.DataFrame, error) {
+	k := n
+	suffix := false
+	if n < 0 {
+		k = -n
+		suffix = true
+	}
+	if k >= df.NRows() {
+		return SortFrame(df, order, false)
+	}
+	if k == 0 {
+		return df.SliceRows(0, 0), nil
+	}
+	keys := make([]vector.Vector, len(order))
+	for i, o := range order {
+		j := df.ColIndex(o.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: topk on unknown column %q", o.Col)
+		}
+		keys[i] = df.TypedCol(j)
+	}
+
+	// less reports whether row a sorts strictly before row b under the
+	// order, with input position breaking ties (stability).
+	less := func(a, b int) bool {
+		for i, o := range order {
+			c := keys[i].Value(a).Compare(keys[i].Value(b))
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return a < b
+	}
+
+	// For a prefix we keep the k smallest (heap ordered so the largest
+	// kept row pops first); for a suffix, the k largest.
+	h := &rowHeap{}
+	if suffix {
+		h.worse = less
+	} else {
+		h.worse = func(a, b int) bool { return less(b, a) }
+	}
+	for i := 0; i < df.NRows(); i++ {
+		if h.Len() < k {
+			heap.Push(h, i)
+			continue
+		}
+		worst := h.idx[0]
+		if suffix {
+			// Keep i if it sorts after the current worst (larger).
+			if less(worst, i) {
+				h.idx[0] = i
+				heap.Fix(h, 0)
+			}
+		} else {
+			if less(i, worst) {
+				h.idx[0] = i
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	picked := append([]int(nil), h.idx...)
+	sort.Slice(picked, func(a, b int) bool { return less(picked[a], picked[b]) })
+	return df.TakeRows(picked), nil
+}

@@ -1,0 +1,108 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+func randomFrame(seed int64, n int) *core.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	records := make([][]any, n)
+	for i := range records {
+		var v any = rng.Intn(50)
+		if rng.Intn(17) == 0 {
+			v = nil
+		}
+		records[i] = []any{v, i}
+	}
+	return core.MustFromRecords([]string{"k", "seq"}, records)
+}
+
+func TestTopKEqualsSortThenLimit(t *testing.T) {
+	order := expr.SortOrder{{Col: "k"}}
+	for _, n := range []int{3, 10, -3, -10, 0, 1000} {
+		df := randomFrame(42, 200)
+		want, err := SortFrame(df, order, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = LimitFrame(want, n)
+		got, err := TopKFrame(df, order, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Errorf("n=%d: topk != sort+limit:\n%s\nvs\n%s", n, want, got)
+		}
+	}
+}
+
+func TestTopKDescendingAndMultiKey(t *testing.T) {
+	df := randomFrame(7, 150)
+	order := expr.SortOrder{{Col: "k", Desc: true}, {Col: "seq"}}
+	want, err := SortFrame(df, order, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = LimitFrame(want, 7)
+	got, err := TopKFrame(df, order, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("desc multikey mismatch:\n%s\nvs\n%s", want, got)
+	}
+}
+
+func TestTopKUnknownColumn(t *testing.T) {
+	df := randomFrame(1, 10)
+	if _, err := TopKFrame(df, expr.SortOrder{{Col: "ghost"}}, 3); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestTopKStability(t *testing.T) {
+	// Equal keys must preserve input order, exactly like the stable sort.
+	df := core.MustFromRecords([]string{"k", "seq"}, [][]any{
+		{1, 0}, {1, 1}, {0, 2}, {1, 3}, {0, 4},
+	})
+	got, err := TopKFrame(df, expr.SortOrder{{Col: "k"}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeq := []int64{2, 4, 0, 1}
+	for i, w := range wantSeq {
+		if got.Value(i, 1).Int() != w {
+			t.Errorf("row %d seq = %d, want %d\n%s", i, got.Value(i, 1).Int(), w, got)
+		}
+	}
+}
+
+func TestTopKPropertyAgainstSort(t *testing.T) {
+	order := expr.SortOrder{{Col: "k"}}
+	prop := func(seed int64, kRaw uint8, suffix bool) bool {
+		df := randomFrame(seed, 80)
+		k := int(kRaw) % 90
+		n := k
+		if suffix {
+			n = -k
+		}
+		want, err := SortFrame(df, order, false)
+		if err != nil {
+			return false
+		}
+		want = LimitFrame(want, n)
+		got, err := TopKFrame(df, order, n)
+		if err != nil {
+			return false
+		}
+		return want.Equal(got)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

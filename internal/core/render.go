@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOptions controls the tabular view of a dataframe — the partial
+// prefix/suffix display of Section 6.1.2 that users rely on for debugging
+// and validation.
+type RenderOptions struct {
+	// MaxRows bounds the rows shown; when exceeded, the view shows the
+	// first MaxRows/2 and last MaxRows/2 with an ellipsis row between.
+	MaxRows int
+	// MaxCols bounds the columns shown the same way.
+	MaxCols int
+	// MaxWidth truncates individual cell renderings.
+	MaxWidth int
+	// ShowDomains appends a dtype footer like pandas' df.dtypes summary.
+	ShowDomains bool
+}
+
+// DefaultRenderOptions mirrors the pandas display defaults at small scale.
+func DefaultRenderOptions() RenderOptions {
+	return RenderOptions{MaxRows: 10, MaxCols: 8, MaxWidth: 24, ShowDomains: false}
+}
+
+// String renders the dataframe with default options.
+func (df *DataFrame) String() string { return df.Render(DefaultRenderOptions()) }
+
+// Render renders the tabular view: row labels on the left, column labels on
+// top, prefix and suffix rows/columns with ellipses in between.
+func (df *DataFrame) Render(opts RenderOptions) string {
+	if opts.MaxRows <= 0 {
+		opts.MaxRows = 10
+	}
+	if opts.MaxCols <= 0 {
+		opts.MaxCols = 8
+	}
+	if opts.MaxWidth <= 0 {
+		opts.MaxWidth = 24
+	}
+
+	rowIdx, rowGap := windowIndices(df.NRows(), opts.MaxRows)
+	colIdx, colGap := windowIndices(df.NCols(), opts.MaxCols)
+
+	clip := func(s string) string {
+		if len(s) > opts.MaxWidth {
+			return s[:opts.MaxWidth-1] + "…"
+		}
+		return s
+	}
+
+	header := make([]string, 0, len(colIdx)+1)
+	header = append(header, "")
+	for k, j := range colIdx {
+		if colGap >= 0 && k == colGap {
+			header = append(header, "...")
+		}
+		header = append(header, clip(df.ColName(j)))
+	}
+	if colGap == len(colIdx) {
+		header = append(header, "...")
+	}
+
+	rows := [][]string{header}
+	for k, i := range rowIdx {
+		if rowGap >= 0 && k == rowGap {
+			rows = append(rows, ellipsisRow(len(header)))
+		}
+		row := make([]string, 0, len(header))
+		row = append(row, clip(df.rowLab.Value(i).String()))
+		for kk, j := range colIdx {
+			if colGap >= 0 && kk == colGap {
+				row = append(row, "...")
+			}
+			row = append(row, clip(df.Value(i, j).String()))
+		}
+		if colGap == len(colIdx) {
+			row = append(row, "...")
+		}
+		rows = append(rows, row)
+	}
+	if rowGap == len(rowIdx) {
+		rows = append(rows, ellipsisRow(len(header)))
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	for _, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "[%d rows x %d columns]\n", df.NRows(), df.NCols())
+	if opts.ShowDomains {
+		b.WriteString("domains:")
+		for j := 0; j < df.NCols(); j++ {
+			fmt.Fprintf(&b, " %s=%s", df.ColName(j), df.Domain(j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// windowIndices picks the indices shown for a prefix/suffix window over n
+// items with a budget of max. gap is the position within the returned slice
+// before which an ellipsis belongs, or -1 when nothing is elided.
+func windowIndices(n, max int) (idx []int, gap int) {
+	if n <= max {
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, -1
+	}
+	head := (max + 1) / 2
+	tail := max - head
+	idx = make([]int, 0, max)
+	for i := 0; i < head; i++ {
+		idx = append(idx, i)
+	}
+	for i := n - tail; i < n; i++ {
+		idx = append(idx, i)
+	}
+	return idx, head
+}
+
+func ellipsisRow(n int) []string {
+	row := make([]string, n)
+	for i := range row {
+		row[i] = "..."
+	}
+	return row
+}

@@ -1,0 +1,208 @@
+// Package eager is the baseline engine: a single-threaded, eagerly
+// materializing executor of the dataframe algebra, standing in for pandas
+// in the paper's comparisons (Section 3.2). Every operator runs to
+// completion on one goroutine before the next starts, every intermediate is
+// fully materialized, and TRANSPOSE is always physical — exactly the
+// execution profile whose scalability the paper critiques.
+//
+// A configurable materialization budget reproduces pandas' failure mode on
+// large transposes ("pandas is unable to run transpose beyond 6 GB"): when
+// an operator would materialize more cells than the budget allows, execution
+// fails with ErrBudgetExceeded instead of completing.
+package eager
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+// ErrBudgetExceeded reports that an operator needed to materialize more
+// cells than the engine's budget permits; it models the baseline's
+// memory-exhaustion failures.
+var ErrBudgetExceeded = errors.New("eager: materialization budget exceeded")
+
+// Engine executes algebra plans single-threaded and eagerly.
+type Engine struct {
+	// CellBudget bounds the number of cells any single operator may
+	// materialize; zero means unlimited. TransposeCellBudget, when
+	// nonzero, overrides it for TRANSPOSE (the operator with the worst
+	// constant factor in row-major baselines).
+	CellBudget          int
+	TransposeCellBudget int
+}
+
+// New returns an unbounded baseline engine.
+func New() *Engine { return &Engine{} }
+
+// Name identifies the engine.
+func (e *Engine) Name() string { return "pandas-baseline" }
+
+// Execute evaluates the plan bottom-up, materializing every intermediate.
+func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
+	switch node := n.(type) {
+	case *algebra.Source:
+		return node.DF, nil
+
+	case *algebra.Selection:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.SelectRows(in, node.Pred), nil
+
+	case *algebra.Projection:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Project(in, node.Cols)
+
+	case *algebra.Union:
+		left, right, err := e.executeBinary(node.Left, node.Right)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.UnionFrames(left, right)
+
+	case *algebra.Difference:
+		left, right, err := e.executeBinary(node.Left, node.Right)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.DifferenceFrames(left, right)
+
+	case *algebra.Join:
+		left, right, err := e.executeBinary(node.Left, node.Right)
+		if err != nil {
+			return nil, err
+		}
+		if node.Kind == expr.JoinCross {
+			if err := e.checkBudget(left.NRows()*right.NRows(), left.NCols()+right.NCols(), false); err != nil {
+				return nil, err
+			}
+		}
+		return algebra.JoinFrames(left, right, node.Kind, node.On, node.OnLabels)
+
+	case *algebra.DropDuplicates:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.DropDuplicatesFrame(in, node.Subset)
+
+	case *algebra.GroupBy:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.GroupByFrame(in, node.Spec)
+
+	case *algebra.Sort:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.SortFrame(in, node.Order, node.ByLabels)
+
+	case *algebra.Rename:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.RenameFrame(in, node.Mapping)
+
+	case *algebra.Window:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.WindowFrame(in, node.Spec)
+
+	case *algebra.Transpose:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.checkBudget(in.NRows(), in.NCols(), true); err != nil {
+			return nil, fmt.Errorf("transpose of %dx%d: %w", in.NRows(), in.NCols(), err)
+		}
+		return algebra.TransposeFrame(in, node.Schema)
+
+	case *algebra.Map:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.MapFrame(in, node.Fn)
+
+	case *algebra.ToLabels:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ToLabelsFrame(in, node.Col)
+
+	case *algebra.FromLabels:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.FromLabelsFrame(in, node.Label)
+
+	case *algebra.Induce:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.InduceFrame(in), nil
+
+	case *algebra.TopK:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.TopKFrame(in, node.Order, node.N)
+
+	case *algebra.Limit:
+		in, err := e.Execute(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.LimitFrame(in, node.N), nil
+
+	default:
+		return nil, fmt.Errorf("eager: unknown plan node %T", n)
+	}
+}
+
+// executeBinary evaluates both inputs sequentially (the baseline has no
+// parallelism to exploit).
+func (e *Engine) executeBinary(l, r algebra.Node) (*core.DataFrame, *core.DataFrame, error) {
+	left, err := e.Execute(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := e.Execute(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}
+
+func (e *Engine) checkBudget(rows, cols int, transpose bool) error {
+	budget := e.CellBudget
+	if transpose && e.TransposeCellBudget != 0 {
+		budget = e.TransposeCellBudget
+	}
+	if budget <= 0 {
+		return nil
+	}
+	if rows*cols > budget {
+		return fmt.Errorf("%w: %d cells over budget %d", ErrBudgetExceeded, rows*cols, budget)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package eager
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/expr"
+)
+
+func frame(t *testing.T, rows int) *core.DataFrame {
+	t.Helper()
+	records := make([][]any, rows)
+	for i := range records {
+		records[i] = []any{i, i % 5}
+	}
+	return core.MustFromRecords([]string{"a", "b"}, records)
+}
+
+func TestNameAndSource(t *testing.T) {
+	e := New()
+	if e.Name() != "pandas-baseline" {
+		t.Error("name wrong")
+	}
+	df := frame(t, 3)
+	out, err := e.Execute(&algebra.Source{DF: df})
+	if err != nil || out != df {
+		t.Error("source should pass through")
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	if _, err := New().Execute(nil); err == nil {
+		t.Error("nil plan should error")
+	}
+}
+
+func TestTransposeBudget(t *testing.T) {
+	df := frame(t, 100) // 200 cells
+	plan := &algebra.Transpose{Input: &algebra.Source{DF: df}}
+
+	if _, err := New().Execute(plan); err != nil {
+		t.Fatalf("unbounded engine should transpose: %v", err)
+	}
+	limited := &Engine{TransposeCellBudget: 150}
+	_, err := limited.Execute(plan)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	// The general budget applies when no transpose-specific one is set.
+	general := &Engine{CellBudget: 150}
+	if _, err := general.Execute(plan); !errors.Is(err, ErrBudgetExceeded) {
+		t.Error("general budget should gate transpose too")
+	}
+	// A transpose-specific budget overrides the general one.
+	both := &Engine{CellBudget: 10, TransposeCellBudget: 1000}
+	if _, err := both.Execute(plan); err != nil {
+		t.Errorf("specific budget should win: %v", err)
+	}
+}
+
+func TestCrossProductBudget(t *testing.T) {
+	df := frame(t, 50)
+	plan := &algebra.Join{
+		Left:  &algebra.Source{DF: df},
+		Right: &algebra.Source{DF: df},
+		Kind:  expr.JoinCross,
+	}
+	limited := &Engine{CellBudget: 1000} // 2500 pairs × 4 cols ≫ budget
+	if _, err := limited.Execute(plan); !errors.Is(err, ErrBudgetExceeded) {
+		t.Error("cross product should exceed budget")
+	}
+	if _, err := New().Execute(plan); err != nil {
+		t.Errorf("unbounded cross product: %v", err)
+	}
+}
+
+func TestErrorPropagatesThroughPlan(t *testing.T) {
+	df := frame(t, 10)
+	// A projection of a missing column deep in the plan surfaces at the
+	// top.
+	plan := &algebra.Sort{
+		Input: &algebra.Projection{Input: &algebra.Source{DF: df}, Cols: []string{"ghost"}},
+		Order: expr.SortOrder{{Col: "a"}},
+	}
+	if _, err := New().Execute(plan); err == nil {
+		t.Error("inner error should propagate")
+	}
+	// Binary nodes propagate from either side.
+	bad := &algebra.Union{
+		Left:  &algebra.Source{DF: df},
+		Right: &algebra.Projection{Input: &algebra.Source{DF: df}, Cols: []string{"ghost"}},
+	}
+	if _, err := New().Execute(bad); err == nil {
+		t.Error("right-side error should propagate")
+	}
+}
+
+func TestEagerFullPipeline(t *testing.T) {
+	df := frame(t, 40)
+	plan := &algebra.Limit{
+		Input: &algebra.Sort{
+			Input: &algebra.GroupBy{
+				Input: &algebra.Source{DF: df},
+				Spec: expr.GroupBySpec{
+					Keys: []string{"b"},
+					Aggs: []expr.AggSpec{{Col: "a", Agg: expr.AggSum, As: "total"}},
+				},
+			},
+			Order: expr.SortOrder{{Col: "total", Desc: true}},
+		},
+		N: 2,
+	}
+	out, err := New().Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 2 {
+		t.Fatalf("rows = %d", out.NRows())
+	}
+	// b=4 sums rows 4,9,...,39: 8 values averaging 21.5 → 172 (largest).
+	if out.Value(0, out.ColIndex("total")).Float() != 172 {
+		t.Errorf("top group = %v\n%s", out.Value(0, 1), out)
+	}
+}

@@ -1,0 +1,184 @@
+// Package exec is the execution layer of the MODIN architecture (Section
+// 3.3): a task-parallel asynchronous engine in the style of Ray and Dask.
+// Callers define tasks (functions plus the data they run on) and receive
+// futures; tasks may declare dependencies on other futures, forming a task
+// DAG that the worker pool drains.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Future is the asynchronously-computed result of a task. It is the handle
+// the opportunistic evaluation layer hands back to users (Section 6.1.1).
+type Future struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// newResolved returns an already-completed future.
+func newResolved(val any, err error) *Future {
+	f := &Future{done: make(chan struct{}), val: val, err: err}
+	close(f.done)
+	return f
+}
+
+// Wait blocks until the task completes and returns its result.
+func (f *Future) Wait() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Ready reports whether the task has completed without blocking.
+func (f *Future) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Done exposes the completion channel for select-based waiting.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Pool is a fixed-size worker pool executing submitted tasks.
+type Pool struct {
+	tasks   chan func()
+	wg      sync.WaitGroup
+	workers int
+	closed  atomic.Bool
+
+	// Scheduled and Completed count tasks for instrumentation.
+	scheduled atomic.Int64
+	completed atomic.Int64
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// defaults to runtime.NumCPU().
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{
+		tasks:   make(chan func(), workers*4),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Default is a process-wide pool sized to the machine, mirroring how a Ray
+// or Dask cluster is shared by every dataframe in a session.
+var Default = NewPool(0)
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns scheduled and completed task counts.
+func (p *Pool) Stats() (scheduled, completed int64) {
+	return p.scheduled.Load(), p.completed.Load()
+}
+
+// Close stops the workers after draining queued tasks. Submitting to a
+// closed pool runs the task synchronously.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}
+
+// Submit schedules fn after all deps complete and returns its future. If
+// any dependency failed, fn is skipped and the future carries the first
+// dependency error.
+func (p *Pool) Submit(fn func() (any, error), deps ...*Future) *Future {
+	p.scheduled.Add(1)
+	f := &Future{done: make(chan struct{})}
+	run := func() {
+		defer close(f.done)
+		defer p.completed.Add(1)
+		for _, d := range deps {
+			if _, err := d.Wait(); err != nil {
+				f.err = fmt.Errorf("exec: dependency failed: %w", err)
+				return
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("exec: task panic: %v", r)
+			}
+		}()
+		f.val, f.err = fn()
+	}
+	if p.closed.Load() {
+		run()
+		return f
+	}
+	select {
+	case p.tasks <- run:
+	default:
+		// Queue full: run inline rather than deadlock; this also bounds
+		// memory under bursty submission.
+		run()
+	}
+	return f
+}
+
+// ForEach runs fn(i) for i in [0, n) across the pool and waits for all,
+// returning the first error.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	futures := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		i := i
+		futures[i] = p.Submit(func() (any, error) { return nil, fn(i) })
+	}
+	var first error
+	for _, f := range futures {
+		if _, err := f.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MapParallel applies fn to every index and collects the results in order.
+func MapParallel[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Resolved wraps a value in a completed future.
+func Resolved(val any) *Future { return newResolved(val, nil) }
+
+// Failed wraps an error in a completed future.
+func Failed(err error) *Future { return newResolved(nil, err) }

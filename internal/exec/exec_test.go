@@ -1,0 +1,152 @@
+package exec
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndWait(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	f := p.Submit(func() (any, error) { return 42, nil })
+	v, err := f.Wait()
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("wait = %v, %v", v, err)
+	}
+	if !f.Ready() {
+		t.Error("completed future should be ready")
+	}
+}
+
+func TestSubmitError(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	sentinel := errors.New("boom")
+	f := p.Submit(func() (any, error) { return nil, sentinel })
+	if _, err := f.Wait(); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	f := p.Submit(func() (any, error) { panic("kaboom") })
+	if _, err := f.Wait(); err == nil {
+		t.Error("panic should surface as error")
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var order atomic.Int32
+	a := p.Submit(func() (any, error) {
+		time.Sleep(10 * time.Millisecond)
+		order.CompareAndSwap(0, 1)
+		return "a", nil
+	})
+	b := p.Submit(func() (any, error) {
+		if order.Load() != 1 {
+			return nil, errors.New("dependency ran after dependent")
+		}
+		return "b", nil
+	}, a)
+	if _, err := b.Wait(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDependencyFailurePropagates(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	bad := p.Submit(func() (any, error) { return nil, errors.New("upstream") })
+	ran := false
+	dep := p.Submit(func() (any, error) { ran = true; return nil, nil }, bad)
+	if _, err := dep.Wait(); err == nil {
+		t.Error("dependent should fail")
+	}
+	if ran {
+		t.Error("dependent body should be skipped")
+	}
+}
+
+func TestForEachAndMapParallel(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	if err := p.ForEach(100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+
+	out, err := MapParallel(p, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[7] != 49 {
+		t.Error("MapParallel order wrong")
+	}
+
+	wantErr := errors.New("third")
+	if err := p.ForEach(5, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		return nil
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("ForEach error = %v", err)
+	}
+	if _, err := MapParallel(p, 3, func(i int) (int, error) { return 0, wantErr }); err == nil {
+		t.Error("MapParallel should propagate errors")
+	}
+	if err := p.ForEach(0, func(int) error { return nil }); err != nil {
+		t.Error("empty ForEach should be nil")
+	}
+}
+
+func TestClosedPoolRunsInline(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	f := p.Submit(func() (any, error) { return "inline", nil })
+	v, err := f.Wait()
+	if err != nil || v.(string) != "inline" {
+		t.Error("closed pool should run inline")
+	}
+	p.Close() // double close is safe
+}
+
+func TestResolvedFailed(t *testing.T) {
+	if v, err := Resolved(5).Wait(); err != nil || v.(int) != 5 {
+		t.Error("Resolved wrong")
+	}
+	if _, err := Failed(errors.New("x")).Wait(); err == nil {
+		t.Error("Failed wrong")
+	}
+}
+
+func TestStatsAndWorkers(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	if p.Workers() != 3 {
+		t.Error("workers wrong")
+	}
+	p.Submit(func() (any, error) { return nil, nil }).Wait()
+	sched, done := p.Stats()
+	if sched != 1 || done != 1 {
+		t.Errorf("stats = %d/%d", sched, done)
+	}
+}
+
+func TestDefaultPoolSized(t *testing.T) {
+	if Default.Workers() < 1 {
+		t.Error("default pool should have workers")
+	}
+}

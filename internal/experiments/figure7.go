@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/notebooks"
+	"repro/internal/pycalls"
+)
+
+// Figure7Row is one function's usage statistics over the corpus.
+type Figure7Row struct {
+	Name  string
+	Total int
+	Files int
+}
+
+// Figure7Result is the full usage study of Section 4.6.
+type Figure7Result struct {
+	Notebooks      int
+	PandasFraction float64
+	ByTotal        []Figure7Row // descending total occurrences
+	ByFiles        []Figure7Row // descending per-file counts
+	TopCoOccur     []string     // most common same-line pairs, "a+b (n)"
+}
+
+// RunFigure7 regenerates the usage statistics: synthesize the corpus,
+// extract method invocations, and rank them — the paper's
+// nbconvert→2to3→ast pipeline with our generator and extractor substrates.
+func RunFigure7(corpusSize int) Figure7Result {
+	nbs := notebooks.Generate(notebooks.DefaultOptions(corpusSize))
+	counts := pycalls.NewCounts()
+	vocab := pycalls.PandasVocabulary()
+	pandasCount := 0
+	for _, nb := range nbs {
+		if nb.UsesPandas {
+			pandasCount++
+		}
+		counts.AddFile(pycalls.Extract(nb.Source), vocab)
+	}
+
+	res := Figure7Result{
+		Notebooks:      corpusSize,
+		PandasFraction: float64(pandasCount) / float64(corpusSize),
+	}
+	for name, n := range counts.Total {
+		res.ByTotal = append(res.ByTotal, Figure7Row{Name: name, Total: n, Files: counts.Files[name]})
+	}
+	sort.Slice(res.ByTotal, func(i, j int) bool { return res.ByTotal[i].Total > res.ByTotal[j].Total })
+	res.ByFiles = append([]Figure7Row(nil), res.ByTotal...)
+	sort.Slice(res.ByFiles, func(i, j int) bool { return res.ByFiles[i].Files > res.ByFiles[j].Files })
+
+	type pair struct {
+		key string
+		n   int
+	}
+	var pairs []pair
+	for k, n := range counts.CoOccur {
+		pairs = append(pairs, pair{k, n})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
+	for i := 0; i < len(pairs) && i < 10; i++ {
+		res.TopCoOccur = append(res.TopCoOccur, fmt.Sprintf("%s (%d)", pairs[i].key, pairs[i].n))
+	}
+	return res
+}
+
+// FormatFigure7 renders the ranked usage table, Figure 7 style.
+func FormatFigure7(res Figure7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — pandas usage over %d synthesized notebooks (%.0f%% use pandas)\n",
+		res.Notebooks, res.PandasFraction*100)
+	fmt.Fprintf(&b, "%-14s %10s %10s\n", "function", "total", "files")
+	for _, r := range res.ByTotal {
+		fmt.Fprintf(&b, "%-14s %10d %10d\n", r.Name, r.Total, r.Files)
+	}
+	b.WriteString("top same-line co-occurrences: ")
+	b.WriteString(strings.Join(res.TopCoOccur, ", "))
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/eager"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// Figure 8 compares two plans that pivot the SALES table around "Month":
+//
+//	(a) original: GROUPBY(collect Month) → MAP(flatten) → TOLABELS(Month)
+//	    → T, hashing the unsorted Month column; and
+//	(b) rewrite:  pivot over the *sorted* Year column with a streaming
+//	    group-by, then TRANSPOSE the result — sound because transposing a
+//	    pivot is the pivot over the other column (Section 4.4).
+//
+// The rewrite wins when the optimizer can exploit the sorted order of Year.
+
+// Figure8Plans builds both plans over the sales frame.
+func Figure8Plans(sales *core.DataFrame) (original, optimized algebra.Node, err error) {
+	months, err := algebra.DistinctValues(sales, "Month")
+	if err != nil {
+		return nil, nil, err
+	}
+	years, err := algebra.DistinctValues(sales, "Year")
+	if err != nil {
+		return nil, nil, err
+	}
+	src := &algebra.Source{DF: sales, Name: "sales"}
+
+	// (a) pivot around Month directly: hash group-by on the unsorted
+	// Month column; index attribute is Year.
+	original = algebra.PivotPlan(src, "Month", "Year", "Sales", years, false)
+
+	// (b) pivot around the sorted Year column with the streaming
+	// group-by, then transpose: T(pivot Year) = pivot Month.
+	optimized = &algebra.Transpose{
+		Input: algebra.PivotPlan(src, "Year", "Month", "Sales", months, true),
+	}
+	return original, optimized, nil
+}
+
+// Figure8Result reports both plan timings at one scale.
+type Figure8Result struct {
+	Years, Months int
+	Original      time.Duration
+	Optimized     time.Duration
+	Speedup       float64
+}
+
+// RunFigure8 times both pivot plans over year-sorted sales data and checks
+// they agree cell-for-cell.
+func RunFigure8(yearCounts []int, months int, repeats int) ([]Figure8Result, error) {
+	engine := eager.New() // plan choice, not parallelism, is under test
+	if repeats <= 0 {
+		repeats = 1
+	}
+	var results []Figure8Result
+	for _, years := range yearCounts {
+		sales := workload.Sales(years, months, 11)
+		original, optimized, err := Figure8Plans(sales)
+		if err != nil {
+			return nil, err
+		}
+		a, err := engine.Execute(original)
+		if err != nil {
+			return nil, fmt.Errorf("original plan: %w", err)
+		}
+		b, err := engine.Execute(optimized)
+		if err != nil {
+			return nil, fmt.Errorf("optimized plan: %w", err)
+		}
+		if !pivotEqual(a, b) {
+			return nil, fmt.Errorf("plans disagree at %d years:\n%s\nvs\n%s", years, a, b)
+		}
+		res := Figure8Result{Years: years, Months: months}
+		res.Original, _, err = timeEngine(engine, original, repeats)
+		if err != nil {
+			return nil, err
+		}
+		res.Optimized, _, err = timeEngine(engine, optimized, repeats)
+		if err != nil {
+			return nil, err
+		}
+		if res.Optimized > 0 {
+			res.Speedup = float64(res.Original) / float64(res.Optimized)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// pivotEqual compares the two pivot results; both orient months as rows and
+// years as columns, but plan (a) derives column order from Year values and
+// plan (b) from group order, so compare by label lookup.
+func pivotEqual(a, b *core.DataFrame) bool {
+	if a.NRows() != b.NRows() || a.NCols() != b.NCols() {
+		return false
+	}
+	rowPos := make(map[string]int, b.NRows())
+	for i := 0; i < b.NRows(); i++ {
+		rowPos[b.RowLabels().Value(i).Key()] = i
+	}
+	colPos := make(map[string]int, b.NCols())
+	for j := 0; j < b.NCols(); j++ {
+		colPos[keyOfLabel(b, j)] = j
+	}
+	for i := 0; i < a.NRows(); i++ {
+		bi, ok := rowPos[a.RowLabels().Value(i).Key()]
+		if !ok {
+			return false
+		}
+		for j := 0; j < a.NCols(); j++ {
+			bj, ok := colPos[keyOfLabel(a, j)]
+			if !ok {
+				return false
+			}
+			if !a.Value(i, j).Equal(b.Value(bi, bj)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func keyOfLabel(df *core.DataFrame, j int) string {
+	return types.String(df.ColName(j)).Key()
+}
+
+// FormatFigure8 renders the plan comparison.
+func FormatFigure8(results []Figure8Result) string {
+	out := "Figure 8 — pivot-around-Month plan comparison (sorted-Year rewrite)\n"
+	out += fmt.Sprintf("%8s %8s %14s %14s %9s\n", "years", "months", "plan(a)", "plan(b)", "speedup")
+	for _, r := range results {
+		out += fmt.Sprintf("%8d %8d %14s %14s %8.2fx\n", r.Years, r.Months, r.Original, r.Optimized, r.Speedup)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMakespanProperties(t *testing.T) {
+	tasks := []time.Duration{5, 3, 3, 2, 2, 1}
+	if got := makespan(tasks, 1); got != 16 {
+		t.Errorf("1-worker makespan = %v, want sum 16", got)
+	}
+	// More workers never slows completion.
+	prev := makespan(tasks, 1)
+	for w := 2; w <= 8; w++ {
+		cur := makespan(tasks, w)
+		if cur > prev {
+			t.Errorf("makespan increased from %v to %v at w=%d", prev, cur, w)
+		}
+		prev = cur
+	}
+	// Never faster than the longest task.
+	if makespan(tasks, 100) < 5 {
+		t.Error("makespan below the longest task")
+	}
+	// Defensive: w<1 clamps.
+	if makespan(tasks, 0) != 16 {
+		t.Error("w=0 should clamp to one worker")
+	}
+}
+
+func TestSimulatedFigure2Shape(t *testing.T) {
+	cfg := SimConfig{Rows: 4000, Bands: 8, WorkerCounts: []int{1, 4, 16}}
+	results, err := RunSimulatedFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("queries = %d", len(results))
+	}
+	for _, r := range results {
+		if r.TaskCount == 0 {
+			t.Errorf("%s: no tasks measured", r.Query)
+		}
+		// Projection shrinks monotonically with workers.
+		if r.ProjectedAt[4] > r.ProjectedAt[1] || r.ProjectedAt[16] > r.ProjectedAt[4] {
+			t.Errorf("%s: projections not monotone: %v", r.Query, r.ProjectedAt)
+		}
+		// With 8+ independent tasks, 4 workers give a real speedup over 1.
+		if r.Query != QueryGroupBy1 && r.SpeedupAt[4] < 1.5*r.SpeedupAt[1] {
+			t.Errorf("%s: W=4 speedup %v vs W=1 %v — decomposition not parallelizable",
+				r.Query, r.SpeedupAt[4], r.SpeedupAt[1])
+		}
+	}
+	text := FormatSimulated(results, cfg.WorkerCounts)
+	if !strings.Contains(text, "W=16") || !strings.Contains(text, "speedups:") {
+		t.Errorf("format wrong:\n%s", text)
+	}
+}
+
+func TestSimulatedDNFStillProjected(t *testing.T) {
+	cfg := SimConfig{
+		Rows:                    2000,
+		Bands:                   4,
+		WorkerCounts:            []int{1, 4},
+		BaselineTransposeBudget: 100, // baseline transpose DNFs
+	}
+	results, err := RunSimulatedFigure2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Query == QueryTranspose {
+			if !r.BaselineDNF {
+				t.Error("baseline should DNF under budget")
+			}
+			if r.ProjectedAt[4] == 0 {
+				t.Error("modin projection must still complete")
+			}
+		}
+	}
+	text := FormatSimulated(results, cfg.WorkerCounts)
+	if !strings.Contains(text, "DNF") {
+		t.Errorf("format should show DNF:\n%s", text)
+	}
+}

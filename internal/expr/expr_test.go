@@ -1,0 +1,248 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func feed(k AggKind, vals ...types.Value) types.Value {
+	a := NewAccumulator(k)
+	for _, v := range vals {
+		a.Add(v)
+	}
+	return a.Result()
+}
+
+func ints(xs ...int64) []types.Value {
+	out := make([]types.Value, len(xs))
+	for i, x := range xs {
+		out[i] = types.IntValue(x)
+	}
+	return out
+}
+
+func TestAggregatesBasic(t *testing.T) {
+	vals := append(ints(4, 2, 8), types.Null())
+	if feed(AggCount, vals...).Int() != 3 {
+		t.Error("count should skip nulls")
+	}
+	if feed(AggSize, vals...).Int() != 4 {
+		t.Error("size should include nulls")
+	}
+	if feed(AggSum, vals...).Float() != 14 {
+		t.Error("sum wrong")
+	}
+	if feed(AggMean, vals...).Float() != 14.0/3 {
+		t.Error("mean wrong")
+	}
+	if feed(AggMin, vals...).Int() != 2 || feed(AggMax, vals...).Int() != 8 {
+		t.Error("min/max wrong")
+	}
+	if feed(AggFirst, vals...).Int() != 4 || feed(AggLast, vals...).Int() != 8 {
+		t.Error("first/last wrong")
+	}
+	if feed(AggCountDistinct, ints(1, 1, 2, 2, 3)...).Int() != 3 {
+		t.Error("nunique wrong")
+	}
+}
+
+func TestAggregatesEmpty(t *testing.T) {
+	for _, k := range []AggKind{AggMean, AggMin, AggMax, AggFirst, AggLast, AggStd, AggVar, AggMedian, AggKurtosis} {
+		if !feed(k).IsNull() {
+			t.Errorf("%v over empty input should be null", k)
+		}
+	}
+	if feed(AggCount).Int() != 0 || feed(AggSum).Float() != 0 {
+		t.Error("count/sum over empty wrong")
+	}
+}
+
+func TestVarianceAndStd(t *testing.T) {
+	vals := ints(2, 4, 4, 4, 5, 5, 7, 9)
+	v := feed(AggVar, vals...).Float()
+	want := 32.0 / 7 // sample variance
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("var = %v, want %v", v, want)
+	}
+	sd := feed(AggStd, vals...).Float()
+	if math.Abs(sd-math.Sqrt(want)) > 1e-9 {
+		t.Errorf("std = %v", sd)
+	}
+	if !feed(AggStd, ints(5)...).IsNull() {
+		t.Error("std of one value should be null")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if feed(AggMedian, ints(5, 1, 3)...).Float() != 3 {
+		t.Error("odd median wrong")
+	}
+	if feed(AggMedian, ints(1, 2, 3, 4)...).Float() != 2.5 {
+		t.Error("even median wrong")
+	}
+}
+
+func TestKurtosisMatchesPandasConvention(t *testing.T) {
+	// A normal-ish symmetric sample has small excess kurtosis; a uniform
+	// {1..n} sample has negative excess kurtosis (platykurtic), and the
+	// pandas adjusted estimator for {1,2,3,4,5} is exactly -1.2.
+	got := feed(AggKurtosis, ints(1, 2, 3, 4, 5)...).Float()
+	if math.Abs(got-(-1.2)) > 1e-9 {
+		t.Errorf("kurtosis = %v, want -1.2", got)
+	}
+	if !feed(AggKurtosis, ints(1, 2, 3)...).IsNull() {
+		t.Error("kurtosis needs at least 4 values")
+	}
+}
+
+func TestMergeEqualsSingleScanProperty(t *testing.T) {
+	// For every mergeable aggregate, splitting the stream and merging
+	// partials must equal one scan — the property MODIN's parallel
+	// GROUPBY depends on.
+	kinds := []AggKind{AggCount, AggSize, AggSum, AggMean, AggMin, AggMax, AggFirst, AggLast, AggStd, AggVar, AggCountDistinct, AggMedian}
+	prop := func(raw []int16, splitRaw uint8) bool {
+		vals := make([]types.Value, len(raw))
+		for i, x := range raw {
+			if x%13 == 0 {
+				vals[i] = types.Null()
+			} else {
+				vals[i] = types.IntValue(int64(x % 50))
+			}
+		}
+		split := 0
+		if len(vals) > 0 {
+			split = int(splitRaw) % (len(vals) + 1)
+		}
+		for _, k := range kinds {
+			whole := NewAccumulator(k)
+			for _, v := range vals {
+				whole.Add(v)
+			}
+			left, right := NewAccumulator(k), NewAccumulator(k)
+			for _, v := range vals[:split] {
+				left.Add(v)
+			}
+			for _, v := range vals[split:] {
+				right.Add(v)
+			}
+			left.Merge(right)
+			a, b := whole.Result(), left.Result()
+			if a.IsNull() != b.IsNull() {
+				return false
+			}
+			if !a.IsNull() && math.Abs(a.Float()-b.Float()) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKurtosisMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]types.Value, 200)
+	for i := range vals {
+		vals[i] = types.FloatValue(rng.NormFloat64() * 10)
+	}
+	whole := NewAccumulator(AggKurtosis)
+	left, right := NewAccumulator(AggKurtosis), NewAccumulator(AggKurtosis)
+	for i, v := range vals {
+		whole.Add(v)
+		if i < 77 {
+			left.Add(v)
+		} else {
+			right.Add(v)
+		}
+	}
+	left.Merge(right)
+	if math.Abs(whole.Result().Float()-left.Result().Float()) > 1e-6 {
+		t.Errorf("kurtosis merge mismatch: %v vs %v", whole.Result(), left.Result())
+	}
+}
+
+func TestAggNamesRoundTrip(t *testing.T) {
+	for _, k := range []AggKind{AggCount, AggSize, AggSum, AggMean, AggMin, AggMax, AggFirst, AggLast, AggStd, AggVar, AggMedian, AggKurtosis, AggCountDistinct, AggCollect} {
+		got, ok := ParseAgg(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseAgg(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseAgg("nope"); ok {
+		t.Error("unknown agg accepted")
+	}
+	if AggKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestAggSpecOutName(t *testing.T) {
+	if (AggSpec{Col: "x", Agg: AggSum}).OutName() != "x_sum" {
+		t.Error("derived name wrong")
+	}
+	if (AggSpec{Col: "x", Agg: AggSum, As: "total"}).OutName() != "total" {
+		t.Error("explicit name wrong")
+	}
+	if (AggSpec{Agg: AggSize}).OutName() != "size" {
+		t.Error("column-less name wrong")
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	yes := Predicate(func(Row) bool { return true })
+	no := Predicate(func(Row) bool { return false })
+	if !And(yes, yes)(nil) || And(yes, no)(nil) {
+		t.Error("And wrong")
+	}
+	if !Or(no, yes)(nil) || Or(no, no)(nil) {
+		t.Error("Or wrong")
+	}
+	if Not(yes)(nil) {
+		t.Error("Not wrong")
+	}
+}
+
+func TestMapFnValidate(t *testing.T) {
+	if (MapFn{Name: "none"}).Validate() == nil {
+		t.Error("no function should be invalid")
+	}
+	two := MapFn{
+		Name:        "two",
+		Fn:          func(Row) []types.Value { return nil },
+		Elementwise: func(v types.Value) types.Value { return v },
+	}
+	if two.Validate() == nil {
+		t.Error("two functions should be invalid")
+	}
+	one := MapFn{Name: "ok", Elementwise: func(v types.Value) types.Value { return v }}
+	if one.Validate() != nil {
+		t.Error("single function should validate")
+	}
+}
+
+func TestDecomposable(t *testing.T) {
+	if !AggSum.Decomposable() || !AggMean.Decomposable() {
+		t.Error("sum/mean decomposable")
+	}
+	if AggCollect.Decomposable() || AggMedian.Decomposable() {
+		t.Error("collect/median are not (cheaply) decomposable")
+	}
+}
+
+func TestJoinKindNames(t *testing.T) {
+	names := map[JoinKind]string{
+		JoinInner: "inner", JoinLeft: "left", JoinRight: "right",
+		JoinOuter: "outer", JoinCross: "cross",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package modin implements the MODIN engine of Section 3: parallel
+// execution of dataframe-algebra plans over row/column/block partitions,
+// scheduled on the task-parallel execution layer (internal/exec), with a
+// communication-free block transpose and partial-aggregation GROUPBY.
+//
+// The engine picks a partitioning scheme per operator (Section 3.1):
+// embarrassingly parallel row-wise operators run on row bands, elementwise
+// MAPs run per block, and TRANSPOSE runs on a block grid.
+package modin
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/partition"
+	"repro/internal/vector"
+)
+
+// Engine executes algebra plans in parallel over partitions.
+type Engine struct {
+	pool  *exec.Pool
+	bands int
+}
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithPool uses the given worker pool instead of the shared default.
+func WithPool(p *exec.Pool) Option { return func(e *Engine) { e.pool = p } }
+
+// WithBands overrides the target partition count per axis (default: the
+// pool's worker count).
+func WithBands(n int) Option { return func(e *Engine) { e.bands = n } }
+
+// New returns a MODIN engine backed by the shared default pool.
+func New(opts ...Option) *Engine {
+	e := &Engine{pool: exec.Default}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.bands <= 0 {
+		e.bands = e.pool.Workers()
+	}
+	return e
+}
+
+// Name identifies the engine.
+func (e *Engine) Name() string { return "modin" }
+
+// Pool exposes the execution pool (the session layer schedules background
+// work on it).
+func (e *Engine) Pool() *exec.Pool { return e.pool }
+
+// Execute evaluates the plan and gathers the result into one dataframe.
+func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
+	pf, err := e.executePartitioned(n)
+	if err != nil {
+		return nil, err
+	}
+	return pf.ToFrame()
+}
+
+// ExecutePartitioned evaluates the plan, leaving the result partitioned so
+// downstream operators (or head/tail views) can consume blocks lazily.
+func (e *Engine) ExecutePartitioned(n algebra.Node) (*partition.Frame, error) {
+	return e.executePartitioned(n)
+}
+
+func (e *Engine) executePartitioned(n algebra.Node) (*partition.Frame, error) {
+	switch node := n.(type) {
+	case *algebra.Source:
+		return partition.New(node.DF, partition.Rows, e.bands), nil
+
+	case *algebra.Selection:
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.SelectRows(band, node.Pred), nil
+		})
+
+	case *algebra.Projection:
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.Project(band, node.Cols)
+		})
+
+	case *algebra.Map:
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		if node.Fn.Elementwise != nil {
+			// Elementwise MAPs are partitioning-agnostic: run per
+			// block under whatever scheme the input already has.
+			return in.MapBlocks(e.pool, func(blk *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.MapFrame(blk, node.Fn)
+			})
+		}
+		// Row UDFs need whole rows: ensure full-width bands.
+		full, err := in.EnsureSingleColBand()
+		if err != nil {
+			return nil, err
+		}
+		return full.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.MapFrame(band, node.Fn)
+		})
+
+	case *algebra.GroupBy:
+		return e.executeGroupBy(node)
+
+	case *algebra.Transpose:
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		blocks, err := in.Repartition(partition.Blocks, e.bands)
+		if err != nil {
+			return nil, err
+		}
+		return blocks.Transpose(e.pool, node.Schema)
+
+	case *algebra.Window:
+		return e.executeWindow(node)
+
+	case *algebra.Rename:
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.RenameFrame(band, node.Mapping)
+		})
+
+	case *algebra.ToLabels:
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.ToLabelsFrame(band, node.Col)
+		})
+
+	case *algebra.FromLabels:
+		// FROMLABELS resets row labels to global positional notation,
+		// which spans partitions; run on the gathered frame.
+		in, err := e.gather(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.FromLabelsFrame(in, node.Label)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+
+	case *algebra.Union:
+		left, err := e.gather(node.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.gather(node.Right)
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.UnionFrames(left, right)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+
+	case *algebra.Difference:
+		left, err := e.gather(node.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := e.gather(node.Right)
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.DifferenceFrames(left, right)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+
+	case *algebra.Join:
+		return e.executeJoin(node)
+
+	case *algebra.DropDuplicates:
+		in, err := e.gather(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.DropDuplicatesFrame(in, node.Subset)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+
+	case *algebra.Sort:
+		return e.executeSort(node)
+
+	case *algebra.TopK:
+		// Per-band top-k in parallel, then a final top-k over the
+		// surviving candidates: each band keeps at most |k| rows, so the
+		// final pass touches k×bands rows instead of the full input.
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		candidates, err := in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.TopKFrame(band, node.Order, node.N)
+		})
+		if err != nil {
+			return nil, err
+		}
+		gathered, err := candidates.ToFrame()
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.TopKFrame(gathered, node.Order, node.N)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+
+	case *algebra.Induce:
+		// Induction over blocks would mis-type columns that only full
+		// data determines; gather first.
+		in, err := e.gather(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(algebra.InduceFrame(in), partition.Rows, e.bands), nil
+
+	case *algebra.Limit:
+		// Prefix/suffix views only need the boundary partitions
+		// (Section 6.1.2): untouched bands are never gathered.
+		in, err := e.executePartitioned(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return e.limitPartitioned(in, node.N)
+
+	default:
+		return nil, fmt.Errorf("modin: unknown plan node %T", n)
+	}
+}
+
+func (e *Engine) gather(n algebra.Node) (*core.DataFrame, error) {
+	pf, err := e.executePartitioned(n)
+	if err != nil {
+		return nil, err
+	}
+	return pf.ToFrame()
+}
+
+// executeGroupBy computes partial aggregations per row band in parallel and
+// merges them in band order, preserving first-appearance group order.
+func (e *Engine) executeGroupBy(node *algebra.GroupBy) (*partition.Frame, error) {
+	in, err := e.executePartitioned(node.Input)
+	if err != nil {
+		return nil, err
+	}
+	full, err := in.EnsureSingleColBand()
+	if err != nil {
+		return nil, err
+	}
+	spec := node.Spec
+	spec.Sorted = false // hashing per band; sortedness is a single-node optimization
+	partials, err := exec.MapParallel(e.pool, full.RowBands(), func(r int) (*algebra.GroupPartial, error) {
+		band, err := full.RowBand(r)
+		if err != nil {
+			return nil, err
+		}
+		g := algebra.NewGroupPartial(spec)
+		if err := g.AddFrame(band); err != nil {
+			return nil, err
+		}
+		return g, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		merged.Merge(p)
+	}
+	out, err := merged.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return partition.New(out, partition.Rows, e.bands), nil
+}
+
+// executeWindow parallelizes direction-agnostic bounded windows (shift,
+// diff, rolling) with boundary-row exchange between bands; unbounded
+// (expanding) windows gather.
+func (e *Engine) executeWindow(node *algebra.Window) (*partition.Frame, error) {
+	spec := node.Spec
+	boundary := 0
+	switch spec.Kind {
+	case expr.WindowShift, expr.WindowDiff:
+		boundary = spec.Offset
+		if boundary == 0 {
+			boundary = 1
+		}
+		if boundary < 0 {
+			boundary = -boundary
+		}
+	case expr.WindowRolling:
+		boundary = spec.Size - 1
+	case expr.WindowExpanding:
+		in, err := e.gather(node.Input)
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.WindowFrame(in, spec)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+	}
+
+	in, err := e.executePartitioned(node.Input)
+	if err != nil {
+		return nil, err
+	}
+	full, err := in.EnsureSingleColBand()
+	if err != nil {
+		return nil, err
+	}
+	rb := full.RowBands()
+	bands := make([]*core.DataFrame, rb)
+	for r := 0; r < rb; r++ {
+		b, err := full.RowBand(r)
+		if err != nil {
+			return nil, err
+		}
+		bands[r] = b
+	}
+	results, err := exec.MapParallel(e.pool, rb, func(r int) (*core.DataFrame, error) {
+		band := bands[r]
+		lead := 0
+		if !spec.Reverse && r > 0 && boundary > 0 {
+			// Prepend the tail of the previous band.
+			prev := bands[r-1]
+			take := boundary
+			if take > prev.NRows() {
+				take = prev.NRows()
+			}
+			ext, err := algebra.VStackFrames(prev.SliceRows(prev.NRows()-take, prev.NRows()), band)
+			if err != nil {
+				return nil, err
+			}
+			band, lead = ext, take
+		}
+		trail := 0
+		if spec.Reverse && r < rb-1 && boundary > 0 {
+			next := bands[r+1]
+			take := boundary
+			if take > next.NRows() {
+				take = next.NRows()
+			}
+			ext, err := algebra.VStackFrames(band, next.SliceRows(0, take))
+			if err != nil {
+				return nil, err
+			}
+			band, trail = ext, take
+		}
+		out, err := algebra.WindowFrame(band, spec)
+		if err != nil {
+			return nil, err
+		}
+		return out.SliceRows(lead, out.NRows()-trail), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]*core.DataFrame, rb)
+	for r := range results {
+		grid[r] = []*core.DataFrame{results[r]}
+	}
+	return partition.FromGrid(grid)
+}
+
+// executeJoin builds the hash side once and probes left row bands in
+// parallel.
+func (e *Engine) executeJoin(node *algebra.Join) (*partition.Frame, error) {
+	right, err := e.gather(node.Right)
+	if err != nil {
+		return nil, err
+	}
+	if node.Kind == expr.JoinInner || node.Kind == expr.JoinLeft {
+		// Parallel probe: left order is preserved band-by-band, so
+		// concatenating band results reproduces the ordered join.
+		in, err := e.executePartitioned(node.Left)
+		if err != nil {
+			return nil, err
+		}
+		probed, err := in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.JoinFrames(band, right, node.Kind, node.On, node.OnLabels)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if node.OnLabels {
+			return probed, nil
+		}
+		// Data-column joins reset row labels positionally; per-band
+		// numbering must be replaced by a global sequence.
+		out, err := probed.ToFrame()
+		if err != nil {
+			return nil, err
+		}
+		out, err = out.WithRowLabels(vector.Range(0, out.NRows()))
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+	}
+	left, err := e.gather(node.Left)
+	if err != nil {
+		return nil, err
+	}
+	out, err := algebra.JoinFrames(left, right, node.Kind, node.On, node.OnLabels)
+	if err != nil {
+		return nil, err
+	}
+	return partition.New(out, partition.Rows, e.bands), nil
+}
+
+// limitPartitioned takes the prefix (n>0) or suffix (n<0) touching only the
+// bands that contribute rows.
+func (e *Engine) limitPartitioned(in *partition.Frame, n int) (*partition.Frame, error) {
+	full, err := in.EnsureSingleColBand()
+	if err != nil {
+		return nil, err
+	}
+	var picked []*core.DataFrame
+	if n >= 0 {
+		remaining := n
+		for r := 0; r < full.RowBands() && remaining > 0; r++ {
+			band, err := full.RowBand(r)
+			if err != nil {
+				return nil, err
+			}
+			take := remaining
+			if take > band.NRows() {
+				take = band.NRows()
+			}
+			picked = append(picked, band.SliceRows(0, take))
+			remaining -= take
+		}
+	} else {
+		remaining := -n
+		var rev []*core.DataFrame
+		for r := full.RowBands() - 1; r >= 0 && remaining > 0; r-- {
+			band, err := full.RowBand(r)
+			if err != nil {
+				return nil, err
+			}
+			take := remaining
+			if take > band.NRows() {
+				take = band.NRows()
+			}
+			rev = append(rev, band.SliceRows(band.NRows()-take, band.NRows()))
+			remaining -= take
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			picked = append(picked, rev[i])
+		}
+	}
+	if len(picked) == 0 {
+		picked = []*core.DataFrame{core.Empty()}
+	}
+	grid := make([][]*core.DataFrame, len(picked))
+	for r := range picked {
+		grid[r] = []*core.DataFrame{picked[r]}
+	}
+	return partition.FromGrid(grid)
+}

@@ -1,0 +1,283 @@
+package modin
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/eager"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// testFrame builds a deterministic frame large enough to span several
+// partitions.
+func testFrame(rows int) *core.DataFrame {
+	records := make([][]any, rows)
+	for i := range records {
+		var dept any = []string{"eng", "ops", "sales"}[i%3]
+		var val any = i % 17
+		if i%11 == 0 {
+			val = nil
+		}
+		records[i] = []any{i, dept, val, float64(i%7) + 0.5}
+	}
+	return core.MustFromRecords([]string{"id", "dept", "val", "score"}, records)
+}
+
+// bothEngines runs the plan on the baseline and MODIN engines and requires
+// identical results — the cross-engine equivalence property behind every
+// Figure 2 comparison.
+func bothEngines(t *testing.T, plan algebra.Node) *core.DataFrame {
+	t.Helper()
+	base, err := eager.New().Execute(plan)
+	if err != nil {
+		t.Fatalf("eager: %v", err)
+	}
+	par, err := New(WithBands(4)).Execute(plan)
+	if err != nil {
+		t.Fatalf("modin: %v", err)
+	}
+	if !base.Equal(par) {
+		t.Fatalf("engines disagree:\neager:\n%s\nmodin:\n%s", base, par)
+	}
+	return base
+}
+
+func TestEnginesAgreeSelection(t *testing.T) {
+	df := testFrame(100)
+	out := bothEngines(t, &algebra.Selection{
+		Input: &algebra.Source{DF: df},
+		Pred:  expr.ColEquals("dept", types.String("eng")),
+		Desc:  "dept == eng",
+	})
+	if out.NRows() != 34 {
+		t.Errorf("rows = %d", out.NRows())
+	}
+}
+
+func TestEnginesAgreeProjection(t *testing.T) {
+	df := testFrame(50)
+	out := bothEngines(t, &algebra.Projection{Input: &algebra.Source{DF: df}, Cols: []string{"score", "id"}})
+	if out.NCols() != 2 || out.ColName(0) != "score" {
+		t.Error("projection wrong")
+	}
+}
+
+func TestEnginesAgreeMapElementwise(t *testing.T) {
+	df := testFrame(80)
+	out := bothEngines(t, &algebra.Map{Input: &algebra.Source{DF: df}, Fn: algebra.IsNullFn()})
+	if !out.Value(0, 2).Bool() { // id=0 row has null val
+		t.Error("isnull map wrong")
+	}
+}
+
+func TestEnginesAgreeMapRowFn(t *testing.T) {
+	df := testFrame(60)
+	fn := expr.MapFn{
+		Name:    "id-plus-score",
+		OutCols: []types.Value{types.String("combo")},
+		Fn: func(r expr.Row) []types.Value {
+			return []types.Value{types.FloatValue(float64(r.ByName("id").Int()) + r.ByName("score").Float())}
+		},
+	}
+	out := bothEngines(t, &algebra.Map{Input: &algebra.Source{DF: df}, Fn: fn})
+	if out.NCols() != 1 || out.Value(3, 0).Float() != 3+3.5 {
+		t.Errorf("row map wrong: %v", out.Value(3, 0))
+	}
+}
+
+func TestEnginesAgreeGroupBy(t *testing.T) {
+	df := testFrame(200)
+	out := bothEngines(t, &algebra.GroupBy{
+		Input: &algebra.Source{DF: df},
+		Spec: expr.GroupBySpec{
+			Keys: []string{"dept"},
+			Aggs: []expr.AggSpec{
+				{Col: "val", Agg: expr.AggCount, As: "n"},
+				{Col: "val", Agg: expr.AggSum, As: "total"},
+				{Col: "score", Agg: expr.AggMean, As: "avg"},
+				{Col: "val", Agg: expr.AggMin, As: "lo"},
+				{Col: "val", Agg: expr.AggMax, As: "hi"},
+			},
+		},
+	})
+	if out.NRows() != 3 {
+		t.Errorf("groups = %d", out.NRows())
+	}
+}
+
+func TestEnginesAgreeGroupByOneGroup(t *testing.T) {
+	// The groupby(1) query of Figure 2: whole-frame aggregation.
+	df := testFrame(150)
+	out := bothEngines(t, &algebra.GroupBy{
+		Input: &algebra.Source{DF: df},
+		Spec: expr.GroupBySpec{
+			Aggs: []expr.AggSpec{{Col: "val", Agg: expr.AggCount, As: "nonnull"}},
+		},
+	})
+	if out.NRows() != 1 {
+		t.Fatalf("rows = %d", out.NRows())
+	}
+	if out.Value(0, 0).Int() != 150-14 { // 14 nulls at i%11==0
+		t.Errorf("count = %v", out.Value(0, 0))
+	}
+}
+
+func TestEnginesAgreeTranspose(t *testing.T) {
+	df := testFrame(40)
+	bothEngines(t, &algebra.Transpose{Input: &algebra.Source{DF: df}})
+}
+
+func TestEnginesAgreeDoubleTranspose(t *testing.T) {
+	df := testFrame(30)
+	out := bothEngines(t, &algebra.Transpose{Input: &algebra.Transpose{Input: &algebra.Source{DF: df}}})
+	if !out.Equal(df) {
+		t.Error("double transpose should recover the frame")
+	}
+}
+
+func TestEnginesAgreeWindow(t *testing.T) {
+	df := testFrame(90)
+	for _, spec := range []expr.WindowSpec{
+		{Kind: expr.WindowShift, Offset: 3, Cols: []string{"id"}},
+		{Kind: expr.WindowDiff, Offset: 1, Cols: []string{"id"}},
+		{Kind: expr.WindowRolling, Size: 5, Agg: expr.AggMean, Cols: []string{"score"}},
+		{Kind: expr.WindowExpanding, Agg: expr.AggMax, Cols: []string{"id"}},
+		{Kind: expr.WindowShift, Offset: 2, Reverse: true, Cols: []string{"id"}},
+	} {
+		t.Run(fmt.Sprintf("kind=%d", spec.Kind), func(t *testing.T) {
+			bothEngines(t, &algebra.Window{Input: &algebra.Source{DF: df}, Spec: spec})
+		})
+	}
+}
+
+func TestEnginesAgreeJoin(t *testing.T) {
+	left := testFrame(60)
+	right := core.MustFromRecords([]string{"dept", "head"}, [][]any{
+		{"eng", "grace"}, {"ops", "ada"},
+	})
+	for _, kind := range []expr.JoinKind{expr.JoinInner, expr.JoinLeft, expr.JoinOuter} {
+		t.Run(kind.String(), func(t *testing.T) {
+			bothEngines(t, &algebra.Join{
+				Left:  &algebra.Source{DF: left},
+				Right: &algebra.Source{DF: right},
+				Kind:  kind,
+				On:    []string{"dept"},
+			})
+		})
+	}
+}
+
+func TestEnginesAgreeSortUnionDiffDropdup(t *testing.T) {
+	df := testFrame(70)
+	bothEngines(t, &algebra.Sort{Input: &algebra.Source{DF: df}, Order: expr.SortOrder{{Col: "dept"}, {Col: "id", Desc: true}}})
+	bothEngines(t, &algebra.Union{Left: &algebra.Source{DF: df.SliceRows(0, 30)}, Right: &algebra.Source{DF: df.SliceRows(30, 70)}})
+	bothEngines(t, &algebra.Difference{Left: &algebra.Source{DF: df}, Right: &algebra.Source{DF: df.SliceRows(0, 35)}})
+	bothEngines(t, &algebra.DropDuplicates{Input: &algebra.Source{DF: df}, Subset: []string{"dept", "val"}})
+}
+
+func TestEnginesAgreeLabelsOps(t *testing.T) {
+	df := testFrame(45)
+	bothEngines(t, &algebra.ToLabels{Input: &algebra.Source{DF: df}, Col: "id"})
+	bothEngines(t, &algebra.FromLabels{Input: &algebra.Source{DF: df}, Label: "rowid"})
+	bothEngines(t, &algebra.Rename{Input: &algebra.Source{DF: df}, Mapping: map[string]string{"dept": "team"}})
+}
+
+func TestEnginesAgreeLimit(t *testing.T) {
+	df := testFrame(100)
+	head := bothEngines(t, &algebra.Limit{Input: &algebra.Source{DF: df}, N: 7})
+	if head.NRows() != 7 || head.Value(0, 0).Int() != 0 {
+		t.Error("head wrong")
+	}
+	tail := bothEngines(t, &algebra.Limit{Input: &algebra.Source{DF: df}, N: -7})
+	if tail.NRows() != 7 || tail.Value(6, 0).Int() != 99 {
+		t.Error("tail wrong")
+	}
+}
+
+func TestEnginesAgreeComposedPipeline(t *testing.T) {
+	// A multi-operator pipeline mirroring a realistic session.
+	df := testFrame(120)
+	plan := &algebra.GroupBy{
+		Input: &algebra.Selection{
+			Input: &algebra.Map{
+				Input: &algebra.Source{DF: df},
+				Fn:    algebra.FillNAFn(types.IntValue(-1)),
+			},
+			Pred: expr.ColNotNull("dept"),
+			Desc: "dept not null",
+		},
+		Spec: expr.GroupBySpec{
+			Keys: []string{"dept"},
+			Aggs: []expr.AggSpec{{Col: "val", Agg: expr.AggSum, As: "s"}},
+		},
+	}
+	bothEngines(t, plan)
+}
+
+func TestModinPartitionedLimitTouchesOnlyBoundary(t *testing.T) {
+	df := testFrame(1000)
+	e := New(WithBands(8))
+	pf, err := e.ExecutePartitioned(&algebra.Limit{Input: &algebra.Source{DF: df}, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.NRows() != 5 {
+		t.Errorf("limit rows = %d", pf.NRows())
+	}
+	if pf.RowBands() != 1 {
+		t.Errorf("prefix should touch one band, got %d", pf.RowBands())
+	}
+}
+
+func TestModinTransposeWideResult(t *testing.T) {
+	// A tall frame becomes a wide one: 500 columns after transpose, the
+	// "billions of columns" path at test scale.
+	df := testFrame(500)
+	e := New(WithBands(4))
+	out, err := e.Execute(&algebra.Transpose{Input: &algebra.Source{DF: df}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NCols() != 500 || out.NRows() != 4 {
+		t.Errorf("shape = %dx%d", out.NRows(), out.NCols())
+	}
+}
+
+func TestModinUnknownNode(t *testing.T) {
+	e := New()
+	if _, err := e.Execute(nil); err == nil {
+		t.Error("nil plan should error")
+	}
+}
+
+func TestEagerBudgetFailsTranspose(t *testing.T) {
+	// The pandas transpose failure mode of Figure 2: the baseline engine
+	// refuses transposes above its budget while MODIN completes them.
+	df := testFrame(100)
+	limited := &eager.Engine{TransposeCellBudget: 100}
+	_, err := limited.Execute(&algebra.Transpose{Input: &algebra.Source{DF: df}})
+	if err == nil {
+		t.Fatal("budgeted transpose should fail")
+	}
+	if _, err := New().Execute(&algebra.Transpose{Input: &algebra.Source{DF: df}}); err != nil {
+		t.Fatalf("modin transpose should succeed: %v", err)
+	}
+}
+
+func TestModinWithExplicitPool(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	e := New(WithPool(pool), WithBands(2))
+	if e.Pool() != pool {
+		t.Error("pool accessor wrong")
+	}
+	df := testFrame(20)
+	out, err := e.Execute(&algebra.Source{DF: df})
+	if err != nil || !out.Equal(df) {
+		t.Error("source execution should round-trip")
+	}
+}

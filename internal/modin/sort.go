@@ -1,0 +1,128 @@
+package modin
+
+import (
+	"container/heap"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/partition"
+	"repro/internal/vector"
+)
+
+// executeSort runs SORT as a parallel merge sort: each row band is stably
+// sorted in parallel, then the sorted runs are k-way merged. Because bands
+// preserve the input's band order and ties break toward the earlier global
+// position, the result is identical to the stable single-node sort.
+func (e *Engine) executeSort(node *algebra.Sort) (*partition.Frame, error) {
+	in, err := e.executePartitioned(node.Input)
+	if err != nil {
+		return nil, err
+	}
+	full, err := in.EnsureSingleColBand()
+	if err != nil {
+		return nil, err
+	}
+	rb := full.RowBands()
+	if rb <= 1 {
+		band, err := full.ToFrame()
+		if err != nil {
+			return nil, err
+		}
+		out, err := algebra.SortFrame(band, node.Order, node.ByLabels)
+		if err != nil {
+			return nil, err
+		}
+		return partition.New(out, partition.Rows, e.bands), nil
+	}
+
+	sortedBands, err := exec.MapParallel(e.pool, rb, func(r int) (*core.DataFrame, error) {
+		band, err := full.RowBand(r)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.SortFrame(band, node.Order, node.ByLabels)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cat, err := algebra.VStackFrames(sortedBands...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the comparison keys once over the concatenated runs.
+	var keys []vector.Vector
+	var desc []bool
+	if node.ByLabels {
+		keys = []vector.Vector{cat.RowLabels()}
+		desc = []bool{false}
+	} else {
+		for _, o := range node.Order {
+			j := cat.ColIndex(o.Col)
+			keys = append(keys, cat.TypedCol(j))
+			desc = append(desc, o.Desc)
+		}
+	}
+	// less orders global positions; ties resolve to the earlier position,
+	// which reproduces the stable single-node sort because bands appear
+	// in input order.
+	less := func(a, b int) bool {
+		for k := range keys {
+			c := keys[k].Value(a).Compare(keys[k].Value(b))
+			if desc[k] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return a < b
+	}
+
+	// K-way merge over the sorted runs.
+	offsets := make([]int, rb+1)
+	for r, band := range sortedBands {
+		offsets[r+1] = offsets[r] + band.NRows()
+	}
+	mh := &mergeHeap{less: less}
+	for r := 0; r < rb; r++ {
+		if offsets[r] < offsets[r+1] {
+			mh.items = append(mh.items, mergeCursor{pos: offsets[r], end: offsets[r+1]})
+		}
+	}
+	heap.Init(mh)
+	perm := make([]int, 0, cat.NRows())
+	for mh.Len() > 0 {
+		cur := mh.items[0]
+		perm = append(perm, cur.pos)
+		cur.pos++
+		if cur.pos < cur.end {
+			mh.items[0] = cur
+			heap.Fix(mh, 0)
+		} else {
+			heap.Pop(mh)
+		}
+	}
+	return partition.New(cat.TakeRows(perm), partition.Rows, e.bands), nil
+}
+
+// mergeCursor tracks one sorted run's next global position.
+type mergeCursor struct{ pos, end int }
+
+// mergeHeap orders run cursors by their head rows.
+type mergeHeap struct {
+	items []mergeCursor
+	less  func(a, b int) bool
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.less(h.items[i].pos, h.items[j].pos) }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)         { h.items = append(h.items, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() any {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}

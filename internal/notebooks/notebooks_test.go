@@ -1,0 +1,107 @@
+package notebooks
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/pycalls"
+)
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	a := Generate(DefaultOptions(50))
+	b := Generate(DefaultOptions(50))
+	if len(a) != 50 {
+		t.Fatalf("notebooks = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+}
+
+func TestPandasFractionApproximatelyForty(t *testing.T) {
+	nbs := Generate(DefaultOptions(1000))
+	pandas := 0
+	for _, nb := range nbs {
+		if nb.UsesPandas {
+			pandas++
+		}
+	}
+	frac := float64(pandas) / float64(len(nbs))
+	if frac < 0.3 || frac > 0.5 {
+		t.Errorf("pandas fraction = %v, paper reports ~0.4", frac)
+	}
+}
+
+func TestFigure7RankingRecovered(t *testing.T) {
+	// The end-to-end Figure 7 pipeline: generate corpus → extract calls →
+	// rank by total occurrences. The recovered top of the ranking must
+	// match the generator's ground truth, and read_csv-family inspection
+	// calls must dominate statistical tails like kurtosis.
+	nbs := Generate(DefaultOptions(400))
+	counts := pycalls.NewCounts()
+	vocab := pycalls.PandasVocabulary()
+	for _, nb := range nbs {
+		counts.AddFile(pycalls.Extract(nb.Source), vocab)
+	}
+
+	type kv struct {
+		name string
+		n    int
+	}
+	var ranked []kv
+	for name, n := range counts.Total {
+		ranked = append(ranked, kv{name, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].n > ranked[j].n })
+
+	if len(ranked) < 20 {
+		t.Fatalf("only %d distinct functions extracted", len(ranked))
+	}
+	top5 := map[string]bool{}
+	for _, r := range ranked[:5] {
+		top5[r.name] = true
+	}
+	if !top5["read_csv"] || !top5["head"] {
+		t.Errorf("read_csv and head must top the ranking; top = %v", ranked[:5])
+	}
+	if counts.Total["kurtosis"] >= counts.Total["read_csv"] {
+		t.Error("kurtosis must sit in the tail, as in Figure 7")
+	}
+	// Per-file counts exist and are bounded by totals.
+	for name, files := range counts.Files {
+		if files > counts.Total[name] {
+			t.Errorf("%s appears in more files than occurrences", name)
+		}
+	}
+	// Chained describe() calls produce co-occurrences.
+	if len(counts.CoOccur) == 0 {
+		t.Error("expected co-occurring calls in the corpus")
+	}
+}
+
+func TestExpectedRankingIsDescending(t *testing.T) {
+	r := ExpectedRanking()
+	if r[0] != "read_csv" || r[len(r)-1] != "kurtosis" {
+		t.Errorf("ranking endpoints wrong: %s ... %s", r[0], r[len(r)-1])
+	}
+	if len(r) < 30 {
+		t.Error("ranking too small")
+	}
+}
+
+func TestNonPandasNotebooksHaveNoPandas(t *testing.T) {
+	nbs := Generate(DefaultOptions(200))
+	vocab := pycalls.PandasVocabulary()
+	for _, nb := range nbs {
+		if nb.UsesPandas {
+			continue
+		}
+		counts := pycalls.NewCounts()
+		counts.AddFile(pycalls.Extract(nb.Source), vocab)
+		if counts.Total["read_csv"] > 0 || counts.Total["head"] > 0 {
+			t.Fatalf("non-pandas notebook contains pandas calls:\n%s", nb.Source)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package optimizer implements the logical rewrite rules the paper's
+// research agenda calls for: transpose pull-up and double-transpose
+// elimination (Section 5.2.2), schema-induction deferral and elision
+// (Section 5.1.1), MAP fusion (Section 5.1.3), projection pushdown, and the
+// sorted-column group-by rewrite behind the pivot plans of Figure 8.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Rule is one rewrite: Apply returns the rewritten node and whether it
+// fired. Rules match on the root of the subtree they are given; Optimize
+// applies them everywhere bottom-up.
+type Rule interface {
+	Name() string
+	Apply(algebra.Node) (algebra.Node, bool)
+}
+
+// Optimize rewrites the plan to fixpoint (bounded by a generous pass limit)
+// and reports the names of the rules that fired, in order.
+func Optimize(n algebra.Node, rules []Rule) (algebra.Node, []string) {
+	var fired []string
+	for pass := 0; pass < 32; pass++ {
+		var changed bool
+		n, changed = rewriteBottomUp(n, rules, &fired)
+		if !changed {
+			break
+		}
+	}
+	return n, fired
+}
+
+// Default returns the standard rule set, in application order.
+func Default() []Rule {
+	return []Rule{
+		DoubleTranspose{},
+		TransposePullUp{},
+		FuseMaps{},
+		ElideInduceAfterDeclaredMap{},
+		CollapseInduce{},
+		DeferInduce{},
+		PushProjectionThroughMap{},
+		SortedGroupBy{},
+		LimitSortToTopK{},
+	}
+}
+
+func rewriteBottomUp(n algebra.Node, rules []Rule, fired *[]string) (algebra.Node, bool) {
+	changed := false
+	// Rebuild children first.
+	children := n.Children()
+	newChildren := make([]algebra.Node, len(children))
+	for i, c := range children {
+		nc, ch := rewriteBottomUp(c, rules, fired)
+		newChildren[i] = nc
+		changed = changed || ch
+	}
+	if changed {
+		n = WithChildren(n, newChildren)
+	}
+	for _, r := range rules {
+		if out, ok := r.Apply(n); ok {
+			*fired = append(*fired, r.Name())
+			return out, true
+		}
+	}
+	return n, changed
+}
+
+// WithChildren clones the node with new inputs, preserving all other
+// configuration. Node values are small structs, so cloning is cheap.
+func WithChildren(n algebra.Node, kids []algebra.Node) algebra.Node {
+	switch node := n.(type) {
+	case *algebra.Source:
+		return node
+	case *algebra.Selection:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Projection:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Union:
+		c := *node
+		c.Left, c.Right = kids[0], kids[1]
+		return &c
+	case *algebra.Difference:
+		c := *node
+		c.Left, c.Right = kids[0], kids[1]
+		return &c
+	case *algebra.Join:
+		c := *node
+		c.Left, c.Right = kids[0], kids[1]
+		return &c
+	case *algebra.DropDuplicates:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.GroupBy:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Sort:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Rename:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Window:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Transpose:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Map:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.ToLabels:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.FromLabels:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Induce:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Limit:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.TopK:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	}
+	panic(fmt.Sprintf("optimizer: unknown node %T", n))
+}
+
+// DoubleTranspose eliminates TRANSPOSE∘TRANSPOSE. Sound when the inner
+// transpose declares no schema: T of T restores data, labels, and the
+// lazily-induced schema (the Python-style Object coercion of Section 4.3
+// guarantees S recovers the original Dn).
+type DoubleTranspose struct{}
+
+// Name identifies the rule.
+func (DoubleTranspose) Name() string { return "double-transpose-elimination" }
+
+// Apply rewrites T(T(x)) → x.
+func (DoubleTranspose) Apply(n algebra.Node) (algebra.Node, bool) {
+	outer, ok := n.(*algebra.Transpose)
+	if !ok || outer.Schema != nil {
+		return n, false
+	}
+	inner, ok := outer.Input.(*algebra.Transpose)
+	if !ok || inner.Schema != nil {
+		return n, false
+	}
+	return inner.Input, true
+}
+
+// TransposePullUp hoists TRANSPOSE above elementwise MAPs: MAP_e(T(x)) →
+// T(MAP_e(x)). Elementwise functions commute with axis exchange, and
+// pulling the transpose up lets it cancel against another transpose or be
+// deferred past more of the plan (the "transpose pull-up" of Section 5.2.2).
+type TransposePullUp struct{}
+
+// Name identifies the rule.
+func (TransposePullUp) Name() string { return "transpose-pull-up" }
+
+// Apply rewrites MAP_e(T(x)) → T(MAP_e(x)).
+func (TransposePullUp) Apply(n algebra.Node) (algebra.Node, bool) {
+	m, ok := n.(*algebra.Map)
+	if !ok || m.Fn.Elementwise == nil || m.Fn.OutCols != nil {
+		return n, false
+	}
+	t, ok := m.Input.(*algebra.Transpose)
+	if !ok || t.Schema != nil {
+		return n, false
+	}
+	// Elementwise output domains apply per cell, not per axis, so they
+	// survive the exchange.
+	inner := &algebra.Map{Input: t.Input, Fn: m.Fn}
+	return &algebra.Transpose{Input: inner}, true
+}
+
+// FuseMaps combines adjacent elementwise MAPs into one pass:
+// MAP_f(MAP_g(x)) → MAP_{f∘g}(x), the operator-fusion opportunity of
+// Section 5.1.3.
+type FuseMaps struct{}
+
+// Name identifies the rule.
+func (FuseMaps) Name() string { return "map-fusion" }
+
+// Apply rewrites MAP_f(MAP_g(x)) → MAP_{f∘g}(x).
+func (FuseMaps) Apply(n algebra.Node) (algebra.Node, bool) {
+	outer, ok := n.(*algebra.Map)
+	if !ok || outer.Fn.Elementwise == nil {
+		return n, false
+	}
+	inner, ok := outer.Input.(*algebra.Map)
+	if !ok || inner.Fn.Elementwise == nil {
+		return n, false
+	}
+	f, g := outer.Fn.Elementwise, inner.Fn.Elementwise
+	fused := expr.MapFn{
+		Name:        inner.Fn.Name + "∘" + outer.Fn.Name,
+		OutCols:     outer.Fn.OutCols,
+		OutDoms:     outer.Fn.OutDoms,
+		Elementwise: func(v types.Value) types.Value { return f(g(v)) },
+	}
+	if fused.OutCols == nil {
+		fused.OutCols = inner.Fn.OutCols
+	}
+	return &algebra.Map{Input: inner.Input, Fn: fused}, true
+}
+
+// ElideInduceAfterDeclaredMap removes INDUCE above a MAP whose output
+// domains are fully declared: there is nothing left to induce (the UDF-
+// with-known-output-type rewrite of Section 5.1.1).
+type ElideInduceAfterDeclaredMap struct{}
+
+// Name identifies the rule.
+func (ElideInduceAfterDeclaredMap) Name() string { return "elide-induce-declared-map" }
+
+// Apply rewrites INDUCE(MAP_declared(x)) → MAP_declared(x).
+func (ElideInduceAfterDeclaredMap) Apply(n algebra.Node) (algebra.Node, bool) {
+	ind, ok := n.(*algebra.Induce)
+	if !ok {
+		return n, false
+	}
+	m, ok := ind.Input.(*algebra.Map)
+	if !ok || m.Fn.OutDoms == nil {
+		return n, false
+	}
+	return m, true
+}
+
+// CollapseInduce merges consecutive INDUCE nodes: the second is a no-op.
+type CollapseInduce struct{}
+
+// Name identifies the rule.
+func (CollapseInduce) Name() string { return "collapse-induce" }
+
+// Apply rewrites INDUCE(INDUCE(x)) → INDUCE(x).
+func (CollapseInduce) Apply(n algebra.Node) (algebra.Node, bool) {
+	outer, ok := n.(*algebra.Induce)
+	if !ok {
+		return n, false
+	}
+	if _, ok := outer.Input.(*algebra.Induce); !ok {
+		return n, false
+	}
+	return outer.Input, true
+}
+
+// DeferInduce pushes INDUCE above row-eliminating operators:
+// op(INDUCE(x)) → INDUCE(op(x)) for SELECTION and LIMIT, which only shuffle
+// or drop rows and never consult column domains through their own
+// machinery. Parsing work is then spent only on surviving rows (Section
+// 5.1.1: "if certain columns are not operated on, inferring their type can
+// be deferred").
+type DeferInduce struct{}
+
+// Name identifies the rule.
+func (DeferInduce) Name() string { return "defer-induce" }
+
+// Apply rewrites SELECTION(INDUCE(x)) → INDUCE(SELECTION(x)), and the same
+// for LIMIT.
+func (DeferInduce) Apply(n algebra.Node) (algebra.Node, bool) {
+	switch node := n.(type) {
+	case *algebra.Selection:
+		if ind, ok := node.Input.(*algebra.Induce); ok {
+			c := *node
+			c.Input = ind.Input
+			return &algebra.Induce{Input: &c}, true
+		}
+	case *algebra.Limit:
+		if ind, ok := node.Input.(*algebra.Induce); ok {
+			c := *node
+			c.Input = ind.Input
+			return &algebra.Induce{Input: &c}, true
+		}
+	}
+	return n, false
+}
+
+// PushProjectionThroughMap moves PROJECTION below label-preserving
+// elementwise MAPs so the map touches fewer columns:
+// PROJECT(MAP_e(x)) → MAP_e(PROJECT(x)).
+type PushProjectionThroughMap struct{}
+
+// Name identifies the rule.
+func (PushProjectionThroughMap) Name() string { return "push-projection-through-map" }
+
+// Apply rewrites PROJECT(MAP_e(x)) → MAP_e(PROJECT(x)).
+func (PushProjectionThroughMap) Apply(n algebra.Node) (algebra.Node, bool) {
+	p, ok := n.(*algebra.Projection)
+	if !ok {
+		return n, false
+	}
+	m, ok := p.Input.(*algebra.Map)
+	if !ok || m.Fn.Elementwise == nil || m.Fn.OutCols != nil {
+		return n, false
+	}
+	inner := &algebra.Projection{Input: m.Input, Cols: p.Cols}
+	return &algebra.Map{Input: inner, Fn: m.Fn}, true
+}
+
+// SortedGroupBy marks a GROUPBY whose input is explicitly sorted by a
+// prefix of the grouping keys, switching the engine from hashing to the
+// streaming run-detection used by the Figure 8(b) pivot rewrite.
+type SortedGroupBy struct{}
+
+// Name identifies the rule.
+func (SortedGroupBy) Name() string { return "sorted-groupby" }
+
+// Apply sets Sorted on GROUPBY(SORT(x, keys...)) when the sort keys begin
+// with the grouping keys (ascending).
+func (SortedGroupBy) Apply(n algebra.Node) (algebra.Node, bool) {
+	g, ok := n.(*algebra.GroupBy)
+	if !ok || g.Spec.Sorted || len(g.Spec.Keys) == 0 {
+		return n, false
+	}
+	s, ok := g.Input.(*algebra.Sort)
+	if !ok || s.ByLabels || len(s.Order) < len(g.Spec.Keys) {
+		return n, false
+	}
+	for i, key := range g.Spec.Keys {
+		if s.Order[i].Col != key || s.Order[i].Desc {
+			return n, false
+		}
+	}
+	c := *g
+	c.Spec.Sorted = true
+	return &c, true
+}
+
+// LimitSortToTopK fuses LIMIT(SORT(x)) into the TOPK physical operator:
+// when the user inspects only the head or tail of a sorted result (the
+// dominant inspection pattern of Section 6.1.2), a bounded heap replaces
+// the full blocking sort — O(n log k) instead of O(n log n), and
+// partition-parallel under MODIN.
+type LimitSortToTopK struct{}
+
+// Name identifies the rule.
+func (LimitSortToTopK) Name() string { return "limit-sort-to-topk" }
+
+// Apply rewrites LIMIT(SORT(x, order), n) → TOPK(x, order, n).
+func (LimitSortToTopK) Apply(n algebra.Node) (algebra.Node, bool) {
+	lim, ok := n.(*algebra.Limit)
+	if !ok {
+		return n, false
+	}
+	s, ok := lim.Input.(*algebra.Sort)
+	if !ok || s.ByLabels || len(s.Order) == 0 {
+		return n, false
+	}
+	return &algebra.TopK{Input: s.Input, Order: s.Order, N: lim.N}, true
+}
+
+// Explain renders the plan before and after optimization with the fired
+// rules, for debugging and documentation.
+func Explain(n algebra.Node, rules []Rule) string {
+	var b strings.Builder
+	b.WriteString("before:\n")
+	b.WriteString(algebra.Render(n))
+	out, fired := Optimize(n, rules)
+	b.WriteString("after:\n")
+	b.WriteString(algebra.Render(out))
+	b.WriteString("rules fired: ")
+	if len(fired) == 0 {
+		b.WriteString("(none)")
+	} else {
+		b.WriteString(strings.Join(fired, ", "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,256 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/eager"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func source(t *testing.T) *algebra.Source {
+	t.Helper()
+	return &algebra.Source{DF: core.MustFromRecords(
+		[]string{"k", "v"},
+		[][]any{{"b", 1}, {"a", 2}, {"b", 3}, {"a", 4}},
+	), Name: "t"}
+}
+
+// runBoth executes the plan before and after optimization and requires the
+// same result — the soundness property every rule must satisfy.
+func runBoth(t *testing.T, plan algebra.Node, wantRules ...string) *core.DataFrame {
+	t.Helper()
+	engine := eager.New()
+	before, err := engine.Execute(plan)
+	if err != nil {
+		t.Fatalf("before: %v", err)
+	}
+	opt, fired := Optimize(plan, Default())
+	after, err := engine.Execute(opt)
+	if err != nil {
+		t.Fatalf("after: %v", err)
+	}
+	if !before.Equal(after) {
+		t.Fatalf("rewrite changed semantics:\nbefore:\n%s\nafter:\n%s\nplan:\n%s", before, after, algebra.Render(opt))
+	}
+	for _, want := range wantRules {
+		found := false
+		for _, f := range fired {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule %q did not fire; fired = %v", want, fired)
+		}
+	}
+	return after
+}
+
+func TestDoubleTransposeElimination(t *testing.T) {
+	plan := &algebra.Transpose{Input: &algebra.Transpose{Input: source(t)}}
+	runBoth(t, plan, "double-transpose-elimination")
+	opt, _ := Optimize(plan, Default())
+	if _, ok := opt.(*algebra.Source); !ok {
+		t.Errorf("T∘T should reduce to the source, got:\n%s", algebra.Render(opt))
+	}
+}
+
+func TestDoubleTransposeKeepsDeclaredSchema(t *testing.T) {
+	plan := &algebra.Transpose{Input: &algebra.Transpose{
+		Input:  source(t),
+		Schema: []types.Domain{types.Object, types.Object, types.Object, types.Object},
+	}}
+	_, fired := Optimize(plan, Default())
+	for _, f := range fired {
+		if f == "double-transpose-elimination" {
+			t.Error("declared inner schema must block elimination")
+		}
+	}
+}
+
+func TestTransposePullUpEnablesCancellation(t *testing.T) {
+	// T(MAP_e(T(x))) — the columnwise-operation idiom of Section 5.2.2 —
+	// should collapse to MAP_e(x): no physical transpose at all.
+	inner := &algebra.Map{
+		Input: &algebra.Transpose{Input: source(t)},
+		Fn:    algebra.FillNAFn(types.String("-")),
+	}
+	plan := &algebra.Transpose{Input: inner}
+	runBoth(t, plan, "transpose-pull-up", "double-transpose-elimination")
+	opt, _ := Optimize(plan, Default())
+	if strings.Contains(algebra.Render(opt), "TRANSPOSE") {
+		t.Errorf("both transposes should be gone:\n%s", algebra.Render(opt))
+	}
+}
+
+func TestFuseMaps(t *testing.T) {
+	plan := &algebra.Map{
+		Input: &algebra.Map{Input: source(t), Fn: algebra.FillNAFn(types.IntValue(0))},
+		Fn:    algebra.StrUpperFn(),
+	}
+	runBoth(t, plan, "map-fusion")
+	opt, _ := Optimize(plan, Default())
+	if algebra.CountNodes(opt) != 2 {
+		t.Errorf("fused plan should be MAP(SOURCE):\n%s", algebra.Render(opt))
+	}
+}
+
+func TestInduceRules(t *testing.T) {
+	// INDUCE over a declared-output MAP is elided.
+	plan := &algebra.Induce{Input: &algebra.Map{Input: source(t), Fn: algebra.IsNullFn()}}
+	runBoth(t, plan, "elide-induce-declared-map")
+
+	// INDUCE(INDUCE(x)) collapses.
+	plan2 := &algebra.Induce{Input: &algebra.Induce{Input: source(t)}}
+	runBoth(t, plan2, "collapse-induce")
+
+	// SELECTION(INDUCE(x)) defers induction past the filter.
+	plan3 := &algebra.Selection{
+		Input: &algebra.Induce{Input: source(t)},
+		Pred:  expr.ColEquals("k", types.String("a")),
+		Desc:  "k==a",
+	}
+	runBoth(t, plan3, "defer-induce")
+	opt, _ := Optimize(plan3, Default())
+	if _, ok := opt.(*algebra.Induce); !ok {
+		t.Errorf("induce should be outermost:\n%s", algebra.Render(opt))
+	}
+}
+
+func TestPushProjectionThroughMap(t *testing.T) {
+	plan := &algebra.Projection{
+		Input: &algebra.Map{Input: source(t), Fn: algebra.FillNAFn(types.IntValue(0))},
+		Cols:  []string{"v"},
+	}
+	runBoth(t, plan, "push-projection-through-map")
+	opt, _ := Optimize(plan, Default())
+	if _, ok := opt.(*algebra.Map); !ok {
+		t.Errorf("map should be outermost:\n%s", algebra.Render(opt))
+	}
+}
+
+func TestSortedGroupBy(t *testing.T) {
+	plan := &algebra.GroupBy{
+		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "k"}}},
+		Spec: expr.GroupBySpec{
+			Keys: []string{"k"},
+			Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "s"}},
+		},
+	}
+	runBoth(t, plan, "sorted-groupby")
+	opt, _ := Optimize(plan, Default())
+	if !opt.(*algebra.GroupBy).Spec.Sorted {
+		t.Error("groupby should be marked sorted")
+	}
+
+	// Descending sort must not mark sorted.
+	plan2 := &algebra.GroupBy{
+		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "k", Desc: true}}},
+		Spec:  plan.Spec,
+	}
+	opt2, _ := Optimize(plan2, Default())
+	if opt2.(*algebra.GroupBy).Spec.Sorted {
+		t.Error("descending sort must not enable streaming groupby")
+	}
+}
+
+func TestOptimizeReachesFixpoint(t *testing.T) {
+	// A deep tower of transposes reduces fully.
+	var plan algebra.Node = source(t)
+	for i := 0; i < 8; i++ {
+		plan = &algebra.Transpose{Input: plan}
+	}
+	opt, _ := Optimize(plan, Default())
+	if _, ok := opt.(*algebra.Source); !ok {
+		t.Errorf("8 transposes should cancel:\n%s", algebra.Render(opt))
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	src := source(t) // 4x2
+	if e := EstimateNode(src); e.Rows != 4 || e.Cols != 2 {
+		t.Errorf("source estimate = %+v", e)
+	}
+	tr := &algebra.Transpose{Input: src}
+	if e := EstimateNode(tr); e.Rows != 2 || e.Cols != 4 {
+		t.Errorf("transpose estimate = %+v (axes must swap exactly)", e)
+	}
+	sel := &algebra.Selection{Input: src, Pred: expr.ColNotNull("k"), Desc: "x"}
+	if e := EstimateNode(sel); e.Rows != 2 {
+		t.Errorf("selection estimate = %+v", e)
+	}
+	join := &algebra.Join{Left: src, Right: src, Kind: expr.JoinCross}
+	if e := EstimateNode(join); e.Rows != 16 || e.Cols != 4 {
+		t.Errorf("cross estimate = %+v", e)
+	}
+	lim := &algebra.Limit{Input: src, N: -2}
+	if e := EstimateNode(lim); e.Rows != 2 {
+		t.Errorf("limit estimate = %+v", e)
+	}
+	if EstimateNode(&algebra.FromLabels{Input: src, Label: "x"}).Cols != 3 {
+		t.Error("fromlabels estimate wrong")
+	}
+	if EstimateNode(&algebra.ToLabels{Input: src, Col: "k"}).Cols != 1 {
+		t.Error("tolabels estimate wrong")
+	}
+	gb := &algebra.GroupBy{Input: src, Spec: expr.GroupBySpec{Keys: []string{"k"}, Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum}}}}
+	if e := EstimateNode(gb); e.Cols != 2 {
+		t.Errorf("groupby estimate = %+v", e)
+	}
+}
+
+func TestPlanCostPrefersSortedGroupBy(t *testing.T) {
+	sorted := &algebra.GroupBy{
+		Input: source(t),
+		Spec: expr.GroupBySpec{
+			Keys:   []string{"k"},
+			Aggs:   []expr.AggSpec{{Col: "v", Agg: expr.AggSum}},
+			Sorted: true,
+		},
+	}
+	hashed := &algebra.GroupBy{Input: source(t), Spec: expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum}},
+	}}
+	if PlanCost(sorted) >= PlanCost(hashed) {
+		t.Error("cost model should prefer streaming groupby")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	plan := &algebra.Transpose{Input: &algebra.Transpose{Input: source(t)}}
+	out := Explain(plan, Default())
+	if !strings.Contains(out, "before:") || !strings.Contains(out, "after:") ||
+		!strings.Contains(out, "double-transpose-elimination") {
+		t.Errorf("explain output:\n%s", out)
+	}
+}
+
+func TestLimitSortToTopK(t *testing.T) {
+	plan := &algebra.Limit{
+		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "v", Desc: true}}},
+		N:     2,
+	}
+	runBoth(t, plan, "limit-sort-to-topk")
+	opt, _ := Optimize(plan, Default())
+	if _, ok := opt.(*algebra.TopK); !ok {
+		t.Errorf("plan should fuse to TOPK:\n%s", algebra.Render(opt))
+	}
+	if e := EstimateNode(opt); e.Rows != 2 {
+		t.Errorf("topk estimate = %+v", e)
+	}
+	// Label sorts and suffix limits behave too.
+	tail := &algebra.Limit{
+		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "v"}}},
+		N:     -2,
+	}
+	runBoth(t, tail, "limit-sort-to-topk")
+	byLabels := &algebra.Limit{Input: &algebra.Sort{Input: source(t), ByLabels: true}, N: 2}
+	if _, fired := Optimize(byLabels, Default()); len(fired) != 0 {
+		t.Error("label sorts must not fuse")
+	}
+}

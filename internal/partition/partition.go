@@ -1,0 +1,322 @@
+// Package partition implements MODIN's flexible partitioning layer (Section
+// 3.1): a dataframe decomposed into a grid of blocks under row-based,
+// column-based, or block-based partitioning, with cheap movement between
+// schemes and the communication-free block transpose of Section 3.1
+// ("Supporting billions of columns").
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Scheme selects how a dataframe is split into partitions.
+type Scheme int
+
+const (
+	// Rows partitions into horizontal bands (each partition holds a
+	// contiguous run of full rows).
+	Rows Scheme = iota
+	// Cols partitions into vertical bands (full columns).
+	Cols
+	// Blocks partitions into a 2-D grid of row×column blocks, the layout
+	// that makes TRANSPOSE communication-free.
+	Blocks
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Rows:
+		return "rows"
+	case Cols:
+		return "cols"
+	case Blocks:
+		return "blocks"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Frame is a dataframe decomposed into a grid of blocks. grid[r][c] holds
+// the block at row-band r and column-band c; every block in a row band
+// shares row labels, and every block in a column band shares column labels.
+// Blocks are plain core dataframes, so all algebra kernels apply per block.
+type Frame struct {
+	grid [][]*core.DataFrame
+}
+
+// New partitions df under the given scheme, splitting so that roughly
+// targetBands partitions exist along each partitioned axis (typically the
+// worker count).
+func New(df *core.DataFrame, scheme Scheme, targetBands int) *Frame {
+	if targetBands <= 0 {
+		targetBands = 1
+	}
+	rowBands, colBands := 1, 1
+	switch scheme {
+	case Rows:
+		rowBands = bandCount(df.NRows(), targetBands)
+	case Cols:
+		colBands = bandCount(df.NCols(), targetBands)
+	case Blocks:
+		rowBands = bandCount(df.NRows(), targetBands)
+		colBands = bandCount(df.NCols(), targetBands)
+	}
+	rowCuts := cuts(df.NRows(), rowBands)
+	colCuts := cuts(df.NCols(), colBands)
+
+	grid := make([][]*core.DataFrame, len(rowCuts)-1)
+	for r := range grid {
+		band := df.SliceRows(rowCuts[r], rowCuts[r+1])
+		grid[r] = make([]*core.DataFrame, len(colCuts)-1)
+		for c := range grid[r] {
+			idx := make([]int, 0, colCuts[c+1]-colCuts[c])
+			for j := colCuts[c]; j < colCuts[c+1]; j++ {
+				idx = append(idx, j)
+			}
+			grid[r][c] = band.SelectCols(idx)
+		}
+	}
+	return &Frame{grid: grid}
+}
+
+// FromGrid wraps an existing block grid. Every row band must have the same
+// number of column bands, blocks in a row band the same row count, and
+// blocks in a column band the same column count.
+func FromGrid(grid [][]*core.DataFrame) (*Frame, error) {
+	if len(grid) == 0 {
+		return &Frame{grid: [][]*core.DataFrame{{core.Empty()}}}, nil
+	}
+	width := len(grid[0])
+	for r, band := range grid {
+		if len(band) != width {
+			return nil, fmt.Errorf("partition: row band %d has %d blocks, want %d", r, len(band), width)
+		}
+		for c, blk := range band {
+			if blk.NRows() != band[0].NRows() {
+				return nil, fmt.Errorf("partition: block (%d,%d) has %d rows, band has %d", r, c, blk.NRows(), band[0].NRows())
+			}
+			if blk.NCols() != grid[0][c].NCols() {
+				return nil, fmt.Errorf("partition: block (%d,%d) has %d cols, column band has %d", r, c, blk.NCols(), grid[0][c].NCols())
+			}
+		}
+	}
+	return &Frame{grid: grid}, nil
+}
+
+func bandCount(n, target int) int {
+	if n <= 0 {
+		return 1
+	}
+	if target > n {
+		target = n
+	}
+	if target < 1 {
+		target = 1
+	}
+	return target
+}
+
+// cuts returns band boundaries splitting n items into bands roughly-equal
+// parts.
+func cuts(n, bands int) []int {
+	out := make([]int, bands+1)
+	for i := 0; i <= bands; i++ {
+		out[i] = i * n / bands
+	}
+	return out
+}
+
+// RowBands returns the number of row bands.
+func (f *Frame) RowBands() int { return len(f.grid) }
+
+// ColBands returns the number of column bands.
+func (f *Frame) ColBands() int {
+	if len(f.grid) == 0 {
+		return 0
+	}
+	return len(f.grid[0])
+}
+
+// Block returns the block at row band r, column band c.
+func (f *Frame) Block(r, c int) *core.DataFrame { return f.grid[r][c] }
+
+// NRows returns the total row count.
+func (f *Frame) NRows() int {
+	n := 0
+	for r := range f.grid {
+		n += f.grid[r][0].NRows()
+	}
+	return n
+}
+
+// NCols returns the total column count.
+func (f *Frame) NCols() int {
+	if len(f.grid) == 0 {
+		return 0
+	}
+	n := 0
+	for _, blk := range f.grid[0] {
+		n += blk.NCols()
+	}
+	return n
+}
+
+// HStack combines frames holding the same rows into one wider frame: column
+// vectors, labels, and domains concatenate; row labels come from the first.
+func HStack(frames ...*core.DataFrame) (*core.DataFrame, error) {
+	if len(frames) == 0 {
+		return core.Empty(), nil
+	}
+	if len(frames) == 1 {
+		return frames[0], nil
+	}
+	var cols []vector.Vector
+	var labels []types.Value
+	var doms []types.Domain
+	for _, fr := range frames {
+		if fr.NRows() != frames[0].NRows() {
+			return nil, fmt.Errorf("partition: hstack row mismatch: %d vs %d", fr.NRows(), frames[0].NRows())
+		}
+		cols = append(cols, fr.Columns()...)
+		labels = append(labels, fr.ColLabels()...)
+		doms = append(doms, fr.Domains()...)
+	}
+	return core.Build(cols, frames[0].RowLabels(), labels, doms, frames[0].Cache())
+}
+
+// RowBand gathers row band r into a single full-width frame.
+func (f *Frame) RowBand(r int) (*core.DataFrame, error) { return HStack(f.grid[r]...) }
+
+// ToFrame gathers every block back into one dataframe in order. Bands stack
+// positionally: gathering never realigns columns by label, so transposed
+// frames with numeric or duplicate labels reassemble exactly.
+func (f *Frame) ToFrame() (*core.DataFrame, error) {
+	bands := make([]*core.DataFrame, f.RowBands())
+	for r := range f.grid {
+		b, err := f.RowBand(r)
+		if err != nil {
+			return nil, err
+		}
+		bands[r] = b
+	}
+	return algebra.VStackFrames(bands...)
+}
+
+// MapBlocks applies fn to every block in parallel, producing a new frame
+// with the same grid shape. fn must be shape-compatible within bands (same
+// row count across a row band, same column count across a column band).
+func (f *Frame) MapBlocks(pool *exec.Pool, fn func(*core.DataFrame) (*core.DataFrame, error)) (*Frame, error) {
+	rb, cb := f.RowBands(), f.ColBands()
+	out := make([][]*core.DataFrame, rb)
+	for r := range out {
+		out[r] = make([]*core.DataFrame, cb)
+	}
+	err := pool.ForEach(rb*cb, func(i int) error {
+		r, c := i/cb, i%cb
+		blk, err := fn(f.grid[r][c])
+		if err != nil {
+			return err
+		}
+		out[r][c] = blk
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromGrid(out)
+}
+
+// MapRowBands gathers each row band to full width and applies fn to the
+// bands in parallel. Band results may change row counts (selection) but
+// must agree on columns. The result is row-partitioned.
+func (f *Frame) MapRowBands(pool *exec.Pool, fn func(band *core.DataFrame) (*core.DataFrame, error)) (*Frame, error) {
+	rb := f.RowBands()
+	out := make([][]*core.DataFrame, rb)
+	err := pool.ForEach(rb, func(r int) error {
+		band, err := f.RowBand(r)
+		if err != nil {
+			return err
+		}
+		res, err := fn(band)
+		if err != nil {
+			return err
+		}
+		out[r] = []*core.DataFrame{res}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r := 1; r < rb; r++ {
+		if out[r][0].NCols() != out[0][0].NCols() {
+			return nil, fmt.Errorf("partition: row-band map changed arity: band %d has %d cols, band 0 has %d", r, out[r][0].NCols(), out[0][0].NCols())
+		}
+	}
+	return FromGrid(out)
+}
+
+// Transpose performs MODIN's communication-free transpose (Section 3.1):
+// each block is transposed independently in parallel, and the grid metadata
+// swaps block coordinates. No data moves between partitions.
+func (f *Frame) Transpose(pool *exec.Pool, declared []types.Domain) (*Frame, error) {
+	rb, cb := f.RowBands(), f.ColBands()
+	out := make([][]*core.DataFrame, cb)
+	for c := range out {
+		out[c] = make([]*core.DataFrame, rb)
+	}
+	err := pool.ForEach(rb*cb, func(i int) error {
+		r, c := i/cb, i%cb
+		t, err := algebra.TransposeFrame(f.grid[r][c], nil)
+		if err != nil {
+			return err
+		}
+		out[c][r] = t // metadata swap: block (r,c) lands at (c,r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pf, err := FromGrid(out)
+	if err != nil {
+		return nil, err
+	}
+	if declared != nil {
+		// A declared schema applies to the gathered result's columns;
+		// blocks keep lazily-induced domains and the declaration is
+		// honored on gather by the caller.
+		return pf, nil
+	}
+	return pf, nil
+}
+
+// Repartition re-splits the gathered frame under a new scheme.
+func (f *Frame) Repartition(scheme Scheme, targetBands int) (*Frame, error) {
+	df, err := f.ToFrame()
+	if err != nil {
+		return nil, err
+	}
+	return New(df, scheme, targetBands), nil
+}
+
+// EnsureSingleColBand returns a frame whose row bands are full width,
+// hstacking column bands when needed (used before row-wise UDFs).
+func (f *Frame) EnsureSingleColBand() (*Frame, error) {
+	if f.ColBands() <= 1 {
+		return f, nil
+	}
+	out := make([][]*core.DataFrame, f.RowBands())
+	for r := range f.grid {
+		band, err := f.RowBand(r)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = []*core.DataFrame{band}
+	}
+	return FromGrid(out)
+}

@@ -1,0 +1,219 @@
+package partition
+
+import (
+	"testing"
+
+	"fmt"
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/expr"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+func frame(t *testing.T, rows, cols int) *core.DataFrame {
+	t.Helper()
+	names := make([]string, cols)
+	records := make([][]any, rows)
+	for j := range names {
+		names[j] = string(rune('a' + j))
+	}
+	for i := range records {
+		rec := make([]any, cols)
+		for j := range rec {
+			rec[j] = i*cols + j
+		}
+		records[i] = rec
+	}
+	return core.MustFromRecords(names, records)
+}
+
+func TestSchemes(t *testing.T) {
+	df := frame(t, 20, 6)
+	rows := New(df, Rows, 4)
+	if rows.RowBands() != 4 || rows.ColBands() != 1 {
+		t.Errorf("rows scheme = %dx%d bands", rows.RowBands(), rows.ColBands())
+	}
+	cols := New(df, Cols, 3)
+	if cols.RowBands() != 1 || cols.ColBands() != 3 {
+		t.Errorf("cols scheme = %dx%d bands", cols.RowBands(), cols.ColBands())
+	}
+	blocks := New(df, Blocks, 3)
+	if blocks.RowBands() != 3 || blocks.ColBands() != 3 {
+		t.Errorf("blocks scheme = %dx%d bands", blocks.RowBands(), blocks.ColBands())
+	}
+	if rows.NRows() != 20 || rows.NCols() != 6 {
+		t.Error("shape wrong")
+	}
+	for _, s := range []Scheme{Rows, Cols, Blocks, Scheme(9)} {
+		if s.String() == "" {
+			t.Error("scheme name empty")
+		}
+	}
+}
+
+func TestGatherRoundTrip(t *testing.T) {
+	df := frame(t, 33, 5)
+	for _, scheme := range []Scheme{Rows, Cols, Blocks} {
+		pf := New(df, scheme, 4)
+		back, err := pf.ToFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(df) {
+			t.Errorf("scheme %v round trip failed", scheme)
+		}
+	}
+}
+
+func TestMoreBandsThanRowsClamps(t *testing.T) {
+	df := frame(t, 2, 2)
+	pf := New(df, Rows, 16)
+	if pf.RowBands() > 2 {
+		t.Errorf("bands = %d for 2 rows", pf.RowBands())
+	}
+	back, err := pf.ToFrame()
+	if err != nil || !back.Equal(df) {
+		t.Error("tiny frame round trip failed")
+	}
+}
+
+func TestMapBlocks(t *testing.T) {
+	df := frame(t, 16, 4)
+	pf := New(df, Blocks, 2)
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	out, err := pf.MapBlocks(pool, func(blk *core.DataFrame) (*core.DataFrame, error) {
+		return algebra.MapFrame(blk, algebra.IsNullFn())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NRows() != 16 || got.Value(0, 0).Bool() {
+		t.Error("mapblocks wrong")
+	}
+}
+
+func TestMapRowBandsSelection(t *testing.T) {
+	df := frame(t, 30, 3)
+	pf := New(df, Rows, 5)
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	out, err := pf.MapRowBands(pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+		return algebra.SelectRows(band, func(r expr.Row) bool { return r.Value(0).Int()%2 == 0 }), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NRows() != 15 {
+		t.Errorf("rows = %d", got.NRows())
+	}
+}
+
+func TestBlockTransposeMatchesKernel(t *testing.T) {
+	df := frame(t, 12, 7)
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	pf := New(df, Blocks, 3)
+	tp, err := pf.Transpose(pool, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.TransposeFrame(df, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("block transpose != kernel transpose:\n%s\nvs\n%s", got, want)
+	}
+	// Grid shape swaps.
+	if tp.RowBands() != pf.ColBands() || tp.ColBands() != pf.RowBands() {
+		t.Error("grid metadata should swap")
+	}
+}
+
+func TestHStackMismatch(t *testing.T) {
+	a := frame(t, 3, 2)
+	b := frame(t, 4, 2)
+	if _, err := HStack(a, b); err == nil {
+		t.Error("row mismatch should fail")
+	}
+	single, err := HStack(a)
+	if err != nil || single != a {
+		t.Error("single hstack should pass through")
+	}
+	empty, err := HStack()
+	if err != nil || empty.NRows() != 0 {
+		t.Error("empty hstack wrong")
+	}
+}
+
+func TestFromGridValidation(t *testing.T) {
+	a := frame(t, 3, 2)
+	if _, err := FromGrid([][]*core.DataFrame{{a}, {a, a}}); err == nil {
+		t.Error("ragged grid should fail")
+	}
+	if _, err := FromGrid([][]*core.DataFrame{{a, frame(t, 4, 2)}}); err == nil {
+		t.Error("row-count mismatch in band should fail")
+	}
+	empty, err := FromGrid(nil)
+	if err != nil || empty.NRows() != 0 {
+		t.Error("empty grid should wrap Empty frame")
+	}
+}
+
+func TestRepartitionAndEnsureSingle(t *testing.T) {
+	df := frame(t, 24, 6)
+	pf := New(df, Blocks, 3)
+	rows, err := pf.Repartition(Rows, 4)
+	if err != nil || rows.ColBands() != 1 || rows.RowBands() != 4 {
+		t.Error("repartition wrong")
+	}
+	single, err := pf.EnsureSingleColBand()
+	if err != nil || single.ColBands() != 1 {
+		t.Error("ensure single col band wrong")
+	}
+	got, err := single.ToFrame()
+	if err != nil || !got.Equal(df) {
+		t.Error("ensure single round trip failed")
+	}
+	// Already single: identity.
+	same, err := single.EnsureSingleColBand()
+	if err != nil || same != single {
+		t.Error("already-single should pass through")
+	}
+}
+
+func TestRowBandLabelsPreserved(t *testing.T) {
+	df := frame(t, 10, 2)
+	labels := make([]types.Value, 10)
+	for i := range labels {
+		labels[i] = types.String(fmt.Sprintf("L%d", i))
+	}
+	relabeled, err := df.WithRowLabels(vector.FromValues(types.Object, labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := New(relabeled, Rows, 3)
+	back, err := pf.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RowLabels().Value(9).Str() != "L9" {
+		t.Error("labels should survive partitioning")
+	}
+}

@@ -1,0 +1,204 @@
+// Package posindex implements the positional index of Section 5.2.1: an
+// order-statistic structure giving O(log n) ordered access (select by
+// position) in the presence of edits (insert/delete of rows), the mechanism
+// the paper cites ([25], Bendre et al.) for decoupling a dataframe's logical
+// order from its physical layout. A dataframe system keeps one of these per
+// axis so that "the i'th row" stays meaningful while rows are added and
+// removed without O(n) renumbering.
+//
+// The implementation is a treap (randomized balanced BST) augmented with
+// subtree sizes; positions are implicit (rank within the tree), so an
+// insertion shifts every following position in O(log n).
+package posindex
+
+import (
+	"fmt"
+)
+
+// Index is an ordered sequence of payloads supporting positional access,
+// insertion and deletion in O(log n). The zero value is an empty index.
+type Index[T any] struct {
+	root *node[T]
+	rng  uint64
+}
+
+type node[T any] struct {
+	left, right *node[T]
+	size        int
+	prio        uint64
+	val         T
+}
+
+func size[T any](n *node[T]) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node[T]) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// New returns an empty index.
+func New[T any]() *Index[T] { return &Index[T]{rng: 0x9e3779b97f4a7c15} }
+
+// nextPrio is a splitmix64 step: deterministic, well-mixed priorities keep
+// the treap balanced with reproducible structure.
+func (ix *Index[T]) nextPrio() uint64 {
+	ix.rng += 0x9e3779b97f4a7c15
+	z := ix.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of entries.
+func (ix *Index[T]) Len() int { return size(ix.root) }
+
+// split divides t into positions [0, k) and [k, n).
+func split[T any](t *node[T], k int) (left, right *node[T]) {
+	if t == nil {
+		return nil, nil
+	}
+	if size(t.left) >= k {
+		l, r := split(t.left, k)
+		t.left = r
+		t.update()
+		return l, t
+	}
+	l, r := split(t.right, k-size(t.left)-1)
+	t.right = l
+	t.update()
+	return t, r
+}
+
+// merge joins two treaps where every position of l precedes every position
+// of r.
+func merge[T any](l, r *node[T]) *node[T] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio > r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Insert places v at position pos, shifting later positions up by one.
+func (ix *Index[T]) Insert(pos int, v T) error {
+	if pos < 0 || pos > ix.Len() {
+		return fmt.Errorf("posindex: insert at %d out of range [0, %d]", pos, ix.Len())
+	}
+	n := &node[T]{size: 1, prio: ix.nextPrio(), val: v}
+	l, r := split(ix.root, pos)
+	ix.root = merge(merge(l, n), r)
+	return nil
+}
+
+// Append places v after the last position.
+func (ix *Index[T]) Append(v T) { _ = ix.Insert(ix.Len(), v) }
+
+// At returns the payload at position pos.
+func (ix *Index[T]) At(pos int) (T, error) {
+	var zero T
+	if pos < 0 || pos >= ix.Len() {
+		return zero, fmt.Errorf("posindex: position %d out of range [0, %d)", pos, ix.Len())
+	}
+	n := ix.root
+	for {
+		ls := size(n.left)
+		switch {
+		case pos < ls:
+			n = n.left
+		case pos == ls:
+			return n.val, nil
+		default:
+			pos -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// Delete removes the entry at position pos, shifting later positions down
+// by one, and returns its payload.
+func (ix *Index[T]) Delete(pos int) (T, error) {
+	var zero T
+	if pos < 0 || pos >= ix.Len() {
+		return zero, fmt.Errorf("posindex: delete at %d out of range [0, %d)", pos, ix.Len())
+	}
+	l, rest := split(ix.root, pos)
+	mid, r := split(rest, 1)
+	ix.root = merge(l, r)
+	return mid.val, nil
+}
+
+// Set replaces the payload at position pos.
+func (ix *Index[T]) Set(pos int, v T) error {
+	if pos < 0 || pos >= ix.Len() {
+		return fmt.Errorf("posindex: set at %d out of range [0, %d)", pos, ix.Len())
+	}
+	n := ix.root
+	for {
+		ls := size(n.left)
+		switch {
+		case pos < ls:
+			n = n.left
+		case pos == ls:
+			n.val = v
+			return nil
+		default:
+			pos -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// Slice materializes positions [lo, hi) in order.
+func (ix *Index[T]) Slice(lo, hi int) ([]T, error) {
+	if lo < 0 || hi > ix.Len() || lo > hi {
+		return nil, fmt.Errorf("posindex: slice [%d:%d) out of range for length %d", lo, hi, ix.Len())
+	}
+	out := make([]T, 0, hi-lo)
+	var walk func(n *node[T], offset int)
+	walk = func(n *node[T], offset int) {
+		if n == nil {
+			return
+		}
+		ls := size(n.left)
+		nodePos := offset + ls
+		if lo < nodePos { // left subtree overlaps
+			walk(n.left, offset)
+		}
+		if nodePos >= lo && nodePos < hi {
+			out = append(out, n.val)
+		}
+		if hi > nodePos+1 {
+			walk(n.right, nodePos+1)
+		}
+	}
+	walk(ix.root, 0)
+	return out, nil
+}
+
+// Values materializes the whole sequence in order.
+func (ix *Index[T]) Values() []T {
+	out, _ := ix.Slice(0, ix.Len())
+	return out
+}
+
+// FromSlice builds an index over the given payloads in order.
+func FromSlice[T any](vals []T) *Index[T] {
+	ix := New[T]()
+	for _, v := range vals {
+		ix.Append(v)
+	}
+	return ix
+}

@@ -1,0 +1,188 @@
+package posindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSequence(t *testing.T) {
+	ix := New[int]()
+	if ix.Len() != 0 {
+		t.Fatal("empty index should have length 0")
+	}
+	for i := 0; i < 10; i++ {
+		ix.Append(i * 10)
+	}
+	if ix.Len() != 10 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, err := ix.At(i)
+		if err != nil || v != i*10 {
+			t.Errorf("At(%d) = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestInsertShiftsPositions(t *testing.T) {
+	ix := FromSlice([]string{"a", "b", "d"})
+	if err := ix.Insert(2, "c"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d"}
+	got := ix.Values()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values = %v", got)
+		}
+	}
+	// Head and tail inserts.
+	ix.Insert(0, "start")
+	ix.Insert(ix.Len(), "end")
+	got = ix.Values()
+	if got[0] != "start" || got[len(got)-1] != "end" {
+		t.Errorf("boundary inserts wrong: %v", got)
+	}
+}
+
+func TestDeleteShiftsPositions(t *testing.T) {
+	ix := FromSlice([]int{0, 1, 2, 3, 4})
+	v, err := ix.Delete(2)
+	if err != nil || v != 2 {
+		t.Fatalf("delete = %d, %v", v, err)
+	}
+	got := ix.Values()
+	want := []int{0, 1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after delete: %v", got)
+		}
+	}
+}
+
+func TestSetAndSlice(t *testing.T) {
+	ix := FromSlice([]int{1, 2, 3, 4, 5})
+	if err := ix.Set(2, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.At(2); v != 99 {
+		t.Error("set failed")
+	}
+	s, err := ix.Slice(1, 4)
+	if err != nil || len(s) != 3 || s[0] != 2 || s[1] != 99 || s[2] != 4 {
+		t.Errorf("slice = %v, %v", s, err)
+	}
+	if _, err := ix.Slice(3, 2); err == nil {
+		t.Error("bad slice should fail")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	ix := FromSlice([]int{1})
+	if _, err := ix.At(1); err == nil {
+		t.Error("At out of range should fail")
+	}
+	if _, err := ix.Delete(-1); err == nil {
+		t.Error("Delete out of range should fail")
+	}
+	if err := ix.Insert(5, 0); err == nil {
+		t.Error("Insert out of range should fail")
+	}
+	if err := ix.Set(9, 0); err == nil {
+		t.Error("Set out of range should fail")
+	}
+}
+
+// TestMatchesSliceReference drives the index and a plain slice with the same
+// random edit script and requires identical sequences throughout.
+func TestMatchesSliceReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ix := New[int]()
+	var ref []int
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(ref) == 0: // insert
+			pos := rng.Intn(len(ref) + 1)
+			v := rng.Int()
+			if err := ix.Insert(pos, v); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref[:pos], append([]int{v}, ref[pos:]...)...)
+		case op == 1: // delete
+			pos := rng.Intn(len(ref))
+			got, err := ix.Delete(pos)
+			if err != nil || got != ref[pos] {
+				t.Fatalf("delete mismatch at step %d", step)
+			}
+			ref = append(ref[:pos], ref[pos+1:]...)
+		case op == 2: // read
+			pos := rng.Intn(len(ref))
+			got, err := ix.At(pos)
+			if err != nil || got != ref[pos] {
+				t.Fatalf("read mismatch at step %d: %d vs %d", step, got, ref[pos])
+			}
+		default: // set
+			pos := rng.Intn(len(ref))
+			v := rng.Int()
+			if err := ix.Set(pos, v); err != nil {
+				t.Fatal(err)
+			}
+			ref[pos] = v
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("length diverged at step %d", step)
+		}
+	}
+	got := ix.Values()
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("final sequence mismatch at %d", i)
+		}
+	}
+}
+
+func TestFromSliceRoundTripProperty(t *testing.T) {
+	prop := func(vals []int64) bool {
+		ix := FromSlice(vals)
+		got := ix.Values()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	// 100k sequential appends should still give logarithmic access: probe
+	// indirectly by checking the structure handles a large sequence fast
+	// enough for the test timeout, and positions stay correct.
+	ix := New[int]()
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		ix.Append(i)
+	}
+	for _, pos := range []int{0, 1, n / 2, n - 1} {
+		if v, err := ix.At(pos); err != nil || v != pos {
+			t.Fatalf("At(%d) = %d, %v", pos, v, err)
+		}
+	}
+	// Insert at the front of a large index (the O(n) case for slices).
+	if err := ix.Insert(0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.At(0); v != -1 {
+		t.Error("front insert wrong")
+	}
+	if v, _ := ix.At(n); v != n-1 {
+		t.Error("shifted tail wrong")
+	}
+}

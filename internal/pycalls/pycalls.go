@@ -1,0 +1,193 @@
+// Package pycalls extracts method-invocation names from Python-like source
+// text. It is the analysis substrate for reproducing the usage study of
+// Section 4.6 / Figure 7, standing in for the nbconvert + ast pipeline the
+// paper ran over 1M GitHub notebooks: a tokenizer plus attribute-call
+// scanner that records `x.method(...)` invocations, attribute accesses of
+// known pandas properties (`df.shape`), and bare calls (`read_csv(...)`).
+package pycalls
+
+import (
+	"unicode"
+)
+
+// Call is one extracted invocation.
+type Call struct {
+	// Name is the method or function name.
+	Name string
+	// Line is the 1-based source line.
+	Line int
+	// Attribute reports whether the name was accessed as an attribute
+	// (x.name) rather than a bare function.
+	Attribute bool
+}
+
+// propertyNames are pandas attributes commonly used without a call, which
+// the paper's counts include (shape, columns, index, values, T, iloc, loc).
+var propertyNames = map[string]bool{
+	"shape": true, "columns": true, "index": true, "values": true,
+	"T": true, "iloc": true, "loc": true, "ix": true, "dtypes": true,
+	"str": true, "at": true, "iat": true,
+}
+
+// Extract scans source text and returns every method invocation, in order.
+// The scanner understands comments, string literals (including triple
+// quotes), and chained attribute access (df.groupby("x").mean() yields
+// groupby and mean).
+func Extract(src string) []Call {
+	var calls []Call
+	line := 1
+	i := 0
+	n := len(src)
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			i = skipString(src, i, &line)
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(src[i]) {
+				i++
+			}
+			name := src[start:i]
+			attr := start > 0 && src[start-1] == '.'
+			// Lookahead: call, subscript of an indexer, or known
+			// property access.
+			j := i
+			for j < n && (src[j] == ' ' || src[j] == '\t') {
+				j++
+			}
+			switch {
+			case j < n && src[j] == '(':
+				calls = append(calls, Call{Name: name, Line: line, Attribute: attr})
+			case attr && j < n && src[j] == '[' && propertyNames[name]:
+				calls = append(calls, Call{Name: name, Line: line, Attribute: true})
+			case attr && propertyNames[name]:
+				calls = append(calls, Call{Name: name, Line: line, Attribute: true})
+			}
+		default:
+			i++
+		}
+	}
+	return calls
+}
+
+// skipString advances past a Python string literal starting at i, handling
+// escapes and triple quotes, and counts newlines into line.
+func skipString(src string, i int, line *int) int {
+	n := len(src)
+	q := src[i]
+	triple := i+2 < n && src[i+1] == q && src[i+2] == q
+	if triple {
+		i += 3
+		for i+2 < n {
+			if src[i] == '\n' {
+				*line++
+			}
+			if src[i] == q && src[i+1] == q && src[i+2] == q {
+				return i + 3
+			}
+			i++
+		}
+		return n
+	}
+	i++
+	for i < n {
+		switch src[i] {
+		case '\\':
+			i += 2
+			continue
+		case '\n':
+			*line++
+			return i + 1 // unterminated single-line string
+		case q:
+			return i + 1
+		}
+		i++
+	}
+	return n
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Counts aggregates extraction results the way Section 4.6 reports them.
+type Counts struct {
+	// Total is occurrences per function across the corpus.
+	Total map[string]int
+	// Files is the number of files each function occurs in.
+	Files map[string]int
+	// CoOccur counts pairs of functions invoked on the same line
+	// (chained or parallel invocation), keyed "a+b" with a ≤ b.
+	CoOccur map[string]int
+}
+
+// NewCounts returns empty counters.
+func NewCounts() *Counts {
+	return &Counts{
+		Total:   make(map[string]int),
+		Files:   make(map[string]int),
+		CoOccur: make(map[string]int),
+	}
+}
+
+// AddFile folds one file's calls into the counts, filtering to the given
+// vocabulary (nil keeps everything).
+func (c *Counts) AddFile(calls []Call, vocabulary map[string]bool) {
+	seen := make(map[string]bool)
+	byLine := make(map[int][]string)
+	for _, call := range calls {
+		if vocabulary != nil && !vocabulary[call.Name] {
+			continue
+		}
+		c.Total[call.Name]++
+		seen[call.Name] = true
+		byLine[call.Line] = append(byLine[call.Line], call.Name)
+	}
+	for name := range seen {
+		c.Files[name]++
+	}
+	for _, names := range byLine {
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				a, b := names[i], names[j]
+				if a > b {
+					a, b = b, a
+				}
+				if a != b {
+					c.CoOccur[a+"+"+b]++
+				}
+			}
+		}
+	}
+}
+
+// PandasVocabulary is the function set tracked for Figure 7, drawn from the
+// names the paper highlights.
+func PandasVocabulary() map[string]bool {
+	names := []string{
+		"read_csv", "head", "loc", "plot", "shape", "groupby", "merge",
+		"DataFrame", "mean", "sum", "max", "min", "iloc", "drop", "append",
+		"apply", "join", "describe", "dropna", "fillna", "isnull", "astype",
+		"columns", "index", "values", "set_index", "reset_index", "sort_values",
+		"read_excel", "read_html", "get_dummies", "concat", "cov", "count",
+		"transpose", "T", "pivot", "tail", "unique", "kurtosis",
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+package pycalls
+
+import (
+	"testing"
+)
+
+func names(calls []Call) []string {
+	out := make([]string, len(calls))
+	for i, c := range calls {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func TestExtractSimpleCalls(t *testing.T) {
+	src := "df = pd.read_csv('x.csv')\ndf.head()\n"
+	got := names(Extract(src))
+	want := []string{"read_csv", "head"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("extract = %v", got)
+	}
+}
+
+func TestExtractChainedCalls(t *testing.T) {
+	calls := Extract("df.groupby('k').mean()\n")
+	if len(calls) != 2 || calls[0].Name != "groupby" || calls[1].Name != "mean" {
+		t.Errorf("chained = %v", names(calls))
+	}
+	// Both on the same line: co-occurrence is countable.
+	if calls[0].Line != 1 || calls[1].Line != 1 {
+		t.Error("line numbers wrong")
+	}
+}
+
+func TestExtractPropertiesAndIndexers(t *testing.T) {
+	calls := Extract("df.shape\ndf.iloc[2, 0] = '12MP'\ndf.columns\n")
+	got := names(calls)
+	want := map[string]bool{"shape": true, "iloc": true, "columns": true}
+	if len(got) != 3 {
+		t.Fatalf("extract = %v", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Errorf("unexpected %q", n)
+		}
+	}
+}
+
+func TestExtractIgnoresCommentsAndStrings(t *testing.T) {
+	src := "# df.head()\nx = 'df.plot()'\ny = \"call()\"\nreal()\n"
+	calls := Extract(src)
+	if len(calls) != 1 || calls[0].Name != "real" {
+		t.Errorf("extract = %v", names(calls))
+	}
+}
+
+func TestExtractTripleQuotedStrings(t *testing.T) {
+	src := "s = '''\ndf.head()\nmore()\n'''\nafter()\n"
+	calls := Extract(src)
+	if len(calls) != 1 || calls[0].Name != "after" {
+		t.Errorf("extract = %v", names(calls))
+	}
+	if calls[0].Line != 5 {
+		t.Errorf("line = %d, want 5 (newlines inside strings counted)", calls[0].Line)
+	}
+}
+
+func TestExtractEscapesInStrings(t *testing.T) {
+	src := `x = 'it\'s df.head()'` + "\nreal()\n"
+	calls := Extract(src)
+	if len(calls) != 1 || calls[0].Name != "real" {
+		t.Errorf("extract = %v", names(calls))
+	}
+}
+
+func TestExtractBareIdentifiersNotCounted(t *testing.T) {
+	calls := Extract("result = something\nvalue + other\n")
+	if len(calls) != 0 {
+		t.Errorf("bare identifiers should not count: %v", names(calls))
+	}
+}
+
+func TestAttributeFlag(t *testing.T) {
+	calls := Extract("plain()\nobj.method()\n")
+	if calls[0].Attribute || !calls[1].Attribute {
+		t.Error("attribute flags wrong")
+	}
+}
+
+func TestCountsAggregation(t *testing.T) {
+	c := NewCounts()
+	c.AddFile(Extract("df.head()\ndf.head()\ndf.dropna().describe()\n"), nil)
+	c.AddFile(Extract("df.head()\n"), nil)
+	if c.Total["head"] != 3 {
+		t.Errorf("total head = %d", c.Total["head"])
+	}
+	if c.Files["head"] != 2 {
+		t.Errorf("files head = %d", c.Files["head"])
+	}
+	if c.CoOccur["describe+dropna"] != 1 {
+		t.Errorf("co-occur = %v", c.CoOccur)
+	}
+}
+
+func TestCountsVocabularyFilter(t *testing.T) {
+	c := NewCounts()
+	c.AddFile(Extract("df.head()\nnp.zeros(3)\n"), PandasVocabulary())
+	if c.Total["zeros"] != 0 || c.Total["head"] != 1 {
+		t.Errorf("vocabulary filter wrong: %v", c.Total)
+	}
+}
+
+func TestVocabularyHasFigure7Anchors(t *testing.T) {
+	v := PandasVocabulary()
+	// Figure 7's axis runs from read_csv (densest) to kurtosis.
+	for _, anchor := range []string{"read_csv", "head", "loc", "groupby", "kurtosis"} {
+		if !v[anchor] {
+			t.Errorf("vocabulary missing %q", anchor)
+		}
+	}
+}

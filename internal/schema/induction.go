@@ -1,0 +1,203 @@
+// Package schema implements the schema-induction function S of Definition
+// 4.1: given a column of raw Σ* strings, S assigns the most specific domain
+// in Dom that describes it. It also implements the deferral and caching
+// machinery of Section 5.1 ("Flexible Schemas, Dynamic Typing"): induction
+// results can be cached per column and reused across statements.
+package schema
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Induce is the schema-induction function S : Σ*ᵐ → Dom. It scans the raw
+// strings of an Object vector and returns the most specific domain that
+// every non-null entry parses into, using the preference order
+// bool < int < float < datetime < category < object. An all-null column
+// induces Object, the default uninterpreted domain.
+func Induce(v vector.Vector) types.Domain {
+	obj, ok := v.(*vector.Object)
+	if !ok {
+		// Already typed: the vector's own domain is its schema.
+		return v.Domain()
+	}
+	return InduceStrings(obj.RawData())
+}
+
+// InduceStrings is Induce over a raw string slice.
+func InduceStrings(data []string) types.Domain {
+	canBool, canInt, canFloat, canDatetime := true, true, true, true
+	nonNull := 0
+	distinct := make(map[string]struct{})
+	const distinctCap = 4096
+	for _, s := range data {
+		if types.IsNullLiteral(s) {
+			continue
+		}
+		nonNull++
+		if canBool && !types.Bool.CanParse(s) {
+			canBool = false
+		}
+		if canInt && !types.Int.CanParse(s) {
+			canInt = false
+		}
+		if canFloat && !types.Float.CanParse(s) {
+			canFloat = false
+		}
+		if canDatetime && !types.Datetime.CanParse(s) {
+			canDatetime = false
+		}
+		if len(distinct) < distinctCap {
+			distinct[s] = struct{}{}
+		}
+	}
+	if nonNull == 0 {
+		return types.Object
+	}
+	switch {
+	case canBool:
+		return types.Bool
+	case canInt:
+		return types.Int
+	case canFloat:
+		return types.Float
+	case canDatetime:
+		return types.Datetime
+	}
+	// A low-cardinality string column induces Category: many distinct rows
+	// sharing few values is the dictionary-encoding sweet spot.
+	if nonNull >= 16 && len(distinct) < distinctCap && len(distinct)*10 <= nonNull {
+		return types.Category
+	}
+	return types.Object
+}
+
+// InduceSample induces a domain from a prefix sample of at most sampleSize
+// entries. Sampled induction can be wrong (Section 5.1.1 notes the
+// filtering/sampling caveat); callers that need certainty must use Induce.
+func InduceSample(v vector.Vector, sampleSize int) types.Domain {
+	obj, ok := v.(*vector.Object)
+	if !ok {
+		return v.Domain()
+	}
+	data := obj.RawData()
+	if sampleSize > 0 && len(data) > sampleSize {
+		data = data[:sampleSize]
+	}
+	return InduceStrings(data)
+}
+
+// Parse applies the parsing function p_d of the induced (or declared)
+// domain to every entry, yielding a typed vector. Entries that fail to
+// parse become nulls, matching the paper's treatment of parse errors as the
+// distinguished null rather than hard failures during exploration.
+func Parse(v vector.Vector, d types.Domain) vector.Vector {
+	if v.Domain() == d {
+		return v
+	}
+	obj, ok := v.(*vector.Object)
+	if !ok {
+		// Re-render through Σ* then parse: TRANSPOSE of heterogeneous
+		// data goes through this path.
+		b := vector.NewBuilder(d, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			b.Append(v.Value(i))
+		}
+		return b.Build()
+	}
+	b := vector.NewBuilder(d, obj.Len())
+	for i, s := range obj.RawData() {
+		if obj.IsNull(i) {
+			b.AppendNull()
+			continue
+		}
+		b.AppendString(s)
+	}
+	return b.Build()
+}
+
+// InduceAndParse runs S then p over a column in one pass, returning both the
+// induced domain and the typed vector.
+func InduceAndParse(v vector.Vector) (types.Domain, vector.Vector) {
+	d := Induce(v)
+	return d, Parse(v, d)
+}
+
+// Cache memoizes induction and parse results per column identity (Section
+// 5.1.2, "Reusing Type Information"). Columns are identified by the pointer
+// identity of their vector, which is stable because vectors are immutable.
+type Cache struct {
+	mu      sync.Mutex
+	domains map[vector.Vector]types.Domain
+	parsed  map[vector.Vector]vector.Vector
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty induction cache.
+func NewCache() *Cache {
+	return &Cache{
+		domains: make(map[vector.Vector]types.Domain),
+		parsed:  make(map[vector.Vector]vector.Vector),
+	}
+}
+
+// Induce returns the cached domain for v, inducing and caching on miss.
+func (c *Cache) Induce(v vector.Vector) types.Domain {
+	if v.Domain() != types.Object && v.Domain() != types.Unspecified {
+		return v.Domain()
+	}
+	c.mu.Lock()
+	d, ok := c.domains[v]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return d
+	}
+	c.misses.Add(1)
+	d = Induce(v)
+	c.mu.Lock()
+	c.domains[v] = d
+	c.mu.Unlock()
+	return d
+}
+
+// Parse returns the cached typed form of v under domain d, parsing and
+// caching on miss. Only the induced-domain parse is cached; parses into
+// other domains bypass the cache.
+func (c *Cache) Parse(v vector.Vector, d types.Domain) vector.Vector {
+	if v.Domain() == d {
+		return v
+	}
+	c.mu.Lock()
+	p, ok := c.parsed[v]
+	c.mu.Unlock()
+	if ok && p.Domain() == d {
+		c.hits.Add(1)
+		return p
+	}
+	c.misses.Add(1)
+	p = Parse(v, d)
+	c.mu.Lock()
+	c.parsed[v] = p
+	c.mu.Unlock()
+	return p
+}
+
+// Stats returns the cache hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Invalidate drops all cached results (used when a session's memory budget
+// forces metadata eviction).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.domains = make(map[vector.Vector]types.Domain)
+	c.parsed = make(map[vector.Vector]vector.Vector)
+}

@@ -1,0 +1,156 @@
+package schema
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+func TestInduceStrings(t *testing.T) {
+	cases := []struct {
+		data []string
+		want types.Domain
+	}{
+		{[]string{"1", "2", "3"}, types.Int},
+		{[]string{"1", "2.5", "3"}, types.Float},
+		{[]string{"true", "false", "NA"}, types.Bool},
+		{[]string{"2020-01-01", "2021-06-02"}, types.Datetime},
+		{[]string{"hello", "world"}, types.Object},
+		{[]string{"1", "two"}, types.Object},
+		{[]string{"", "NA", "null"}, types.Object}, // all-null induces Object
+		{[]string{}, types.Object},
+		{[]string{"0", "1"}, types.Int}, // 0/1 induce int, not bool (pandas semantics)
+	}
+	for _, c := range cases {
+		if got := InduceStrings(c.data); got != c.want {
+			t.Errorf("InduceStrings(%v) = %v, want %v", c.data, got, c.want)
+		}
+	}
+}
+
+func TestInduceCategory(t *testing.T) {
+	// Low-cardinality strings induce Category: 200 rows, 2 values.
+	data := make([]string, 200)
+	for i := range data {
+		if i%2 == 0 {
+			data[i] = "red"
+		} else {
+			data[i] = "blue"
+		}
+	}
+	if got := InduceStrings(data); got != types.Category {
+		t.Errorf("low-cardinality = %v, want category", got)
+	}
+	// High-cardinality strings stay Object.
+	for i := range data {
+		data[i] = fmt.Sprintf("value-%d", i)
+	}
+	if got := InduceStrings(data); got != types.Object {
+		t.Errorf("high-cardinality = %v, want object", got)
+	}
+}
+
+func TestInduceTypedVectorIsIdentity(t *testing.T) {
+	v := vector.NewInt([]int64{1, 2}, nil)
+	if got := Induce(v); got != types.Int {
+		t.Errorf("Induce(typed) = %v", got)
+	}
+}
+
+func TestInduceSample(t *testing.T) {
+	data := make([]string, 100)
+	for i := range data {
+		data[i] = fmt.Sprintf("%d", i+2) // distinct ints (not bool literals)
+	}
+	data[99] = "tail-string-99" // beyond the sample
+	v := vector.NewObjectFromStrings(data)
+	if got := InduceSample(v, 50); got != types.Int {
+		t.Errorf("sampled induction = %v, want int (sample misses the tail)", got)
+	}
+	if got := Induce(v); got != types.Object {
+		t.Errorf("full induction = %v, want object (high cardinality, mixed)", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	v := vector.NewObjectFromStrings([]string{"1", "NA", "3", "junk"})
+	p := Parse(v, types.Int)
+	if p.Domain() != types.Int {
+		t.Fatalf("parsed domain = %v", p.Domain())
+	}
+	if p.Value(0).Int() != 1 || p.Value(2).Int() != 3 {
+		t.Error("parsed values wrong")
+	}
+	if !p.IsNull(1) || !p.IsNull(3) {
+		t.Error("null and unparseable should both be null")
+	}
+	// Parsing into the same domain returns the input unchanged.
+	if Parse(p, types.Int) != p {
+		t.Error("same-domain parse should be identity")
+	}
+}
+
+func TestParseNonObjectRerenders(t *testing.T) {
+	v := vector.NewInt([]int64{1, 0}, nil)
+	p := Parse(v, types.Bool)
+	if p.Domain() != types.Bool || !p.Value(0).Bool() || p.Value(1).Bool() {
+		t.Errorf("int→bool parse wrong: %v %v", p.Value(0), p.Value(1))
+	}
+}
+
+func TestInduceAndParse(t *testing.T) {
+	d, p := InduceAndParse(vector.NewObjectFromStrings([]string{"1.5", "2.5"}))
+	if d != types.Float || p.Value(1).Float() != 2.5 {
+		t.Errorf("InduceAndParse = %v, %v", d, p.Value(1))
+	}
+}
+
+func TestCacheHitsAndInvalidation(t *testing.T) {
+	c := NewCache()
+	v := vector.NewObjectFromStrings([]string{"1", "2"})
+	if c.Induce(v) != types.Int {
+		t.Fatal("induction wrong")
+	}
+	c.Induce(v)
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+	p1 := c.Parse(v, types.Int)
+	p2 := c.Parse(v, types.Int)
+	if p1 != p2 {
+		t.Error("cached parse should return the identical vector")
+	}
+	c.Invalidate()
+	p3 := c.Parse(v, types.Int)
+	if p3 == p1 {
+		t.Error("invalidate should drop cached parses")
+	}
+	// Typed vectors bypass the cache entirely.
+	if c.Induce(p1) != types.Int {
+		t.Error("typed induce")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	v := vector.NewObjectFromStrings([]string{"1", "2", "3"})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for k := 0; k < 100; k++ {
+				if c.Induce(v) != types.Int {
+					t.Error("concurrent induce wrong")
+					return
+				}
+				c.Parse(v, types.Int)
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

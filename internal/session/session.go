@@ -1,0 +1,389 @@
+// Package session implements the user-model layer of Section 6: statements
+// composed incrementally into queries over a session, evaluated under one
+// of three regimes — eager (pandas-style, block on every statement), lazy
+// (defer until a result is requested), or opportunistic (return control
+// immediately and compute in the background during think time), with
+// prefix/suffix-prioritized inspection (head/tail) and reuse of
+// materialized intermediates.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Mode selects the evaluation regime of Section 6.1.1.
+type Mode int
+
+const (
+	// Eager evaluates every statement fully before returning control:
+	// the pandas behaviour.
+	Eager Mode = iota
+	// Lazy defers all computation until the user requests a result.
+	Lazy
+	// Opportunistic returns control immediately and evaluates in the
+	// background during think time; inspection requests are served from
+	// completed background work or prioritized partial evaluation.
+	Opportunistic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Eager:
+		return "eager"
+	case Lazy:
+		return "lazy"
+	case Opportunistic:
+		return "opportunistic"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Stats counts session activity for the evaluation-mode experiments.
+type Stats struct {
+	// Statements is the number of statements issued.
+	Statements atomic.Int64
+	// FullEvaluations counts complete plan executions.
+	FullEvaluations atomic.Int64
+	// PartialEvaluations counts prioritized head/tail executions that
+	// avoided materializing the full result.
+	PartialEvaluations atomic.Int64
+	// ReuseHits counts statements served from materialized intermediates.
+	ReuseHits atomic.Int64
+	// BackgroundTasks counts opportunistic background executions started.
+	BackgroundTasks atomic.Int64
+	// Spills counts materialized results evicted to the storage layer.
+	Spills atomic.Int64
+	// SpillReloads counts results reloaded from the storage layer.
+	SpillReloads atomic.Int64
+}
+
+// Session is one interactive analysis session: a sequence of statements
+// sharing an engine, an evaluation mode, and a cache of materialized
+// intermediate results.
+type Session struct {
+	engine algebra.Engine
+	mode   Mode
+	pool   *exec.Pool
+
+	mu           sync.Mutex
+	materialized map[algebra.Node]*exec.Future // completed or in-flight plan results
+	// Spilling state (see spill.go): order of materialization, spilled
+	// plan → store key, the store itself, and the resident budget.
+	residentOrder []algebra.Node
+	spilled       map[algebra.Node]string
+	store         *storage.Store
+	maxResident   int
+
+	// Stats is exported for experiment harnesses.
+	Stats Stats
+}
+
+// New starts a session on the given engine and mode. The pool carries
+// opportunistic background work; nil uses the shared default.
+func New(engine algebra.Engine, mode Mode, pool *exec.Pool) *Session {
+	if pool == nil {
+		pool = exec.Default
+	}
+	return &Session{
+		engine:       engine,
+		mode:         mode,
+		pool:         pool,
+		materialized: make(map[algebra.Node]*exec.Future),
+		spilled:      make(map[algebra.Node]string),
+	}
+}
+
+// Mode returns the session's evaluation mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// Engine returns the session's engine.
+func (s *Session) Engine() algebra.Engine { return s.engine }
+
+// Handle is the value a statement returns to the user: a named reference to
+// an eventually-computed dataframe. Under eager evaluation it is already
+// materialized; under lazy it is a plan; under opportunistic it is a future
+// being computed during think time.
+type Handle struct {
+	s    *Session
+	plan algebra.Node
+	name string
+}
+
+// Bind introduces a source dataframe into the session (e.g. the result of
+// read_csv).
+func (s *Session) Bind(name string, df *core.DataFrame) *Handle {
+	return s.Statement(name, &algebra.Source{DF: df, Name: name})
+}
+
+// Statement issues one statement: a plan extending earlier handles' plans.
+// Per the session's mode it evaluates now, never, or in the background.
+func (s *Session) Statement(name string, plan algebra.Node) *Handle {
+	s.Stats.Statements.Add(1)
+	h := &Handle{s: s, plan: plan, name: name}
+	switch s.mode {
+	case Eager:
+		fut := s.futureFor(plan, true)
+		fut.Wait()
+	case Opportunistic:
+		s.futureFor(plan, true)
+	case Lazy:
+		// Nothing: computation waits for Collect/Head/Tail.
+	}
+	return h
+}
+
+// Apply composes a new statement from this handle's plan.
+func (h *Handle) Apply(name string, build func(algebra.Node) algebra.Node) *Handle {
+	return h.s.Statement(name, build(h.plan))
+}
+
+// Plan exposes the handle's logical plan.
+func (h *Handle) Plan() algebra.Node { return h.plan }
+
+// Name returns the handle's statement name.
+func (h *Handle) Name() string { return h.name }
+
+// futureFor returns the materialization future for plan, starting one if
+// needed. Reuse: a plan already materialized (or in flight) — including as
+// a sub-plan of this one — is never recomputed.
+func (s *Session) futureFor(plan algebra.Node, background bool) *exec.Future {
+	s.mu.Lock()
+	if fut, ok := s.materialized[plan]; ok {
+		s.mu.Unlock()
+		s.Stats.ReuseHits.Add(1)
+		return fut
+	}
+	if fut, ok := s.reloadLocked(plan); ok {
+		s.mu.Unlock()
+		s.Stats.ReuseHits.Add(1)
+		return fut
+	}
+	rewritten := s.substituteMaterializedLocked(plan)
+	task := func() (any, error) {
+		s.Stats.FullEvaluations.Add(1)
+		out, err := s.engine.Execute(rewritten)
+		if err == nil {
+			s.mu.Lock()
+			s.residentOrder = append(s.residentOrder, plan)
+			s.maybeSpillLocked()
+			s.mu.Unlock()
+		}
+		return out, err
+	}
+	if background {
+		s.Stats.BackgroundTasks.Add(1)
+		fut := s.pool.Submit(task)
+		s.materialized[plan] = fut
+		s.mu.Unlock()
+		return fut
+	}
+	// Synchronous evaluation runs outside the lock: the task re-enters
+	// the session to record spill bookkeeping.
+	s.mu.Unlock()
+	var fut *exec.Future
+	if v, err := task(); err != nil {
+		fut = exec.Failed(err)
+	} else {
+		fut = exec.Resolved(v)
+	}
+	s.mu.Lock()
+	s.materialized[plan] = fut
+	s.mu.Unlock()
+	return fut
+}
+
+// substituteMaterializedLocked rewrites the plan, replacing any sub-plan
+// whose result is already materialized with a Source over that result —
+// the intermediate-reuse mechanism of Section 6.2.2.
+func (s *Session) substituteMaterializedLocked(plan algebra.Node) algebra.Node {
+	children := plan.Children()
+	if len(children) == 0 {
+		return plan
+	}
+	newChildren := make([]algebra.Node, len(children))
+	changed := false
+	for i, c := range children {
+		if fut, ok := s.materialized[c]; ok && fut.Ready() {
+			if v, err := fut.Wait(); err == nil {
+				s.Stats.ReuseHits.Add(1)
+				newChildren[i] = &algebra.Source{DF: v.(*core.DataFrame), Name: "materialized"}
+				changed = true
+				continue
+			}
+		}
+		nc := s.substituteMaterializedLocked(c)
+		if nc != c {
+			changed = true
+		}
+		newChildren[i] = nc
+	}
+	if !changed {
+		return plan
+	}
+	return cloneWithChildren(plan, newChildren)
+}
+
+// Collect materializes the handle's full result, waiting for background
+// work when it is already in flight.
+func (h *Handle) Collect() (*core.DataFrame, error) {
+	fut := h.s.futureFor(h.plan, false)
+	v, err := fut.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.DataFrame), nil
+}
+
+// Head returns the ordered k-prefix of the handle's result. If the full
+// result is not yet materialized, only the prefix is computed (LIMIT plan),
+// prioritizing what the user actually inspects (Section 6.1.2); the full
+// computation continues (or will be scheduled) separately under
+// opportunistic evaluation.
+func (h *Handle) Head(k int) (*core.DataFrame, error) { return h.view(k) }
+
+// Tail returns the ordered k-suffix, with the same prioritization as Head.
+func (h *Handle) Tail(k int) (*core.DataFrame, error) { return h.view(-k) }
+
+func (h *Handle) view(n int) (*core.DataFrame, error) {
+	s := h.s
+	s.mu.Lock()
+	fut, inFlight := s.materialized[h.plan]
+	s.mu.Unlock()
+	if inFlight && fut.Ready() {
+		v, err := fut.Wait()
+		if err != nil {
+			return nil, err
+		}
+		return algebra.LimitFrame(v.(*core.DataFrame), n), nil
+	}
+	// Not (yet) materialized: evaluate only the prefix/suffix now.
+	s.Stats.PartialEvaluations.Add(1)
+	limited := &algebra.Limit{Input: h.plan, N: n}
+	s.mu.Lock()
+	rewritten := s.substituteMaterializedLocked(limited)
+	s.mu.Unlock()
+	return s.engine.Execute(rewritten)
+}
+
+// Ready reports whether the handle's full result is materialized.
+func (h *Handle) Ready() bool {
+	h.s.mu.Lock()
+	fut, ok := h.s.materialized[h.plan]
+	h.s.mu.Unlock()
+	return ok && fut.Ready()
+}
+
+// Wait blocks until any background materialization of this handle finishes
+// (no-op if none was scheduled).
+func (h *Handle) Wait() {
+	h.s.mu.Lock()
+	fut, ok := h.s.materialized[h.plan]
+	h.s.mu.Unlock()
+	if ok {
+		fut.Wait()
+	}
+}
+
+// ThinkTime lets the harness model user think time: it blocks until all
+// in-flight background work completes, as a user pause would allow.
+func (s *Session) ThinkTime() {
+	s.mu.Lock()
+	futs := make([]*exec.Future, 0, len(s.materialized))
+	for _, f := range s.materialized {
+		futs = append(futs, f)
+	}
+	s.mu.Unlock()
+	for _, f := range futs {
+		f.Wait()
+	}
+}
+
+// Forget drops the handle's materialized result (the eviction decision of
+// Section 6.2.2's materialization-management discussion).
+func (h *Handle) Forget() {
+	h.s.mu.Lock()
+	delete(h.s.materialized, h.plan)
+	h.s.mu.Unlock()
+}
+
+// cloneWithChildren mirrors optimizer.WithChildren without importing it (to
+// keep the session layer independent of the optimizer).
+func cloneWithChildren(n algebra.Node, kids []algebra.Node) algebra.Node {
+	switch node := n.(type) {
+	case *algebra.Selection:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Projection:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Union:
+		c := *node
+		c.Left, c.Right = kids[0], kids[1]
+		return &c
+	case *algebra.Difference:
+		c := *node
+		c.Left, c.Right = kids[0], kids[1]
+		return &c
+	case *algebra.Join:
+		c := *node
+		c.Left, c.Right = kids[0], kids[1]
+		return &c
+	case *algebra.DropDuplicates:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.GroupBy:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Sort:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Rename:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Window:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Transpose:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Map:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.ToLabels:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.FromLabels:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Induce:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Limit:
+		c := *node
+		c.Input = kids[0]
+		return &c
+	case *algebra.Source:
+		return node
+	}
+	panic(fmt.Sprintf("session: unknown node %T", n))
+}

@@ -1,0 +1,80 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Spilling connects the session's materialized-intermediate cache to the
+// storage layer (Section 3.3 + the eviction discussion of Section 6.2.2):
+// when more results are resident than the configured budget allows, the
+// least recently materialized ones move to the store (which itself spills
+// to disk beyond its own cell budget) and reload transparently on reuse.
+
+// EnableSpilling attaches a store and a resident-result budget to the
+// session. Must be called before issuing statements.
+func (s *Session) EnableSpilling(store *storage.Store, maxResident int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store = store
+	s.maxResident = maxResident
+}
+
+// maybeSpillLocked evicts the oldest completed materializations beyond the
+// budget into the store.
+func (s *Session) maybeSpillLocked() {
+	if s.store == nil || s.maxResident <= 0 {
+		return
+	}
+	resident := 0
+	for _, plan := range s.residentOrder {
+		if fut, ok := s.materialized[plan]; ok && fut.Ready() {
+			resident++
+		}
+	}
+	for i := 0; resident > s.maxResident && i < len(s.residentOrder); i++ {
+		victim := s.residentOrder[i]
+		fut, ok := s.materialized[victim]
+		if !ok || !fut.Ready() {
+			continue
+		}
+		v, err := fut.Wait()
+		if err != nil {
+			continue
+		}
+		key := spillKey(victim)
+		if err := s.store.Put(key, v.(*core.DataFrame)); err != nil {
+			return // spill failure: keep resident
+		}
+		delete(s.materialized, victim)
+		s.spilled[victim] = key
+		s.Stats.Spills.Add(1)
+		resident--
+	}
+}
+
+// reloadLocked brings a spilled result back as a resolved future.
+func (s *Session) reloadLocked(plan algebra.Node) (*exec.Future, bool) {
+	key, ok := s.spilled[plan]
+	if !ok {
+		return nil, false
+	}
+	df, err := s.store.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	fut := exec.Resolved(df)
+	s.materialized[plan] = fut
+	delete(s.spilled, plan)
+	s.residentOrder = append(s.residentOrder, plan)
+	s.Stats.SpillReloads.Add(1)
+	return fut, true
+}
+
+func spillKey(plan algebra.Node) string {
+	return fmt.Sprintf("stmt-%p", plan)
+}

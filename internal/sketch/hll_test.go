@@ -1,0 +1,105 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestPrecisionBounds(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("precision 3 should fail")
+	}
+	if _, err := New(17); err == nil {
+		t.Error("precision 17 should fail")
+	}
+	if _, err := New(12); err != nil {
+		t.Error("precision 12 should work")
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1_000, 10_000, 100_000} {
+		h := MustNew(12)
+		for i := 0; i < n; i++ {
+			h.Add(fmt.Sprintf("value-%d", i))
+		}
+		est := h.Estimate()
+		relErr := math.Abs(est-float64(n)) / float64(n)
+		if relErr > 0.05 {
+			t.Errorf("n=%d: estimate %.0f, relative error %.3f > 5%%", n, est, relErr)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	h := MustNew(12)
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 200; i++ {
+			h.Add(fmt.Sprintf("v%d", i))
+		}
+	}
+	est := h.Estimate()
+	if est < 180 || est > 220 {
+		t.Errorf("estimate of 200 distinct (x50 reps) = %.0f", est)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, whole := MustNew(12), MustNew(12), MustNew(12)
+	for i := 0; i < 5_000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		whole.Add(key)
+		if i%2 == 0 {
+			a.Add(key)
+		} else {
+			b.Add(key)
+		}
+		if i%10 == 0 { // overlap
+			a.Add(key)
+			b.Add(key)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Estimate()-whole.Estimate()) > 1e-9 {
+		t.Errorf("merged estimate %.1f != whole %.1f", a.Estimate(), whole.Estimate())
+	}
+	other := MustNew(10)
+	if err := a.Merge(other); err == nil {
+		t.Error("precision mismatch should fail")
+	}
+}
+
+func TestSketchColumnAndArity(t *testing.T) {
+	n := 5000
+	records := make([][]any, n)
+	for i := range records {
+		var v any = fmt.Sprintf("cat-%d", i%37)
+		if i%100 == 0 {
+			v = nil
+		}
+		records[i] = []any{v, i}
+	}
+	df := core.MustFromRecords([]string{"cat", "id"}, records)
+	est, err := EstimateArity(df, "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 33 || est > 41 {
+		t.Errorf("arity estimate of 37 categories = %.1f", est)
+	}
+	idEst, err := EstimateArity(df, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(idEst-float64(n))/float64(n) > 0.05 {
+		t.Errorf("arity estimate of %d ids = %.1f", n, idEst)
+	}
+	if _, err := EstimateArity(df, "ghost"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}

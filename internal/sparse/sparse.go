@@ -1,0 +1,270 @@
+// Package sparse implements the alternative physical representation
+// Section 5.2.1 proposes for dataframes with row/column equivalence: a
+// collection of ((row, col) → value) pairs. Null cells are simply omitted,
+// so sparse dataframes pay storage proportional to the non-null count, and
+// TRANSPOSE is a metadata bit flip — the representation conceptually swaps
+// the roles of the row and column coordinates with no data movement at all.
+//
+// The trade-off the paper calls out is real here too: reconstructing a row
+// for a MAP costs a lookup per column (a join-like access pattern), which
+// the conversion benches in the root suite quantify against the columnar
+// layout.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// coord addresses one cell in logical (pre-transpose) coordinates.
+type coord struct{ row, col int32 }
+
+// Frame is a sparse dataframe: non-null cells keyed by coordinate, plus the
+// axis metadata. transposed flips the interpretation of coordinates — the
+// O(1) logical TRANSPOSE.
+type Frame struct {
+	cells      map[coord]types.Value
+	rowLabels  []types.Value
+	colLabels  []types.Value
+	domains    []types.Domain // per logical column (pre-transpose axis)
+	transposed bool
+}
+
+// FromDense converts a columnar dataframe, dropping null cells.
+func FromDense(df *core.DataFrame) *Frame {
+	f := &Frame{
+		cells:     make(map[coord]types.Value),
+		rowLabels: make([]types.Value, df.NRows()),
+		colLabels: append([]types.Value(nil), df.ColLabels()...),
+		domains:   make([]types.Domain, df.NCols()),
+	}
+	labels := df.RowLabels()
+	for i := 0; i < df.NRows(); i++ {
+		f.rowLabels[i] = labels.Value(i)
+	}
+	for j := 0; j < df.NCols(); j++ {
+		f.domains[j] = df.Domain(j)
+		col := df.TypedCol(j)
+		for i := 0; i < col.Len(); i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			f.cells[coord{int32(i), int32(j)}] = col.Value(i)
+		}
+	}
+	return f
+}
+
+// NRows returns the current (post-transpose) row count.
+func (f *Frame) NRows() int {
+	if f.transposed {
+		return len(f.colLabels)
+	}
+	return len(f.rowLabels)
+}
+
+// NCols returns the current column count.
+func (f *Frame) NCols() int {
+	if f.transposed {
+		return len(f.rowLabels)
+	}
+	return len(f.colLabels)
+}
+
+// NNZ returns the number of stored (non-null) cells.
+func (f *Frame) NNZ() int { return len(f.cells) }
+
+// Sparsity returns the fraction of cells that are null.
+func (f *Frame) Sparsity() float64 {
+	total := f.NRows() * f.NCols()
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(len(f.cells))/float64(total)
+}
+
+// Value returns the cell at (i, j) in current coordinates; missing cells
+// are null.
+func (f *Frame) Value(i, j int) types.Value {
+	c := coord{int32(i), int32(j)}
+	if f.transposed {
+		c = coord{int32(j), int32(i)}
+	}
+	if v, ok := f.cells[c]; ok {
+		return v
+	}
+	return types.Null()
+}
+
+// Set writes a cell in current coordinates; null deletes.
+func (f *Frame) Set(i, j int, v types.Value) {
+	c := coord{int32(i), int32(j)}
+	if f.transposed {
+		c = coord{int32(j), int32(i)}
+	}
+	if v.IsNull() {
+		delete(f.cells, c)
+		return
+	}
+	f.cells[c] = v
+}
+
+// Transpose flips the axes in O(1): coordinates, labels, and schema swap
+// interpretation. This is the "record the transpose in metadata" strategy
+// of Section 5.2.1.
+func (f *Frame) Transpose() *Frame {
+	return &Frame{
+		cells:      f.cells,
+		rowLabels:  f.rowLabels,
+		colLabels:  f.colLabels,
+		domains:    f.domains,
+		transposed: !f.transposed,
+	}
+}
+
+// Transposed reports whether the logical axes are currently flipped
+// relative to storage.
+func (f *Frame) Transposed() bool { return f.transposed }
+
+// RowLabel returns the label of current row i.
+func (f *Frame) RowLabel(i int) types.Value {
+	if f.transposed {
+		return f.colLabels[i]
+	}
+	return f.rowLabels[i]
+}
+
+// ColLabel returns the label of current column j.
+func (f *Frame) ColLabel(j int) types.Value {
+	if f.transposed {
+		return f.rowLabels[j]
+	}
+	return f.colLabels[j]
+}
+
+// MapValues applies fn to every stored cell, returning a new sparse frame.
+// Elementwise MAPs stay cheap under the sparse layout; only whole-row
+// functions pay the reconstruction cost.
+func (f *Frame) MapValues(fn func(types.Value) types.Value) *Frame {
+	out := &Frame{
+		cells:      make(map[coord]types.Value, len(f.cells)),
+		rowLabels:  f.rowLabels,
+		colLabels:  f.colLabels,
+		domains:    f.domains,
+		transposed: f.transposed,
+	}
+	for c, v := range f.cells {
+		nv := fn(v)
+		if !nv.IsNull() {
+			out.cells[c] = nv
+		}
+	}
+	return out
+}
+
+// Row reconstructs current row i — the join-like access the paper warns
+// about: one map lookup per column.
+func (f *Frame) Row(i int) []types.Value {
+	out := make([]types.Value, f.NCols())
+	for j := range out {
+		out[j] = f.Value(i, j)
+	}
+	return out
+}
+
+// ToDense materializes back into the columnar representation, honoring any
+// pending logical transpose.
+func (f *Frame) ToDense() (*core.DataFrame, error) {
+	rows, cols := f.NRows(), f.NCols()
+	colLabels := make([]types.Value, cols)
+	for j := range colLabels {
+		colLabels[j] = f.ColLabel(j)
+	}
+	rowLabels := make([]types.Value, rows)
+	for i := range rowLabels {
+		rowLabels[i] = f.RowLabel(i)
+	}
+
+	// Bucket cells by current column, then build typed vectors.
+	buckets := make(map[int32][]coord, cols)
+	for c := range f.cells {
+		key := c.col
+		if f.transposed {
+			key = c.row
+		}
+		buckets[key] = append(buckets[key], c)
+	}
+	vecs := make([]vector.Vector, cols)
+	doms := make([]types.Domain, cols)
+	for j := 0; j < cols; j++ {
+		dom := types.Unspecified
+		if !f.transposed {
+			dom = f.domains[j]
+		}
+		vals := make([]types.Value, rows)
+		for i := range vals {
+			vals[i] = types.NullValue(types.Object)
+		}
+		bucket := buckets[int32(j)]
+		sort.Slice(bucket, func(a, b int) bool {
+			if f.transposed {
+				return bucket[a].col < bucket[b].col
+			}
+			return bucket[a].row < bucket[b].row
+		})
+		for _, c := range bucket {
+			pos := c.row
+			if f.transposed {
+				pos = c.col
+			}
+			vals[pos] = f.cells[c]
+		}
+		if dom == types.Unspecified {
+			dom = narrowDomain(vals)
+		}
+		vecs[j] = vector.FromValues(dom, vals)
+		doms[j] = dom
+	}
+	labelVec := vector.FromValues(labelDomain(rowLabels), rowLabels)
+	return core.Build(vecs, labelVec, colLabels, doms, nil)
+}
+
+func narrowDomain(vals []types.Value) types.Domain {
+	dom := types.Unspecified
+	for _, v := range vals {
+		if v.IsNull() {
+			continue
+		}
+		d := v.Domain()
+		switch {
+		case dom == types.Unspecified:
+			dom = d
+		case dom == d:
+		case dom == types.Int && d == types.Float, dom == types.Float && d == types.Int:
+			dom = types.Float
+		default:
+			return types.Object
+		}
+	}
+	if dom == types.Unspecified {
+		return types.Object
+	}
+	return dom
+}
+
+func labelDomain(vals []types.Value) types.Domain {
+	d := narrowDomain(vals)
+	if d == types.Unspecified {
+		return types.Object
+	}
+	return d
+}
+
+// String summarizes the frame.
+func (f *Frame) String() string {
+	return fmt.Sprintf("sparse.Frame{%dx%d, nnz=%d, transposed=%v}", f.NRows(), f.NCols(), f.NNZ(), f.transposed)
+}

@@ -1,0 +1,160 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func dense(t *testing.T) *core.DataFrame {
+	t.Helper()
+	return core.MustFromRecords(
+		[]string{"a", "b", "c"},
+		[][]any{
+			{1, nil, "x"},
+			{nil, 2.5, nil},
+			{3, nil, "z"},
+		},
+	)
+}
+
+func TestRoundTrip(t *testing.T) {
+	df := dense(t)
+	sp := FromDense(df)
+	if sp.NRows() != 3 || sp.NCols() != 3 {
+		t.Fatalf("shape = %dx%d", sp.NRows(), sp.NCols())
+	}
+	if sp.NNZ() != 5 {
+		t.Errorf("nnz = %d, want 5 (nulls omitted)", sp.NNZ())
+	}
+	if sp.Sparsity() < 0.4 || sp.Sparsity() > 0.5 {
+		t.Errorf("sparsity = %v", sp.Sparsity())
+	}
+	back, err := sp.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(df) {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", df, back)
+	}
+}
+
+func TestValueAndSet(t *testing.T) {
+	sp := FromDense(dense(t))
+	if sp.Value(0, 0).Int() != 1 {
+		t.Error("value wrong")
+	}
+	if !sp.Value(1, 0).IsNull() {
+		t.Error("missing cell should be null")
+	}
+	sp.Set(1, 0, types.IntValue(9))
+	if sp.Value(1, 0).Int() != 9 {
+		t.Error("set failed")
+	}
+	sp.Set(1, 0, types.Null())
+	if !sp.Value(1, 0).IsNull() || sp.NNZ() != 5 {
+		t.Error("null set should delete")
+	}
+}
+
+func TestLogicalTransposeIsFreeAndCorrect(t *testing.T) {
+	df := dense(t)
+	sp := FromDense(df)
+	tr := sp.Transpose()
+	if !tr.Transposed() || sp.Transposed() {
+		t.Error("transpose flag wrong")
+	}
+	// No data moved: both views share the cell map.
+	if tr.NNZ() != sp.NNZ() {
+		t.Error("transpose must not change nnz")
+	}
+	// The transposed view agrees with the algebra's physical transpose.
+	want, err := algebra.TransposeFrame(df, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.NRows(); i++ {
+		for j := 0; j < tr.NCols(); j++ {
+			got := tr.Value(i, j)
+			exp := want.Value(i, j)
+			if got.IsNull() != exp.IsNull() {
+				t.Fatalf("null mismatch at (%d,%d)", i, j)
+			}
+			if !got.IsNull() && got.String() != exp.String() {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, got, exp)
+			}
+		}
+	}
+	// Labels swapped.
+	if tr.RowLabel(0).String() != "a" || tr.ColLabel(1).String() != "1" {
+		t.Errorf("labels = %v / %v", tr.RowLabel(0), tr.ColLabel(1))
+	}
+	// Double transpose restores the original view.
+	back, err := tr.Transpose().ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(df) {
+		t.Error("T∘T should round trip")
+	}
+}
+
+func TestTransposedToDense(t *testing.T) {
+	df := dense(t)
+	tr := FromDense(df).Transpose()
+	mat, err := tr.ToDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := algebra.TransposeFrame(df, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.NRows() != want.NRows() || mat.NCols() != want.NCols() {
+		t.Fatalf("shape %dx%d vs %dx%d", mat.NRows(), mat.NCols(), want.NRows(), want.NCols())
+	}
+	for i := 0; i < mat.NRows(); i++ {
+		for j := 0; j < mat.NCols(); j++ {
+			a, b := mat.Value(i, j), want.Value(i, j)
+			if a.IsNull() != b.IsNull() || (!a.IsNull() && a.String() != b.String()) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestMapValues(t *testing.T) {
+	sp := FromDense(core.MustFromRecords([]string{"x"}, [][]any{{1}, {2}, {nil}}))
+	doubled := sp.MapValues(func(v types.Value) types.Value {
+		return types.IntValue(v.Int() * 2)
+	})
+	if doubled.Value(1, 0).Int() != 4 {
+		t.Error("map wrong")
+	}
+	if !doubled.Value(2, 0).IsNull() {
+		t.Error("null stays null")
+	}
+	// Mapping to null drops cells.
+	dropped := sp.MapValues(func(types.Value) types.Value { return types.Null() })
+	if dropped.NNZ() != 0 {
+		t.Error("null-producing map should empty the frame")
+	}
+}
+
+func TestRowReconstruction(t *testing.T) {
+	sp := FromDense(dense(t))
+	row := sp.Row(0)
+	if len(row) != 3 || row[0].Int() != 1 || !row[1].IsNull() || row[2].Str() != "x" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := FromDense(dense(t)).String()
+	if !strings.Contains(s, "nnz=5") {
+		t.Errorf("summary = %s", s)
+	}
+}

@@ -1,0 +1,287 @@
+// Package storage implements MODIN's storage layer (Section 3.3): an
+// in-memory partition store with spillover to persistent storage, so
+// intermediate dataframes can exceed main-memory limits without failing —
+// unlike the baseline, which simply errors. To maintain pandas semantics,
+// spilled partitions are freed when the session ends (Close).
+package storage
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// ErrNotFound reports a key with no stored frame.
+var ErrNotFound = errors.New("storage: frame not found")
+
+// Store keeps dataframes under string keys, holding up to MemoryBudget
+// cells in memory and spilling the least-recently-used frames to disk
+// beyond that.
+type Store struct {
+	mu sync.Mutex
+
+	budget   int // max resident cells; <=0 means unlimited
+	dir      string
+	entries  map[string]*entry
+	lru      []string // keys, least recently used first
+	resident int
+
+	spills, loads int
+}
+
+type entry struct {
+	frame *core.DataFrame // nil when spilled
+	cells int
+	path  string // spill file, when on disk
+}
+
+// New returns a store with the given resident-cell budget; spill files live
+// in a fresh temporary directory.
+func New(budget int) (*Store, error) {
+	dir, err := os.MkdirTemp("", "dfstore-*")
+	if err != nil {
+		return nil, fmt.Errorf("storage: create spill dir: %w", err)
+	}
+	return &Store{budget: budget, dir: dir, entries: make(map[string]*entry)}, nil
+}
+
+// Put stores df under key, spilling older frames if the budget is exceeded.
+func (s *Store) Put(key string, df *core.DataFrame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[key]; ok {
+		s.evictEntryLocked(key, old)
+	}
+	cells := df.NRows()*df.NCols() + 1
+	s.entries[key] = &entry{frame: df, cells: cells}
+	s.resident += cells
+	s.touchLocked(key)
+	return s.enforceBudgetLocked(key)
+}
+
+// Get retrieves the frame stored under key, loading it from disk if it was
+// spilled.
+func (s *Store) Get(key string) (*core.DataFrame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if e.frame == nil {
+		df, err := readFrame(e.path)
+		if err != nil {
+			return nil, fmt.Errorf("storage: load spilled %q: %w", key, err)
+		}
+		e.frame = df
+		s.resident += e.cells
+		s.loads++
+		if err := s.enforceBudgetLocked(key); err != nil {
+			return nil, err
+		}
+	}
+	s.touchLocked(key)
+	return e.frame, nil
+}
+
+// Contains reports whether key is stored (resident or spilled).
+func (s *Store) Contains(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Delete removes the frame under key, including any spill file.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.evictEntryLocked(key, e)
+		delete(s.entries, key)
+	}
+}
+
+// Stats reports resident cell count and spill/load totals.
+func (s *Store) Stats() (residentCells, spills, loads int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resident, s.spills, s.loads
+}
+
+// Close removes every spill file; stored frames become unreachable. It
+// mirrors the session-scoped lifetime of MODIN's persistent partitions.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*entry)
+	s.lru = nil
+	s.resident = 0
+	return os.RemoveAll(s.dir)
+}
+
+func (s *Store) touchLocked(key string) {
+	for i, k := range s.lru {
+		if k == key {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	s.lru = append(s.lru, key)
+}
+
+func (s *Store) evictEntryLocked(key string, e *entry) {
+	if e.frame != nil {
+		s.resident -= e.cells
+		e.frame = nil
+	}
+	if e.path != "" {
+		os.Remove(e.path)
+		e.path = ""
+	}
+	for i, k := range s.lru {
+		if k == key {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+}
+
+// enforceBudgetLocked spills least-recently-used resident frames (other
+// than keep) until the budget holds.
+func (s *Store) enforceBudgetLocked(keep string) error {
+	if s.budget <= 0 {
+		return nil
+	}
+	for s.resident > s.budget {
+		victim := ""
+		for _, k := range s.lru {
+			if k != keep && s.entries[k].frame != nil {
+				victim = k
+				break
+			}
+		}
+		if victim == "" {
+			return nil // nothing else to spill; allow overshoot
+		}
+		e := s.entries[victim]
+		if e.path == "" {
+			path := filepath.Join(s.dir, fmt.Sprintf("%x.gob", len(s.entries)+s.spills))
+			if err := writeFrame(path, e.frame); err != nil {
+				return fmt.Errorf("storage: spill %q: %w", victim, err)
+			}
+			e.path = path
+		}
+		e.frame = nil
+		s.resident -= e.cells
+		s.spills++
+	}
+	return nil
+}
+
+// frameDisk is the gob-serializable form of a dataframe: everything goes
+// through the Σ* rendering, with domains recorded so the typed form is
+// recovered on load.
+type frameDisk struct {
+	ColNames  []string
+	Domains   []int
+	RowLabels []string
+	LabelDom  int
+	Cells     [][]string // column-major
+	Nulls     [][]bool
+	LabelNull []bool
+}
+
+func writeFrame(path string, df *core.DataFrame) error {
+	d := frameDisk{
+		ColNames: df.ColNames(),
+		Domains:  make([]int, df.NCols()),
+		Cells:    make([][]string, df.NCols()),
+		Nulls:    make([][]bool, df.NCols()),
+	}
+	for j := 0; j < df.NCols(); j++ {
+		d.Domains[j] = int(df.DeclaredDomain(j))
+		col := df.Col(j)
+		cells := make([]string, col.Len())
+		nulls := make([]bool, col.Len())
+		for i := 0; i < col.Len(); i++ {
+			v := col.Value(i)
+			nulls[i] = v.IsNull()
+			if !v.IsNull() {
+				cells[i] = v.String()
+			}
+		}
+		d.Cells[j] = cells
+		d.Nulls[j] = nulls
+	}
+	labels := df.RowLabels()
+	d.LabelDom = int(labels.Domain())
+	d.RowLabels = make([]string, labels.Len())
+	d.LabelNull = make([]bool, labels.Len())
+	for i := 0; i < labels.Len(); i++ {
+		v := labels.Value(i)
+		d.LabelNull[i] = v.IsNull()
+		if !v.IsNull() {
+			d.RowLabels[i] = v.String()
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(&d)
+}
+
+func readFrame(path string) (*core.DataFrame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var d frameDisk
+	if err := gob.NewDecoder(f).Decode(&d); err != nil {
+		return nil, err
+	}
+	cols := make([]vector.Vector, len(d.ColNames))
+	doms := make([]types.Domain, len(d.ColNames))
+	labels := make([]types.Value, len(d.ColNames))
+	for j := range cols {
+		doms[j] = types.Domain(d.Domains[j])
+		labels[j] = types.String(d.ColNames[j])
+		dom := doms[j]
+		if !dom.Valid() {
+			dom = types.Object
+		}
+		b := vector.NewBuilder(dom, len(d.Cells[j]))
+		for i, cell := range d.Cells[j] {
+			switch {
+			case d.Nulls[j][i]:
+				b.AppendNull()
+			case dom == types.Object:
+				// The null mask is authoritative: a literal "NA"
+				// string cell must stay a string.
+				b.Append(types.String(cell))
+			default:
+				b.AppendString(cell)
+			}
+		}
+		cols[j] = b.Build()
+	}
+	lb := vector.NewBuilder(types.Domain(d.LabelDom), len(d.RowLabels))
+	for i, cell := range d.RowLabels {
+		if d.LabelNull[i] {
+			lb.AppendNull()
+		} else {
+			lb.AppendString(cell)
+		}
+	}
+	return core.Build(cols, lb.Build(), labels, doms, nil)
+}

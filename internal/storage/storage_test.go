@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func frame(t *testing.T, rows int) *core.DataFrame {
+	t.Helper()
+	records := make([][]any, rows)
+	for i := range records {
+		var v any = float64(i) * 1.5
+		if i%7 == 0 {
+			v = nil
+		}
+		records[i] = []any{i, "name-" + string(rune('a'+i%26)), v}
+	}
+	return core.MustFromRecords([]string{"id", "name", "score"}, records)
+}
+
+func newStore(t *testing.T, budget int) *Store {
+	t.Helper()
+	s, err := New(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newStore(t, 0)
+	df := frame(t, 20)
+	if err := s.Put("a", df); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(df) {
+		t.Error("round trip mismatch")
+	}
+	if !s.Contains("a") || s.Contains("b") {
+		t.Error("contains wrong")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := newStore(t, 0)
+	if _, err := s.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSpillAndReload(t *testing.T) {
+	s := newStore(t, 100) // tiny budget: ~1.5 frames of 20x3
+	a, b, c := frame(t, 20), frame(t, 20), frame(t, 20)
+	if err := s.Put("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("c", c); err != nil {
+		t.Fatal(err)
+	}
+	_, spills, _ := s.Stats()
+	if spills == 0 {
+		t.Fatal("expected spills under tiny budget")
+	}
+	// The spilled frame reloads from disk with identical content.
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(a) {
+		t.Errorf("spilled frame corrupted:\n%s\nvs\n%s", got, a)
+	}
+	_, _, loads := s.Stats()
+	if loads == 0 {
+		t.Error("expected a disk load")
+	}
+	// Resident usage respects the budget (keep-frame overshoot aside).
+	resident, _, _ := s.Stats()
+	if resident > 2*100 {
+		t.Errorf("resident = %d cells, budget 100", resident)
+	}
+}
+
+func TestLRUSpillsOldest(t *testing.T) {
+	s := newStore(t, 100)
+	s.Put("old", frame(t, 20))
+	s.Put("new", frame(t, 20))
+	// "old" is least recently used and should have spilled; "new" should
+	// be resident.
+	if _, err := s.Get("new"); err != nil {
+		t.Fatal(err)
+	}
+	_, spills, loads := s.Stats()
+	if spills != 1 {
+		t.Errorf("spills = %d", spills)
+	}
+	if loads != 0 {
+		t.Errorf("getting the resident frame should not load, loads = %d", loads)
+	}
+}
+
+func TestDeleteAndOverwrite(t *testing.T) {
+	s := newStore(t, 0)
+	s.Put("k", frame(t, 5))
+	s.Delete("k")
+	if s.Contains("k") {
+		t.Error("delete failed")
+	}
+	s.Delete("k") // idempotent
+	s.Put("k", frame(t, 5))
+	s.Put("k", frame(t, 10)) // overwrite
+	got, err := s.Get("k")
+	if err != nil || got.NRows() != 10 {
+		t.Error("overwrite wrong")
+	}
+}
+
+func TestCloseDropsEverything(t *testing.T) {
+	s, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", frame(t, 5))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("k") {
+		t.Error("close should drop entries")
+	}
+}
+
+func TestTypedDomainsSurviveSpill(t *testing.T) {
+	s := newStore(t, 1) // everything spills
+	df := frame(t, 30)
+	// Force induction so declared domains exist before spilling.
+	for j := 0; j < df.NCols(); j++ {
+		df.Domain(j)
+	}
+	s.Put("typed", df)
+	s.Put("evict", frame(t, 30)) // pushes "typed" out
+	got, err := s.Get("typed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain(0).String() != "int" || got.Domain(2).String() != "float" {
+		t.Errorf("domains after reload: %v %v", got.Domain(0), got.Domain(2))
+	}
+	if !got.Equal(df) {
+		t.Error("typed reload mismatch")
+	}
+}
+
+func TestNullMaskAuthoritativeOverLiterals(t *testing.T) {
+	// An Object cell holding the literal string "NA" must survive a
+	// spill as a string, not become null.
+	df := core.MustFromRecords([]string{"s"}, [][]any{{"NA"}, {nil}, {"x"}})
+	s := newStore(t, 1)
+	s.Put("tricky", df)
+	s.Put("evict", frame(t, 50))
+	got, err := s.Get("tricky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value(0, 0).IsNull() || got.Value(0, 0).Str() != "NA" {
+		t.Errorf("literal NA string corrupted: %#v", got.Value(0, 0))
+	}
+	if !got.Value(1, 0).IsNull() {
+		t.Error("true null lost")
+	}
+}

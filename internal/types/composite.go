@@ -1,0 +1,21 @@
+package types
+
+import "fmt"
+
+// composite values carry an opaque payload (in practice a *core.DataFrame
+// produced by GROUPBY's collect aggregate). The payload is stored out of the
+// main Value struct so that the common scalar path stays pointer-free.
+
+// CompositeValue returns a Composite-domain value holding the payload.
+func CompositeValue(payload any) Value {
+	return Value{dom: Composite, s: fmt.Sprintf("<composite %p>", payload), compPayload: payload}
+}
+
+// CompositePayload returns the payload of a composite value, or nil if v is
+// not composite (or is the composite null).
+func (v Value) CompositePayload() any {
+	if v.dom != Composite || v.null {
+		return nil
+	}
+	return v.compPayload
+}

@@ -1,0 +1,321 @@
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is a single dataframe cell: a member of one of the domains in Dom,
+// or that domain's distinguished null. The zero Value is the Object-domain
+// null.
+type Value struct {
+	dom  Domain
+	null bool
+	i    int64
+	f    float64
+	b    bool
+	s    string
+	// compPayload carries the opaque payload of Composite values; see
+	// composite.go.
+	compPayload any
+}
+
+// NullValue returns the distinguished null of domain d.
+func NullValue(d Domain) Value { return Value{dom: d, null: true} }
+
+// Null returns the Object-domain null (the zero Value made explicit).
+func Null() Value { return Value{dom: Object, null: true} }
+
+// String returns an Object-domain value holding s.
+func String(s string) Value { return Value{dom: Object, s: s} }
+
+// CategoryValue returns a Category-domain value holding s.
+func CategoryValue(s string) Value { return Value{dom: Category, s: s} }
+
+// IntValue returns an Int-domain value holding i.
+func IntValue(i int64) Value { return Value{dom: Int, i: i} }
+
+// FloatValue returns a Float-domain value holding f. NaN is mapped to the
+// Float null, matching the convention in pandas.
+func FloatValue(f float64) Value {
+	if math.IsNaN(f) {
+		return NullValue(Float)
+	}
+	return Value{dom: Float, f: f}
+}
+
+// BoolValue returns a Bool-domain value holding b.
+func BoolValue(b bool) Value { return Value{dom: Bool, b: b} }
+
+// DatetimeValue returns a Datetime-domain value holding t.
+func DatetimeValue(t time.Time) Value { return Value{dom: Datetime, i: t.UnixNano()} }
+
+// DatetimeFromNanos returns a Datetime-domain value from Unix nanoseconds.
+func DatetimeFromNanos(ns int64) Value { return Value{dom: Datetime, i: ns} }
+
+// Domain returns the domain the value belongs to. Every constructor sets a
+// concrete domain, so an Unspecified domain identifies the zero Value, which
+// reads as the Object-domain null.
+func (v Value) Domain() Domain {
+	if v.dom == Unspecified {
+		return Object
+	}
+	return v.dom
+}
+
+// IsNull reports whether v is the distinguished null of its domain. The
+// zero Value is null.
+func (v Value) IsNull() bool { return v.null || v.dom == Unspecified }
+
+// Int returns the integer payload. It is only meaningful for Int-domain
+// non-null values.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the value coerced to float64: the float payload for Float,
+// the integer payload for Int, 0/1 for Bool, and NaN for null or
+// non-numeric values.
+func (v Value) Float() float64 {
+	if v.IsNull() {
+		return math.NaN()
+	}
+	switch v.dom {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	case Bool:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// Bool returns the boolean payload. It is only meaningful for Bool-domain
+// non-null values.
+func (v Value) Bool() bool { return v.b }
+
+// Time returns the timestamp payload. It is only meaningful for
+// Datetime-domain non-null values.
+func (v Value) Time() time.Time { return time.Unix(0, v.i) }
+
+// Str returns the string payload for Object/Category values, and the
+// rendered form for everything else.
+func (v Value) Str() string {
+	if v.dom == Object || v.dom == Category {
+		return v.s
+	}
+	return v.String()
+}
+
+// String renders the value the way it would appear in a CSV cell or a
+// printed dataframe. Nulls render as "NA".
+func (v Value) String() string {
+	if v.IsNull() {
+		return "NA"
+	}
+	switch v.dom {
+	case Object, Category:
+		return v.s
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Bool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case Datetime:
+		return time.Unix(0, v.i).UTC().Format("2006-01-02 15:04:05")
+	default:
+		return v.s
+	}
+}
+
+// GoString implements fmt.GoStringer for debugging output.
+func (v Value) GoString() string {
+	if v.IsNull() {
+		return fmt.Sprintf("types.NullValue(%v)", v.dom)
+	}
+	return fmt.Sprintf("types.Value(%v:%s)", v.dom, v.String())
+}
+
+// Equal reports whether two values are the same domain member. Nulls of the
+// same domain compare equal to each other (reflexive equality is needed for
+// grouping and duplicate elimination, as in SQL's GROUP BY treatment of
+// NULL).
+func (v Value) Equal(o Value) bool {
+	if v.IsNull() || o.IsNull() {
+		return v.IsNull() && o.IsNull()
+	}
+	if v.dom.Numeric() && o.dom.Numeric() && v.dom != o.dom {
+		return v.Float() == o.Float()
+	}
+	if stringLike(v.dom) && stringLike(o.dom) {
+		return v.s == o.s
+	}
+	if v.dom != o.dom {
+		return false
+	}
+	switch v.dom {
+	case Object, Category:
+		return v.s == o.s
+	case Int, Datetime:
+		return v.i == o.i
+	case Float:
+		return v.f == o.f
+	case Bool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// stringLike reports whether the domain stores a plain string payload, so
+// Object and Category values compare by content across domains.
+func stringLike(d Domain) bool { return d == Object || d == Category }
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o. Nulls
+// sort before every non-null value; cross-domain comparisons order numerics
+// by magnitude and otherwise fall back to domain order then rendered form.
+func (v Value) Compare(o Value) int {
+	switch {
+	case v.IsNull() && o.IsNull():
+		return 0
+	case v.IsNull():
+		return -1
+	case o.IsNull():
+		return 1
+	}
+	if v.dom.Numeric() && o.dom.Numeric() {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.dom != o.dom {
+		return strings.Compare(v.String(), o.String())
+	}
+	switch v.dom {
+	case Object, Category:
+		return strings.Compare(v.s, o.s)
+	case Int, Datetime:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case Float:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+		return 0
+	case Bool:
+		switch {
+		case !v.b && o.b:
+			return -1
+		case v.b && !o.b:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Less reports whether v orders strictly before o.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Key returns a string that is equal for equal values and distinct for
+// distinct values, suitable for use as a hash-map key in grouping, joins and
+// duplicate elimination.
+func (v Value) Key() string {
+	if v.IsNull() {
+		return "\x00null"
+	}
+	switch v.dom {
+	case Object, Category:
+		return "s:" + v.s
+	case Int:
+		return "i:" + strconv.FormatInt(v.i, 10)
+	case Datetime:
+		return "t:" + strconv.FormatInt(v.i, 10)
+	case Float:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+			// Integral floats share a key with equal ints so that
+			// cross-domain Equal and Key agree.
+			return "i:" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "f:" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Bool:
+		if v.b {
+			return "i:1"
+		}
+		return "i:0"
+	}
+	return "s:" + v.s
+}
+
+// Interface returns the value as a native Go value (nil for null, string,
+// int64, float64, bool, or time.Time).
+func (v Value) Interface() any {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.dom {
+	case Object, Category:
+		return v.s
+	case Int:
+		return v.i
+	case Float:
+		return v.f
+	case Bool:
+		return v.b
+	case Datetime:
+		return v.Time()
+	}
+	return nil
+}
+
+// FromGo converts a native Go value into a Value, inducing the domain from
+// the dynamic type. Unhandled types render through fmt into Object.
+func FromGo(x any) Value {
+	switch t := x.(type) {
+	case nil:
+		return Null()
+	case Value:
+		return t
+	case string:
+		return String(t)
+	case int:
+		return IntValue(int64(t))
+	case int32:
+		return IntValue(int64(t))
+	case int64:
+		return IntValue(t)
+	case float32:
+		return FloatValue(float64(t))
+	case float64:
+		return FloatValue(t)
+	case bool:
+		return BoolValue(t)
+	case time.Time:
+		return DatetimeValue(t)
+	default:
+		return String(fmt.Sprint(t))
+	}
+}

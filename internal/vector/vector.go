@@ -1,0 +1,169 @@
+// Package vector provides the columnar storage layer beneath the dataframe
+// data model: typed, immutable vectors with null bitmaps, builders, and the
+// bulk kernels (slice, take, concat) the algebra operators are built on.
+//
+// A dataframe column is one vector; the paper's raw Σ* array Amn corresponds
+// to Object vectors, and the parsed form produced by a parsing function p_i
+// corresponds to the typed vectors here.
+package vector
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Vector is an immutable, typed column of values with a null mask.
+//
+// Implementations are append-only via Builder; operators produce new vectors
+// rather than mutating, which is what lets partitions be shared between
+// dataframes without copies.
+type Vector interface {
+	// Len returns the number of entries.
+	Len() int
+	// Domain returns the domain of the vector's entries.
+	Domain() types.Domain
+	// Value returns the i'th entry (possibly the domain's null).
+	Value(i int) types.Value
+	// IsNull reports whether the i'th entry is null.
+	IsNull(i int) bool
+	// Slice returns the subvector [lo, hi). The result may share storage
+	// with the receiver.
+	Slice(lo, hi int) Vector
+	// Take returns a new vector with the entries at the given positions,
+	// in the given order. Positions of -1 produce nulls (used by outer
+	// joins and reindexing).
+	Take(idx []int) Vector
+}
+
+// NullCount returns the number of null entries in v.
+func NullCount(v Vector) int {
+	n := 0
+	for i := 0; i < v.Len(); i++ {
+		if v.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Values materializes the vector as a slice of Values.
+func Values(v Vector) []types.Value {
+	out := make([]types.Value, v.Len())
+	for i := range out {
+		out[i] = v.Value(i)
+	}
+	return out
+}
+
+// Strings renders every entry of v as its string form (nulls as "NA").
+func Strings(v Vector) []string {
+	out := make([]string, v.Len())
+	for i := range out {
+		out[i] = v.Value(i).String()
+	}
+	return out
+}
+
+// FromValues builds a vector in domain d from the given values, coercing
+// each value through the domain when necessary.
+func FromValues(d types.Domain, vals []types.Value) Vector {
+	b := NewBuilder(d, len(vals))
+	for _, v := range vals {
+		b.Append(v)
+	}
+	return b.Build()
+}
+
+// Concat concatenates the vectors in order. All inputs must share a domain
+// unless one of them is Object, in which case the result falls back to
+// Object. Concat of zero vectors returns an empty Object vector.
+func Concat(vs ...Vector) Vector {
+	if len(vs) == 0 {
+		return NewObjectBuilder(0).Build()
+	}
+	dom := vs[0].Domain()
+	total := 0
+	for _, v := range vs {
+		total += v.Len()
+		if v.Domain() != dom {
+			dom = types.Object
+		}
+	}
+	b := NewBuilder(dom, total)
+	for _, v := range vs {
+		for i := 0; i < v.Len(); i++ {
+			b.Append(v.Value(i))
+		}
+	}
+	return b.Build()
+}
+
+// Equal reports whether two vectors have the same length, and pairwise-equal
+// entries (domains may differ if the values compare equal across domains).
+func Equal(a, b Vector) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Value(i).Equal(b.Value(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Repeat returns a vector of n copies of v.
+func Repeat(v types.Value, n int) Vector {
+	b := NewBuilder(v.Domain(), n)
+	for i := 0; i < n; i++ {
+		b.Append(v)
+	}
+	return b.Build()
+}
+
+// Nulls returns a vector of n nulls in domain d.
+func Nulls(d types.Domain, n int) Vector {
+	b := NewBuilder(d, n)
+	for i := 0; i < n; i++ {
+		b.AppendNull()
+	}
+	return b.Build()
+}
+
+// Range returns an Int vector [start, start+n).
+func Range(start int64, n int) Vector {
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = start + int64(i)
+	}
+	return NewInt(data, nil)
+}
+
+func checkSlice(length, lo, hi int) {
+	if lo < 0 || hi > length || lo > hi {
+		panic(fmt.Sprintf("vector: slice [%d:%d) out of range for length %d", lo, hi, length))
+	}
+}
+
+// takeNulls computes the null mask for a Take over the given mask, treating
+// index -1 as null.
+func takeNulls(nulls []bool, idx []int) []bool {
+	var out []bool
+	for j, i := range idx {
+		if i == -1 || (nulls != nil && nulls[i]) {
+			if out == nil {
+				out = make([]bool, len(idx))
+			}
+			out[j] = true
+		}
+	}
+	return out
+}
+
+func sliceNulls(nulls []bool, lo, hi int) []bool {
+	if nulls == nil {
+		return nil
+	}
+	return nulls[lo:hi]
+}

@@ -1,0 +1,204 @@
+// Package workload generates the synthetic datasets the experiment harness
+// sweeps over. The taxi generator stands in for the NYC taxicab dataset of
+// Section 3.2 (replicated to 20–250 GB in the paper): it reproduces the
+// column profile the four benchmark queries depend on — a
+// "passenger_count" key column with nulls for groupby(n), scattered nulls
+// across the frame for the map query, and a tall shape for transpose —
+// at laptop-tractable row counts.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/vector"
+)
+
+// TaxiOptions parameterizes the generator.
+type TaxiOptions struct {
+	// Rows is the number of trips to generate.
+	Rows int
+	// Seed fixes the PRNG so sweeps are reproducible.
+	Seed int64
+	// NullFraction is the probability a nullable cell is null (the map
+	// query of Figure 2 scans for exactly these).
+	NullFraction float64
+	// Raw emits untyped Σ* columns, as a CSV ingest would; otherwise
+	// columns are typed at generation. Raw exercises schema induction.
+	Raw bool
+}
+
+// DefaultTaxiOptions mirrors the dataset profile used in Section 3.2 at a
+// given scale.
+func DefaultTaxiOptions(rows int) TaxiOptions {
+	return TaxiOptions{Rows: rows, Seed: 2020, NullFraction: 0.06}
+}
+
+// TaxiColumns is the generated schema, a subset of the NYC TLC trip record
+// layout.
+var TaxiColumns = []string{
+	"vendor_id",
+	"pickup_datetime",
+	"passenger_count",
+	"trip_distance",
+	"payment_type",
+	"fare_amount",
+	"tip_amount",
+	"total_amount",
+	"store_and_fwd_flag",
+}
+
+// Taxi generates the synthetic trip table.
+func Taxi(opts TaxiOptions) *core.DataFrame {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.Rows
+
+	vendors := []string{"CMT", "VTS", "DDS"}
+	payments := []string{"card", "cash", "dispute", "no charge"}
+
+	vendor := make([]string, n)
+	pickup := make([]int64, n)
+	passengers := make([]int64, n)
+	passengersNull := make([]bool, n)
+	distance := make([]float64, n)
+	distanceNull := make([]bool, n)
+	payment := make([]string, n)
+	fare := make([]float64, n)
+	tip := make([]float64, n)
+	tipNull := make([]bool, n)
+	total := make([]float64, n)
+	flag := make([]string, n)
+
+	const baseTime = int64(1262304000) // 2010-01-01 UTC, seconds
+	for i := 0; i < n; i++ {
+		vendor[i] = vendors[rng.Intn(len(vendors))]
+		pickup[i] = (baseTime + int64(rng.Intn(365*24*3600))) * 1e9
+		if rng.Float64() < opts.NullFraction {
+			passengersNull[i] = true
+		} else {
+			passengers[i] = 1 + int64(rng.Intn(6))
+		}
+		if rng.Float64() < opts.NullFraction {
+			distanceNull[i] = true
+		} else {
+			distance[i] = rng.Float64() * 20
+		}
+		payment[i] = payments[rng.Intn(len(payments))]
+		fare[i] = 2.5 + distance[i]*2.1 + rng.Float64()*3
+		if rng.Float64() < opts.NullFraction {
+			tipNull[i] = true
+		} else {
+			tip[i] = fare[i] * rng.Float64() * 0.3
+		}
+		total[i] = fare[i] + tip[i]
+		switch rng.Intn(10) {
+		case 0:
+			flag[i] = "Y"
+		case 1:
+			flag[i] = "" // null literal
+		default:
+			flag[i] = "N"
+		}
+	}
+
+	cols := []vector.Vector{
+		vector.NewDictFromStrings(vendor),
+		vector.NewDatetime(pickup, nil),
+		vector.NewInt(passengers, passengersNull),
+		vector.NewFloat(distance, distanceNull),
+		vector.NewDictFromStrings(payment),
+		vector.NewFloat(fare, nil),
+		vector.NewFloat(tip, tipNull),
+		vector.NewFloat(total, nil),
+		vector.NewObjectFromStrings(flag),
+	}
+	df := core.MustNew(TaxiColumns, cols)
+	if !opts.Raw {
+		return df
+	}
+	// Raw mode: re-render every column through Σ*, as a CSV read would
+	// deliver it, leaving all typing to schema induction.
+	raw := make([]vector.Vector, len(cols))
+	for j, c := range cols {
+		data := make([]string, c.Len())
+		nulls := make([]bool, c.Len())
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				nulls[i] = true
+				continue
+			}
+			data[i] = c.Value(i).String()
+		}
+		raw[j] = vector.NewObject(data, nulls)
+	}
+	return core.MustNew(TaxiColumns, raw)
+}
+
+// Sales generates a scaled-up version of the Figure 5 SALES table for the
+// pivot experiments: years×months rows of (Year, Month, Sales), ordered by
+// Year then Month — the sortedness the Figure 8(b) rewrite exploits.
+func Sales(years, months int, seed int64) *core.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	n := years * months
+	year := make([]int64, 0, n)
+	month := make([]string, 0, n)
+	sales := make([]int64, 0, n)
+	for y := 0; y < years; y++ {
+		for m := 0; m < months; m++ {
+			year = append(year, int64(2000+y))
+			month = append(month, fmt.Sprintf("M%02d", m+1))
+			sales = append(sales, int64(rng.Intn(1000)))
+		}
+	}
+	return core.MustNew(
+		[]string{"Year", "Month", "Sales"},
+		[]vector.Vector{
+			vector.NewInt(year, nil),
+			vector.NewObject(month, nil),
+			vector.NewInt(sales, nil),
+		},
+	)
+}
+
+// Matrix generates an n×k float matrix dataframe for covariance and
+// transpose experiments.
+func Matrix(rows, cols int, seed int64) *core.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, cols)
+	vecs := make([]vector.Vector, cols)
+	for j := 0; j < cols; j++ {
+		names[j] = fmt.Sprintf("c%d", j)
+		data := make([]float64, rows)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		vecs[j] = vector.NewFloat(data, nil)
+	}
+	return core.MustNew(names, vecs)
+}
+
+// WideUntyped generates a frame of numeric data rendered as strings with
+// occasional nulls: the schema-induction workload of experiment E8.
+func WideUntyped(rows, cols int, seed int64) *core.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, cols)
+	vecs := make([]vector.Vector, cols)
+	for j := 0; j < cols; j++ {
+		names[j] = fmt.Sprintf("u%d", j)
+		data := make([]string, rows)
+		for i := range data {
+			if rng.Intn(50) == 0 {
+				data[i] = "NA"
+			} else if j%3 == 0 {
+				data[i] = fmt.Sprintf("%d", rng.Intn(100000))
+			} else if j%3 == 1 {
+				data[i] = fmt.Sprintf("%.4f", rng.Float64()*100)
+			} else {
+				data[i] = fmt.Sprintf("item-%d", rng.Intn(1000))
+			}
+		}
+		vecs[j] = vector.NewObjectFromStrings(data)
+	}
+	return core.MustNew(names, vecs)
+}

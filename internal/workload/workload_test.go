@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestTaxiShapeAndDeterminism(t *testing.T) {
+	opts := DefaultTaxiOptions(500)
+	a := Taxi(opts)
+	b := Taxi(opts)
+	if a.NRows() != 500 || a.NCols() != len(TaxiColumns) {
+		t.Fatalf("shape = %dx%d", a.NRows(), a.NCols())
+	}
+	if !a.Equal(b) {
+		t.Error("same seed must reproduce the dataset")
+	}
+	other := Taxi(TaxiOptions{Rows: 500, Seed: 99, NullFraction: 0.06})
+	if a.Equal(other) {
+		t.Error("different seed should differ")
+	}
+}
+
+func TestTaxiNullDensity(t *testing.T) {
+	df := Taxi(DefaultTaxiOptions(2000))
+	j := df.ColIndex("passenger_count")
+	nulls := 0
+	col := df.Col(j)
+	for i := 0; i < col.Len(); i++ {
+		if col.IsNull(i) {
+			nulls++
+		}
+	}
+	frac := float64(nulls) / 2000
+	if frac < 0.03 || frac > 0.10 {
+		t.Errorf("passenger_count null fraction = %v, want ~0.06", frac)
+	}
+	// Non-null passenger counts are 1..6, the groupby(n) key profile.
+	for i := 0; i < col.Len(); i++ {
+		if col.IsNull(i) {
+			continue
+		}
+		v := col.Value(i).Int()
+		if v < 1 || v > 6 {
+			t.Fatalf("passenger_count = %d out of range", v)
+		}
+	}
+}
+
+func TestTaxiRawModeIsUntyped(t *testing.T) {
+	raw := Taxi(TaxiOptions{Rows: 100, Seed: 1, NullFraction: 0.05, Raw: true})
+	for j := 0; j < raw.NCols(); j++ {
+		if raw.Col(j).Domain() != types.Object {
+			t.Errorf("raw column %d stored as %v", j, raw.Col(j).Domain())
+		}
+	}
+	// Induction recovers sensible domains from the rendered strings.
+	if raw.Domain(raw.ColIndex("passenger_count")) != types.Int {
+		t.Errorf("induced passenger_count = %v", raw.Domain(raw.ColIndex("passenger_count")))
+	}
+	if raw.Domain(raw.ColIndex("fare_amount")) != types.Float {
+		t.Errorf("induced fare_amount = %v", raw.Domain(raw.ColIndex("fare_amount")))
+	}
+}
+
+func TestSalesSortedByYear(t *testing.T) {
+	df := Sales(5, 12, 1)
+	if df.NRows() != 60 {
+		t.Fatalf("rows = %d", df.NRows())
+	}
+	j := df.ColIndex("Year")
+	prev := int64(0)
+	for i := 0; i < df.NRows(); i++ {
+		y := df.Value(i, j).Int()
+		if y < prev {
+			t.Fatal("sales must be ordered by Year")
+		}
+		prev = y
+	}
+}
+
+func TestMatrixAndWideUntyped(t *testing.T) {
+	m := Matrix(10, 4, 3)
+	if m.NRows() != 10 || m.NCols() != 4 || !m.IsMatrix() {
+		t.Error("matrix generator wrong")
+	}
+	w := WideUntyped(50, 9, 5)
+	if w.NRows() != 50 || w.NCols() != 9 {
+		t.Error("wide untyped shape wrong")
+	}
+	if w.Domain(0) != types.Int || w.Domain(1) != types.Float {
+		t.Errorf("induced domains = %v %v", w.Domain(0), w.Domain(1))
+	}
+}
