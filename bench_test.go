@@ -93,6 +93,93 @@ func BenchmarkFigure2Transpose(b *testing.B) {
 	}
 }
 
+// --- Pipelined operator chain (the compile→schedule fusion path) ----------
+
+// pipelinedChainPlan is a realistic filter→map→groupby session statement:
+// under the physical layer the filter and map fuse into one task per band
+// (no inter-operator gather), and only the groupby is a barrier.
+func pipelinedChainPlan(src *core.DataFrame) algebra.Node {
+	return &algebra.GroupBy{
+		Input: &algebra.Map{
+			Input: &algebra.Selection{
+				Input: &algebra.Source{DF: src, Name: "taxi"},
+				Pred:  expr.ColNotNull("passenger_count"),
+				Desc:  "pc notnull",
+			},
+			Fn: algebra.FillNAFn(types.FloatValue(0)),
+		},
+		Spec: expr.GroupBySpec{
+			Keys: []string{"vendor_id"},
+			Aggs: []expr.AggSpec{
+				{Col: "total_amount", Agg: expr.AggSum, As: "revenue"},
+				{Col: "fare_amount", Agg: expr.AggMean, As: "avg_fare"},
+			},
+		},
+	}
+}
+
+// BenchmarkPipelinedFilterMapGroupBy measures the multi-operator chain on
+// both engines: the MODIN number reflects fused per-band tasks feeding the
+// groupby shuffle directly, versus the baseline's full materialization
+// between every operator.
+func BenchmarkPipelinedFilterMapGroupBy(b *testing.B) {
+	plan := pipelinedChainPlan(benchTaxi)
+	for name, e := range engines() {
+		b.Run(name, func(b *testing.B) { runPlan(b, e, plan) })
+	}
+}
+
+// BenchmarkPipelinedFusedChainOnly isolates the embarrassingly-parallel
+// prefix (filter→map, no barrier at all under MODIN).
+func BenchmarkPipelinedFusedChainOnly(b *testing.B) {
+	plan := &algebra.Map{
+		Input: &algebra.Selection{
+			Input: &algebra.Source{DF: benchTaxi, Name: "taxi"},
+			Pred:  expr.ColNotNull("passenger_count"),
+			Desc:  "pc notnull",
+		},
+		Fn: algebra.IsNullFn(),
+	}
+	for name, e := range engines() {
+		b.Run(name, func(b *testing.B) { runPlan(b, e, plan) })
+	}
+}
+
+// BenchmarkPipelinedFirstBandLatency measures the time until the FIRST
+// result band of a filter→map chain is available for inspection. The
+// pre-refactor engine ran a gather per operator, so nothing was consumable
+// until every band of every operator finished; the compile→schedule
+// pipeline hands back a deferred frame whose band 0 resolves after
+// roughly 1/bands of the total work — the Section 6.1.2 first-glance
+// latency, now measured at the engine layer.
+func BenchmarkPipelinedFirstBandLatency(b *testing.B) {
+	pool := exec.NewPool(1)
+	defer pool.Close()
+	e := modin.New(modin.WithPool(pool), modin.WithBands(4))
+	plan := &algebra.Map{
+		Input: &algebra.Selection{
+			Input: &algebra.Source{DF: benchTaxi, Name: "taxi"},
+			Pred:  expr.ColNotNull("passenger_count"),
+			Desc:  "pc notnull",
+		},
+		Fn: algebra.IsNullFn(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf, err := e.ExecutePartitioned(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-pf.BlockFuture(0, 0).Done() // first band consumable here
+		b.StopTimer()
+		if _, err := pf.ToFrame(); err != nil { // drain off-timer
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
 // --- Figure 8: pivot plan comparison --------------------------------------
 
 func BenchmarkFigure8PivotPlans(b *testing.B) {

@@ -4,4 +4,15 @@
 // baseline, and a harness regenerating every table and figure in the
 // paper's evaluation. The public API lives in repro/df; the root package
 // only anchors the module-level benchmark suite (bench_test.go).
+//
+// Execution architecture: logical plans (internal/algebra) are either
+// evaluated bottom-up by the single-threaded baseline (internal/eager) or
+// compiled into a physical stage DAG (internal/physical) by the MODIN
+// engine (internal/modin) — embarrassingly-parallel operator chains fuse
+// into one task per partition band, repartition points become exchange
+// barriers — and scheduled asynchronously on the task-parallel execution
+// layer (internal/exec). Partitioned frames (internal/partition) hold
+// future-valued blocks, so results stay deferred until gathered; the
+// session layer (internal/session) exploits this for the paper's
+// opportunistic evaluation regime. See README.md for the full map.
 package repro

@@ -101,24 +101,81 @@ func (p *Pool) Close() {
 	}
 }
 
+// Group is a cancellation scope for a DAG of related tasks: the first task
+// that fails cancels the group, and every not-yet-started task submitted in
+// the group is skipped with the group's error instead of running. Physical
+// plan runs use one group per query so a failed partition task stops the
+// rest of the query's work promptly.
+type Group struct {
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+}
+
+// NewGroup returns an empty, uncancelled group.
+func NewGroup() *Group { return &Group{done: make(chan struct{})} }
+
+// Cancel cancels the group with err (the first cancellation wins). A nil
+// err cancels with a generic error.
+func (g *Group) Cancel(err error) {
+	if err == nil {
+		err = fmt.Errorf("exec: group cancelled")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.err == nil {
+		g.err = err
+		close(g.done)
+	}
+}
+
+// Err returns the cancellation cause, or nil while the group is live.
+func (g *Group) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// Done exposes the cancellation channel for select-based waiting.
+func (g *Group) Done() <-chan struct{} { return g.done }
+
 // Submit schedules fn after all deps complete and returns its future. If
 // any dependency failed, fn is skipped and the future carries the first
 // dependency error.
 func (p *Pool) Submit(fn func() (any, error), deps ...*Future) *Future {
+	return p.SubmitIn(nil, fn, deps...)
+}
+
+// SubmitIn schedules fn in a cancellation group (nil behaves like Submit).
+// A task whose group was cancelled before it starts is skipped, and a task
+// that fails cancels its group, skipping the group's remaining tasks.
+func (p *Pool) SubmitIn(g *Group, fn func() (any, error), deps ...*Future) *Future {
 	p.scheduled.Add(1)
 	f := &Future{done: make(chan struct{})}
 	run := func() {
 		defer close(f.done)
 		defer p.completed.Add(1)
+		if g != nil {
+			if err := g.Err(); err != nil {
+				f.err = fmt.Errorf("exec: group cancelled: %w", err)
+				return
+			}
+		}
 		for _, d := range deps {
 			if _, err := d.Wait(); err != nil {
 				f.err = fmt.Errorf("exec: dependency failed: %w", err)
+				if g != nil {
+					g.Cancel(err)
+				}
 				return
 			}
 		}
 		defer func() {
 			if r := recover(); r != nil {
 				f.err = fmt.Errorf("exec: task panic: %v", r)
+			}
+			if g != nil && f.err != nil {
+				g.Cancel(f.err)
 			}
 		}()
 		f.val, f.err = fn()
@@ -138,26 +195,78 @@ func (p *Pool) Submit(fn func() (any, error), deps ...*Future) *Future {
 }
 
 // ForEach runs fn(i) for i in [0, n) across the pool and waits for all,
-// returning the first error.
+// returning the first error. The calling goroutine participates in the
+// work: tasks running on pool workers (exchange stages of the physical
+// layer) may call ForEach without risking deadlock when every worker is
+// occupied — the caller drains the iteration space itself if no worker is
+// free.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
-	if n == 1 {
-		return fn(0)
-	}
-	futures := make([]*Future, n)
-	for i := 0; i < n; i++ {
-		i := i
-		futures[i] = p.Submit(func() (any, error) { return nil, fn(i) })
-	}
-	var first error
-	for _, f := range futures {
-		if _, err := f.Wait(); err != nil && first == nil {
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		mu.Lock()
+		if first == nil {
 			first = err
 		}
+		mu.Unlock()
 	}
+	wg.Add(n)
+	runOne := func(i int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				record(fmt.Errorf("exec: task panic: %v", r))
+			}
+		}()
+		if err := fn(i); err != nil {
+			record(err)
+		}
+	}
+	runner := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			runOne(i)
+		}
+	}
+	helpers := p.workers
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for j := 0; j < helpers; j++ {
+		// Best-effort: a full queue skips the helper rather than running
+		// it inline (which would drain the whole iteration space serially
+		// before the caller's own runner started).
+		if !p.trySubmit(func() { runner() }) {
+			break
+		}
+	}
+	runner() // the caller always participates: progress needs no free worker
+	wg.Wait()
 	return first
+}
+
+// trySubmit enqueues fn without blocking, reporting whether it was queued.
+// Closed pools and full queues decline.
+func (p *Pool) trySubmit(fn func()) bool {
+	if p.closed.Load() {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
 }
 
 // MapParallel applies fn to every index and collects the results in order.
@@ -175,6 +284,20 @@ func MapParallel[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) 
 		return nil, err
 	}
 	return out, nil
+}
+
+// NewPromise returns an unresolved future and the function that completes
+// it (first completion wins). It bridges externally-produced results into
+// the future graph without occupying a pool worker.
+func NewPromise() (*Future, func(val any, err error)) {
+	f := &Future{done: make(chan struct{})}
+	var once sync.Once
+	return f, func(val any, err error) {
+		once.Do(func() {
+			f.val, f.err = val, err
+			close(f.done)
+		})
+	}
 }
 
 // Resolved wraps a value in a completed future.

@@ -150,3 +150,126 @@ func TestDefaultPoolSized(t *testing.T) {
 		t.Error("default pool should have workers")
 	}
 }
+
+func TestGroupCancelOnFirstError(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	g := NewGroup()
+	sentinel := errors.New("first failure")
+	gate := make(chan struct{})
+	var skipped atomic.Int64
+	bad := p.SubmitIn(g, func() (any, error) { <-gate; return nil, sentinel })
+	// Queued behind bad on a 1-worker pool: by the time they start, the
+	// group is cancelled and their bodies must be skipped.
+	var later []*Future
+	for i := 0; i < 3; i++ {
+		later = append(later, p.SubmitIn(g, func() (any, error) {
+			skipped.Add(1)
+			return nil, nil
+		}))
+	}
+	close(gate)
+	if _, err := bad.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("bad err = %v", err)
+	}
+	for _, f := range later {
+		if _, err := f.Wait(); err == nil {
+			t.Error("task in cancelled group should fail")
+		}
+	}
+	if skipped.Load() != 0 {
+		t.Errorf("%d task bodies ran after cancellation", skipped.Load())
+	}
+	if !errors.Is(g.Err(), sentinel) {
+		t.Errorf("group err = %v", g.Err())
+	}
+}
+
+func TestGroupExplicitCancel(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := NewGroup()
+	g.Cancel(nil)
+	if g.Err() == nil {
+		t.Fatal("nil cancel should still set an error")
+	}
+	select {
+	case <-g.Done():
+	default:
+		t.Error("Done should be closed after cancel")
+	}
+	if _, err := p.SubmitIn(g, func() (any, error) { return 1, nil }).Wait(); err == nil {
+		t.Error("submit into cancelled group should fail")
+	}
+	g.Cancel(errors.New("second")) // first cancellation wins
+	if g.Err().Error() == "second" {
+		t.Error("second cancel should not override")
+	}
+}
+
+func TestNilGroupBehavesLikeSubmit(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	if v, err := p.SubmitIn(nil, func() (any, error) { return 7, nil }).Wait(); err != nil || v.(int) != 7 {
+		t.Error("nil group submit wrong")
+	}
+}
+
+func TestNewPromise(t *testing.T) {
+	f, resolve := NewPromise()
+	if f.Ready() {
+		t.Fatal("fresh promise should be unresolved")
+	}
+	resolve(20, nil)
+	resolve(99, errors.New("late")) // first completion wins
+	if v, err := f.Wait(); err != nil || v.(int) != 20 {
+		t.Errorf("promise = %v, %v", v, err)
+	}
+}
+
+func TestForEachFromInsideWorkerDoesNotDeadlock(t *testing.T) {
+	// Every worker runs a task that itself fans out via ForEach: the old
+	// submit-and-wait ForEach deadlocked here (all workers blocked, inner
+	// tasks never picked). The caller-participates ForEach must finish.
+	p := NewPool(2)
+	defer p.Close()
+	var total atomic.Int64
+	outer := make([]*Future, 2)
+	for i := range outer {
+		outer[i] = p.Submit(func() (any, error) {
+			return nil, p.ForEach(8, func(int) error {
+				time.Sleep(time.Millisecond)
+				total.Add(1)
+				return nil
+			})
+		})
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, f := range outer {
+			f.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested ForEach deadlocked")
+	}
+	if total.Load() != 16 {
+		t.Errorf("iterations = %d", total.Load())
+	}
+}
+
+func TestForEachPanicSurfacesAsError(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	if err := p.ForEach(4, func(i int) error {
+		if i == 2 {
+			panic("iteration kaboom")
+		}
+		return nil
+	}); err == nil {
+		t.Error("iteration panic should surface as error")
+	}
+}

@@ -1,0 +1,287 @@
+package modin
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/physical"
+)
+
+// Compile lowers a logical plan into a physical stage DAG (Section 3.3's
+// decoupling of the algebra from the execution layer):
+//
+//   - Embarrassingly-parallel unary operators (SELECTION, PROJECTION, MAP,
+//     RENAME, TOLABELS, and TOPK's per-band pass) become kernels, and
+//     consecutive kernels over a single-use input fuse into ONE stage —
+//     one task per band, no inter-operator barrier.
+//   - Repartition points (GROUPBY, SORT, JOIN, TRANSPOSE, WINDOW, UNION,
+//     DIFFERENCE, ...) become exchange stages: explicit DAG dependencies on
+//     every input block.
+//
+// Shared sub-plans (a statement referencing an earlier handle twice)
+// compile to shared physical nodes, scheduled once; fusion never crosses a
+// shared edge, so no kernel runs twice.
+func (e *Engine) Compile(n algebra.Node) (*physical.Node, error) {
+	c := &compiler{
+		e:    e,
+		uses: make(map[algebra.Node]int),
+		memo: make(map[algebra.Node]*physical.Node),
+	}
+	if n == nil {
+		return nil, fmt.Errorf("modin: nil plan")
+	}
+	countUses(n, c.uses)
+	return c.compile(n)
+}
+
+// countUses tallies how many parents reference each sub-plan; fusion onto a
+// stage is only legal when its algebra node has exactly one consumer.
+func countUses(n algebra.Node, uses map[algebra.Node]int) {
+	uses[n]++
+	if uses[n] > 1 {
+		return // children already counted via the first visit
+	}
+	for _, child := range n.Children() {
+		countUses(child, uses)
+	}
+}
+
+type compiler struct {
+	e    *Engine
+	uses map[algebra.Node]int
+	memo map[algebra.Node]*physical.Node
+}
+
+func (c *compiler) compile(n algebra.Node) (*physical.Node, error) {
+	if p, ok := c.memo[n]; ok {
+		return p, nil
+	}
+	p, err := c.lower(n)
+	if err != nil {
+		return nil, err
+	}
+	c.memo[n] = p
+	return p, nil
+}
+
+// fuse appends a kernel to the compiled input, extending the input's fused
+// stage in place when it is a fused stage with a single consumer, and
+// opening a new fused stage otherwise.
+func (c *compiler) fuse(input algebra.Node, k physical.Kernel) (*physical.Node, error) {
+	in, err := c.compile(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.Kernels) > 0 && c.uses[input] == 1 {
+		return in.Fuse(k), nil
+	}
+	return physical.NewFused(in, k), nil
+}
+
+// exchange compiles the inputs and wraps run as a barrier stage.
+func (c *compiler) exchange(name string, run func([]*partition.Frame) (*partition.Frame, error), inputs ...algebra.Node) (*physical.Node, error) {
+	compiled := make([]*physical.Node, len(inputs))
+	for i, in := range inputs {
+		p, err := c.compile(in)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = p
+	}
+	return physical.NewExchange(name, run, compiled...), nil
+}
+
+// wholeFrame adapts a gather-then-kernel operator (one that must see the
+// full dataframe) into an exchange, re-partitioning its result.
+func (c *compiler) wholeFrame(name string, fn func(*core.DataFrame) (*core.DataFrame, error), input algebra.Node) (*physical.Node, error) {
+	e := c.e
+	return c.exchange(name, func(in []*partition.Frame) (*partition.Frame, error) {
+		df, err := gather(in[0])
+		if err != nil {
+			return nil, err
+		}
+		out, err := fn(df)
+		if err != nil {
+			return nil, err
+		}
+		return e.rePartition(out), nil
+	}, input)
+}
+
+func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
+	e := c.e
+	switch node := n.(type) {
+	case *algebra.Source:
+		return physical.NewSource(partition.New(node.DF, partition.Rows, e.bands)), nil
+
+	case *algebra.Selection:
+		pred := node.Pred
+		return c.fuse(node.Input, physical.Kernel{
+			Name: "selection",
+			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.SelectRows(b, pred), nil
+			},
+		})
+
+	case *algebra.Projection:
+		cols := node.Cols
+		return c.fuse(node.Input, physical.Kernel{
+			Name: "projection",
+			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.Project(b, cols)
+			},
+		})
+
+	case *algebra.Map:
+		fn := node.Fn
+		return c.fuse(node.Input, physical.Kernel{
+			Name: "map(" + fn.Name + ")",
+			// Elementwise MAPs are partitioning-agnostic and may run per
+			// block; row UDFs need full-width bands.
+			Elementwise: fn.Elementwise != nil,
+			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.MapFrame(b, fn)
+			},
+		})
+
+	case *algebra.Rename:
+		mapping := node.Mapping
+		return c.fuse(node.Input, physical.Kernel{
+			Name: "rename",
+			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.RenameFrame(b, mapping)
+			},
+		})
+
+	case *algebra.ToLabels:
+		col := node.Col
+		return c.fuse(node.Input, physical.Kernel{
+			Name: "tolabels",
+			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.ToLabelsFrame(b, col)
+			},
+		})
+
+	case *algebra.TopK:
+		// Per-band top-k fuses into the upstream chain: each band keeps at
+		// most |k| rows, so the final exchange touches k×bands rows instead
+		// of the full input.
+		order, k := node.Order, node.N
+		partial, err := c.fuse(node.Input, physical.Kernel{
+			Name: "topk-partial",
+			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+				return algebra.TopKFrame(b, order, k)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return physical.NewExchange("topk-merge", func(in []*partition.Frame) (*partition.Frame, error) {
+			df, err := gather(in[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := algebra.TopKFrame(df, order, k)
+			if err != nil {
+				return nil, err
+			}
+			return e.rePartition(out), nil
+		}, partial), nil
+
+	case *algebra.GroupBy:
+		spec := node.Spec
+		return c.exchange("groupby", func(in []*partition.Frame) (*partition.Frame, error) {
+			return e.executeGroupBy(spec, in[0])
+		}, node.Input)
+
+	case *algebra.Window:
+		spec := node.Spec
+		return c.exchange("window", func(in []*partition.Frame) (*partition.Frame, error) {
+			return e.executeWindow(spec, in[0])
+		}, node.Input)
+
+	case *algebra.Sort:
+		return c.exchange("sort", func(in []*partition.Frame) (*partition.Frame, error) {
+			return e.executeSort(node, in[0])
+		}, node.Input)
+
+	case *algebra.Transpose:
+		schema := node.Schema
+		return c.exchange("transpose", func(in []*partition.Frame) (*partition.Frame, error) {
+			return e.executeTranspose(schema, in[0])
+		}, node.Input)
+
+	case *algebra.Join:
+		return c.exchange("join", func(in []*partition.Frame) (*partition.Frame, error) {
+			return e.executeJoin(node, in[0], in[1])
+		}, node.Left, node.Right)
+
+	case *algebra.Union:
+		return c.exchange("union", func(in []*partition.Frame) (*partition.Frame, error) {
+			left, err := gather(in[0])
+			if err != nil {
+				return nil, err
+			}
+			right, err := gather(in[1])
+			if err != nil {
+				return nil, err
+			}
+			out, err := algebra.UnionFrames(left, right)
+			if err != nil {
+				return nil, err
+			}
+			return e.rePartition(out), nil
+		}, node.Left, node.Right)
+
+	case *algebra.Difference:
+		return c.exchange("difference", func(in []*partition.Frame) (*partition.Frame, error) {
+			left, err := gather(in[0])
+			if err != nil {
+				return nil, err
+			}
+			right, err := gather(in[1])
+			if err != nil {
+				return nil, err
+			}
+			out, err := algebra.DifferenceFrames(left, right)
+			if err != nil {
+				return nil, err
+			}
+			return e.rePartition(out), nil
+		}, node.Left, node.Right)
+
+	case *algebra.FromLabels:
+		// FROMLABELS resets row labels to global positional notation,
+		// which spans partitions; run on the gathered frame.
+		label := node.Label
+		return c.wholeFrame("fromlabels", func(df *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.FromLabelsFrame(df, label)
+		}, node.Input)
+
+	case *algebra.DropDuplicates:
+		subset := node.Subset
+		return c.wholeFrame("dropduplicates", func(df *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.DropDuplicatesFrame(df, subset)
+		}, node.Input)
+
+	case *algebra.Induce:
+		// Induction over blocks would mis-type columns that only full
+		// data determines; gather first.
+		return c.wholeFrame("induce", func(df *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.InduceFrame(df), nil
+		}, node.Input)
+
+	case *algebra.Limit:
+		// Prefix/suffix views only need the boundary partitions
+		// (Section 6.1.2): untouched bands are never gathered.
+		k := node.N
+		return c.exchange("limit", func(in []*partition.Frame) (*partition.Frame, error) {
+			return e.limitPartitioned(in[0], k)
+		}, node.Input)
+
+	default:
+		return nil, fmt.Errorf("modin: unknown plan node %T", n)
+	}
+}

@@ -3,19 +3,22 @@
 // scheduled on the task-parallel execution layer (internal/exec), with a
 // communication-free block transpose and partial-aggregation GROUPBY.
 //
-// The engine picks a partitioning scheme per operator (Section 3.1):
-// embarrassingly parallel row-wise operators run on row bands, elementwise
-// MAPs run per block, and TRANSPOSE runs on a block grid.
+// Execution is compile-then-schedule: logical plans are lowered into a
+// physical stage DAG (compile.go), where chains of embarrassingly-parallel
+// operators fuse into one task per band and repartition points (groupby,
+// sort, join, transpose) become exchange barriers; the physical scheduler
+// then drains the DAG asynchronously on the worker pool, handing back
+// deferred partition frames and futures (internal/physical).
 package modin
 
 import (
-	"fmt"
-
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/partition"
+	"repro/internal/physical"
+	"repro/internal/types"
 	"repro/internal/vector"
 )
 
@@ -55,226 +58,82 @@ func (e *Engine) Name() string { return "modin" }
 func (e *Engine) Pool() *exec.Pool { return e.pool }
 
 // Execute evaluates the plan and gathers the result into one dataframe.
+// The gather runs on the calling goroutine (no extra task) since Execute is
+// synchronous anyway.
 func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
-	pf, err := e.executePartitioned(n)
+	_, res, _, err := e.schedule(n)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := res.Frame()
 	if err != nil {
 		return nil, err
 	}
 	return pf.ToFrame()
+}
+
+// ExecuteAsync compiles the plan, schedules its task DAG, and returns a
+// future of the gathered result without waiting for any task — the handle
+// the opportunistic session regime passes back to users (Section 6.1.1).
+func (e *Engine) ExecuteAsync(n algebra.Node) *exec.Future {
+	_, res, sched, err := e.schedule(n)
+	if err != nil {
+		return exec.Failed(err)
+	}
+	return sched.Gather(res)
 }
 
 // ExecutePartitioned evaluates the plan, leaving the result partitioned so
-// downstream operators (or head/tail views) can consume blocks lazily.
+// downstream operators (or head/tail views) can consume blocks lazily. The
+// returned frame may be deferred (blocks still computing) when the plan's
+// root is a fused stage; root exchanges are waited for so the result's band
+// structure is real. Task errors in deferred blocks surface at gather time
+// — Resolve, ToFrame, or BlockErr — not from this call.
 func (e *Engine) ExecutePartitioned(n algebra.Node) (*partition.Frame, error) {
-	return e.executePartitioned(n)
-}
-
-func (e *Engine) executePartitioned(n algebra.Node) (*partition.Frame, error) {
-	switch node := n.(type) {
-	case *algebra.Source:
-		return partition.New(node.DF, partition.Rows, e.bands), nil
-
-	case *algebra.Selection:
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.SelectRows(band, node.Pred), nil
-		})
-
-	case *algebra.Projection:
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.Project(band, node.Cols)
-		})
-
-	case *algebra.Map:
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		if node.Fn.Elementwise != nil {
-			// Elementwise MAPs are partitioning-agnostic: run per
-			// block under whatever scheme the input already has.
-			return in.MapBlocks(e.pool, func(blk *core.DataFrame) (*core.DataFrame, error) {
-				return algebra.MapFrame(blk, node.Fn)
-			})
-		}
-		// Row UDFs need whole rows: ensure full-width bands.
-		full, err := in.EnsureSingleColBand()
-		if err != nil {
-			return nil, err
-		}
-		return full.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.MapFrame(band, node.Fn)
-		})
-
-	case *algebra.GroupBy:
-		return e.executeGroupBy(node)
-
-	case *algebra.Transpose:
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		blocks, err := in.Repartition(partition.Blocks, e.bands)
-		if err != nil {
-			return nil, err
-		}
-		return blocks.Transpose(e.pool, node.Schema)
-
-	case *algebra.Window:
-		return e.executeWindow(node)
-
-	case *algebra.Rename:
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.RenameFrame(band, node.Mapping)
-		})
-
-	case *algebra.ToLabels:
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		return in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.ToLabelsFrame(band, node.Col)
-		})
-
-	case *algebra.FromLabels:
-		// FROMLABELS resets row labels to global positional notation,
-		// which spans partitions; run on the gathered frame.
-		in, err := e.gather(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		out, err := algebra.FromLabelsFrame(in, node.Label)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(out, partition.Rows, e.bands), nil
-
-	case *algebra.Union:
-		left, err := e.gather(node.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := e.gather(node.Right)
-		if err != nil {
-			return nil, err
-		}
-		out, err := algebra.UnionFrames(left, right)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(out, partition.Rows, e.bands), nil
-
-	case *algebra.Difference:
-		left, err := e.gather(node.Left)
-		if err != nil {
-			return nil, err
-		}
-		right, err := e.gather(node.Right)
-		if err != nil {
-			return nil, err
-		}
-		out, err := algebra.DifferenceFrames(left, right)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(out, partition.Rows, e.bands), nil
-
-	case *algebra.Join:
-		return e.executeJoin(node)
-
-	case *algebra.DropDuplicates:
-		in, err := e.gather(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		out, err := algebra.DropDuplicatesFrame(in, node.Subset)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(out, partition.Rows, e.bands), nil
-
-	case *algebra.Sort:
-		return e.executeSort(node)
-
-	case *algebra.TopK:
-		// Per-band top-k in parallel, then a final top-k over the
-		// surviving candidates: each band keeps at most |k| rows, so the
-		// final pass touches k×bands rows instead of the full input.
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		candidates, err := in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.TopKFrame(band, node.Order, node.N)
-		})
-		if err != nil {
-			return nil, err
-		}
-		gathered, err := candidates.ToFrame()
-		if err != nil {
-			return nil, err
-		}
-		out, err := algebra.TopKFrame(gathered, node.Order, node.N)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(out, partition.Rows, e.bands), nil
-
-	case *algebra.Induce:
-		// Induction over blocks would mis-type columns that only full
-		// data determines; gather first.
-		in, err := e.gather(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(algebra.InduceFrame(in), partition.Rows, e.bands), nil
-
-	case *algebra.Limit:
-		// Prefix/suffix views only need the boundary partitions
-		// (Section 6.1.2): untouched bands are never gathered.
-		in, err := e.executePartitioned(node.Input)
-		if err != nil {
-			return nil, err
-		}
-		return e.limitPartitioned(in, node.N)
-
-	default:
-		return nil, fmt.Errorf("modin: unknown plan node %T", n)
-	}
-}
-
-func (e *Engine) gather(n algebra.Node) (*core.DataFrame, error) {
-	pf, err := e.executePartitioned(n)
+	_, res, _, err := e.schedule(n)
 	if err != nil {
 		return nil, err
 	}
-	return pf.ToFrame()
+	return res.Frame()
+}
+
+// schedule compiles the plan and launches its task DAG, returning the
+// physical plan, the root handle, and the scheduler (for stats).
+func (e *Engine) schedule(n algebra.Node) (*physical.Node, *physical.Result, *physical.Scheduler, error) {
+	plan, err := e.Compile(n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sched := physical.NewScheduler(e.pool)
+	res, err := sched.Run(plan)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plan, res, sched, nil
+}
+
+// --- exchange implementations --------------------------------------------
+//
+// Each exchange receives its inputs as (possibly just-materialized)
+// partition frames; the physical scheduler guarantees every input block
+// exists before Run is called.
+
+// gather resolves a frame into one dataframe (inputs to whole-frame
+// kernels).
+func gather(in *partition.Frame) (*core.DataFrame, error) { return in.ToFrame() }
+
+// rePartition splits a kernel result back into row bands.
+func (e *Engine) rePartition(df *core.DataFrame) *partition.Frame {
+	return partition.New(df, partition.Rows, e.bands)
 }
 
 // executeGroupBy computes partial aggregations per row band in parallel and
 // merges them in band order, preserving first-appearance group order.
-func (e *Engine) executeGroupBy(node *algebra.GroupBy) (*partition.Frame, error) {
-	in, err := e.executePartitioned(node.Input)
-	if err != nil {
-		return nil, err
-	}
+func (e *Engine) executeGroupBy(spec expr.GroupBySpec, in *partition.Frame) (*partition.Frame, error) {
 	full, err := in.EnsureSingleColBand()
 	if err != nil {
 		return nil, err
 	}
-	spec := node.Spec
 	spec.Sorted = false // hashing per band; sortedness is a single-node optimization
 	partials, err := exec.MapParallel(e.pool, full.RowBands(), func(r int) (*algebra.GroupPartial, error) {
 		band, err := full.RowBand(r)
@@ -298,14 +157,13 @@ func (e *Engine) executeGroupBy(node *algebra.GroupBy) (*partition.Frame, error)
 	if err != nil {
 		return nil, err
 	}
-	return partition.New(out, partition.Rows, e.bands), nil
+	return e.rePartition(out), nil
 }
 
 // executeWindow parallelizes direction-agnostic bounded windows (shift,
 // diff, rolling) with boundary-row exchange between bands; unbounded
 // (expanding) windows gather.
-func (e *Engine) executeWindow(node *algebra.Window) (*partition.Frame, error) {
-	spec := node.Spec
+func (e *Engine) executeWindow(spec expr.WindowSpec, in *partition.Frame) (*partition.Frame, error) {
 	boundary := 0
 	switch spec.Kind {
 	case expr.WindowShift, expr.WindowDiff:
@@ -319,21 +177,17 @@ func (e *Engine) executeWindow(node *algebra.Window) (*partition.Frame, error) {
 	case expr.WindowRolling:
 		boundary = spec.Size - 1
 	case expr.WindowExpanding:
-		in, err := e.gather(node.Input)
+		df, err := gather(in)
 		if err != nil {
 			return nil, err
 		}
-		out, err := algebra.WindowFrame(in, spec)
+		out, err := algebra.WindowFrame(df, spec)
 		if err != nil {
 			return nil, err
 		}
-		return partition.New(out, partition.Rows, e.bands), nil
+		return e.rePartition(out), nil
 	}
 
-	in, err := e.executePartitioned(node.Input)
-	if err != nil {
-		return nil, err
-	}
 	full, err := in.EnsureSingleColBand()
 	if err != nil {
 		return nil, err
@@ -394,20 +248,16 @@ func (e *Engine) executeWindow(node *algebra.Window) (*partition.Frame, error) {
 
 // executeJoin builds the hash side once and probes left row bands in
 // parallel.
-func (e *Engine) executeJoin(node *algebra.Join) (*partition.Frame, error) {
-	right, err := e.gather(node.Right)
+func (e *Engine) executeJoin(node *algebra.Join, left, right *partition.Frame) (*partition.Frame, error) {
+	rightDF, err := gather(right)
 	if err != nil {
 		return nil, err
 	}
 	if node.Kind == expr.JoinInner || node.Kind == expr.JoinLeft {
 		// Parallel probe: left order is preserved band-by-band, so
 		// concatenating band results reproduces the ordered join.
-		in, err := e.executePartitioned(node.Left)
-		if err != nil {
-			return nil, err
-		}
-		probed, err := in.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.JoinFrames(band, right, node.Kind, node.On, node.OnLabels)
+		probed, err := left.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.JoinFrames(band, rightDF, node.Kind, node.On, node.OnLabels)
 		})
 		if err != nil {
 			return nil, err
@@ -425,17 +275,27 @@ func (e *Engine) executeJoin(node *algebra.Join) (*partition.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		return partition.New(out, partition.Rows, e.bands), nil
+		return e.rePartition(out), nil
 	}
-	left, err := e.gather(node.Left)
+	leftDF, err := gather(left)
 	if err != nil {
 		return nil, err
 	}
-	out, err := algebra.JoinFrames(left, right, node.Kind, node.On, node.OnLabels)
+	out, err := algebra.JoinFrames(leftDF, rightDF, node.Kind, node.On, node.OnLabels)
 	if err != nil {
 		return nil, err
 	}
-	return partition.New(out, partition.Rows, e.bands), nil
+	return e.rePartition(out), nil
+}
+
+// executeTranspose repartitions to a block grid and transposes blocks in
+// place (Section 3.1's communication-free transpose).
+func (e *Engine) executeTranspose(schema []types.Domain, in *partition.Frame) (*partition.Frame, error) {
+	blocks, err := in.Repartition(partition.Blocks, e.bands)
+	if err != nil {
+		return nil, err
+	}
+	return blocks.Transpose(e.pool, schema)
 }
 
 // limitPartitioned takes the prefix (n>0) or suffix (n<0) touching only the

@@ -14,11 +14,7 @@ import (
 // sorted in parallel, then the sorted runs are k-way merged. Because bands
 // preserve the input's band order and ties break toward the earlier global
 // position, the result is identical to the stable single-node sort.
-func (e *Engine) executeSort(node *algebra.Sort) (*partition.Frame, error) {
-	in, err := e.executePartitioned(node.Input)
-	if err != nil {
-		return nil, err
-	}
+func (e *Engine) executeSort(node *algebra.Sort, in *partition.Frame) (*partition.Frame, error) {
 	full, err := in.EnsureSingleColBand()
 	if err != nil {
 		return nil, err

@@ -3,6 +3,12 @@
 // column-based, or block-based partitioning, with cheap movement between
 // schemes and the communication-free block transpose of Section 3.1
 // ("Supporting billions of columns").
+//
+// Blocks are held behind exec.Future handles, so a Frame may be *deferred*:
+// its blocks still being computed by the task DAG of the physical layer
+// (internal/physical). Materialized frames simply hold already-resolved
+// futures; accessors that need block data resolve lazily, so a deferred
+// frame is only waited on at gather/render time.
 package partition
 
 import (
@@ -43,11 +49,12 @@ func (s Scheme) String() string {
 }
 
 // Frame is a dataframe decomposed into a grid of blocks. grid[r][c] holds
-// the block at row-band r and column-band c; every block in a row band
-// shares row labels, and every block in a column band shares column labels.
-// Blocks are plain core dataframes, so all algebra kernels apply per block.
+// the future of the block at row-band r and column-band c; every block in a
+// row band shares row labels, and every block in a column band shares
+// column labels. Blocks are plain core dataframes, so all algebra kernels
+// apply per block.
 type Frame struct {
-	grid [][]*core.DataFrame
+	grid [][]*exec.Future // each resolves to *core.DataFrame
 }
 
 // New partitions df under the given scheme, splitting so that roughly
@@ -70,33 +77,35 @@ func New(df *core.DataFrame, scheme Scheme, targetBands int) *Frame {
 	rowCuts := cuts(df.NRows(), rowBands)
 	colCuts := cuts(df.NCols(), colBands)
 
-	grid := make([][]*core.DataFrame, len(rowCuts)-1)
+	grid := make([][]*exec.Future, len(rowCuts)-1)
 	for r := range grid {
 		band := df.SliceRows(rowCuts[r], rowCuts[r+1])
-		grid[r] = make([]*core.DataFrame, len(colCuts)-1)
+		grid[r] = make([]*exec.Future, len(colCuts)-1)
 		for c := range grid[r] {
 			idx := make([]int, 0, colCuts[c+1]-colCuts[c])
 			for j := colCuts[c]; j < colCuts[c+1]; j++ {
 				idx = append(idx, j)
 			}
-			grid[r][c] = band.SelectCols(idx)
+			grid[r][c] = exec.Resolved(band.SelectCols(idx))
 		}
 	}
 	return &Frame{grid: grid}
 }
 
-// FromGrid wraps an existing block grid. Every row band must have the same
-// number of column bands, blocks in a row band the same row count, and
-// blocks in a column band the same column count.
+// FromGrid wraps an existing materialized block grid. Every row band must
+// have the same number of column bands, blocks in a row band the same row
+// count, and blocks in a column band the same column count.
 func FromGrid(grid [][]*core.DataFrame) (*Frame, error) {
 	if len(grid) == 0 {
-		return &Frame{grid: [][]*core.DataFrame{{core.Empty()}}}, nil
+		return &Frame{grid: [][]*exec.Future{{exec.Resolved(core.Empty())}}}, nil
 	}
 	width := len(grid[0])
+	out := make([][]*exec.Future, len(grid))
 	for r, band := range grid {
 		if len(band) != width {
 			return nil, fmt.Errorf("partition: row band %d has %d blocks, want %d", r, len(band), width)
 		}
+		out[r] = make([]*exec.Future, width)
 		for c, blk := range band {
 			if blk.NRows() != band[0].NRows() {
 				return nil, fmt.Errorf("partition: block (%d,%d) has %d rows, band has %d", r, c, blk.NRows(), band[0].NRows())
@@ -104,6 +113,24 @@ func FromGrid(grid [][]*core.DataFrame) (*Frame, error) {
 			if blk.NCols() != grid[0][c].NCols() {
 				return nil, fmt.Errorf("partition: block (%d,%d) has %d cols, column band has %d", r, c, blk.NCols(), grid[0][c].NCols())
 			}
+			out[r][c] = exec.Resolved(blk)
+		}
+	}
+	return &Frame{grid: out}, nil
+}
+
+// Deferred wraps a grid of in-flight block futures (each resolving to a
+// *core.DataFrame). Shape invariants cannot be checked until the blocks
+// exist; Resolve (or any gathering accessor) validates and surfaces task
+// errors.
+func Deferred(grid [][]*exec.Future) (*Frame, error) {
+	if len(grid) == 0 {
+		return &Frame{grid: [][]*exec.Future{{exec.Resolved(core.Empty())}}}, nil
+	}
+	width := len(grid[0])
+	for r, band := range grid {
+		if len(band) != width {
+			return nil, fmt.Errorf("partition: row band %d has %d blocks, want %d", r, len(band), width)
 		}
 	}
 	return &Frame{grid: grid}, nil
@@ -143,26 +170,96 @@ func (f *Frame) ColBands() int {
 	return len(f.grid[0])
 }
 
-// Block returns the block at row band r, column band c.
-func (f *Frame) Block(r, c int) *core.DataFrame { return f.grid[r][c] }
+// BlockFuture returns the future handle of the block at (r, c) without
+// resolving it. The physical scheduler chains downstream task dependencies
+// on these handles.
+func (f *Frame) BlockFuture(r, c int) *exec.Future { return f.grid[r][c] }
 
-// NRows returns the total row count.
+// BlockErr resolves the block at row band r, column band c, waiting if the
+// block is still being computed.
+func (f *Frame) BlockErr(r, c int) (*core.DataFrame, error) {
+	v, err := f.grid[r][c].Wait()
+	if err != nil {
+		return nil, err
+	}
+	df, ok := v.(*core.DataFrame)
+	if !ok || df == nil {
+		return nil, fmt.Errorf("partition: block (%d,%d) task returned %T, want *core.DataFrame", r, c, v)
+	}
+	return df, nil
+}
+
+// Block resolves the block at (r, c), waiting if needed; a failed block
+// resolves to an empty frame (use BlockErr to observe task errors).
+func (f *Frame) Block(r, c int) *core.DataFrame {
+	df, err := f.BlockErr(r, c)
+	if err != nil {
+		return core.Empty()
+	}
+	return df
+}
+
+// Ready reports whether every block has finished computing.
+func (f *Frame) Ready() bool {
+	for _, band := range f.grid {
+		for _, fut := range band {
+			if !fut.Ready() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Resolve waits for every block and validates the frame's shape invariants,
+// returning the first task or shape error. After a nil return, all block
+// accessors are non-blocking.
+func (f *Frame) Resolve() error {
+	for r := range f.grid {
+		for c := range f.grid[r] {
+			blk, err := f.BlockErr(r, c)
+			if err != nil {
+				return err
+			}
+			first, err := f.BlockErr(r, 0)
+			if err != nil {
+				return err
+			}
+			if blk.NRows() != first.NRows() {
+				return fmt.Errorf("partition: block (%d,%d) has %d rows, band has %d", r, c, blk.NRows(), first.NRows())
+			}
+			top, err := f.BlockErr(0, c)
+			if err != nil {
+				return err
+			}
+			if blk.NCols() != top.NCols() {
+				return fmt.Errorf("partition: block (%d,%d) has %d cols, column band has %d", r, c, blk.NCols(), top.NCols())
+			}
+		}
+	}
+	return nil
+}
+
+// NRows returns the total row count, resolving the first column of blocks.
+// Like Block, this is a display-path accessor: a failed block counts as
+// empty. Use Resolve (or ToFrame) first when task errors must surface.
 func (f *Frame) NRows() int {
 	n := 0
 	for r := range f.grid {
-		n += f.grid[r][0].NRows()
+		n += f.Block(r, 0).NRows()
 	}
 	return n
 }
 
-// NCols returns the total column count.
+// NCols returns the total column count, resolving the first row of blocks,
+// with the same failed-block degradation as NRows.
 func (f *Frame) NCols() int {
 	if len(f.grid) == 0 {
 		return 0
 	}
 	n := 0
-	for _, blk := range f.grid[0] {
-		n += blk.NCols()
+	for c := range f.grid[0] {
+		n += f.Block(0, c).NCols()
 	}
 	return n
 }
@@ -190,12 +287,24 @@ func HStack(frames ...*core.DataFrame) (*core.DataFrame, error) {
 	return core.Build(cols, frames[0].RowLabels(), labels, doms, frames[0].Cache())
 }
 
-// RowBand gathers row band r into a single full-width frame.
-func (f *Frame) RowBand(r int) (*core.DataFrame, error) { return HStack(f.grid[r]...) }
+// RowBand gathers row band r into a single full-width frame, resolving its
+// blocks.
+func (f *Frame) RowBand(r int) (*core.DataFrame, error) {
+	blocks := make([]*core.DataFrame, len(f.grid[r]))
+	for c := range f.grid[r] {
+		blk, err := f.BlockErr(r, c)
+		if err != nil {
+			return nil, err
+		}
+		blocks[c] = blk
+	}
+	return HStack(blocks...)
+}
 
-// ToFrame gathers every block back into one dataframe in order. Bands stack
-// positionally: gathering never realigns columns by label, so transposed
-// frames with numeric or duplicate labels reassemble exactly.
+// ToFrame gathers every block back into one dataframe in order, waiting for
+// any still-computing blocks. Bands stack positionally: gathering never
+// realigns columns by label, so transposed frames with numeric or duplicate
+// labels reassemble exactly.
 func (f *Frame) ToFrame() (*core.DataFrame, error) {
 	bands := make([]*core.DataFrame, f.RowBands())
 	for r := range f.grid {
@@ -208,9 +317,11 @@ func (f *Frame) ToFrame() (*core.DataFrame, error) {
 	return algebra.VStackFrames(bands...)
 }
 
-// MapBlocks applies fn to every block in parallel, producing a new frame
-// with the same grid shape. fn must be shape-compatible within bands (same
-// row count across a row band, same column count across a column band).
+// MapBlocks applies fn to every block in parallel and waits for all,
+// producing a materialized frame with the same grid shape. fn must be
+// shape-compatible within bands (same row count across a row band, same
+// column count across a column band). See MapBlocksAsync for the
+// non-blocking variant.
 func (f *Frame) MapBlocks(pool *exec.Pool, fn func(*core.DataFrame) (*core.DataFrame, error)) (*Frame, error) {
 	rb, cb := f.RowBands(), f.ColBands()
 	out := make([][]*core.DataFrame, rb)
@@ -219,7 +330,11 @@ func (f *Frame) MapBlocks(pool *exec.Pool, fn func(*core.DataFrame) (*core.DataF
 	}
 	err := pool.ForEach(rb*cb, func(i int) error {
 		r, c := i/cb, i%cb
-		blk, err := fn(f.grid[r][c])
+		in, err := f.BlockErr(r, c)
+		if err != nil {
+			return err
+		}
+		blk, err := fn(in)
 		if err != nil {
 			return err
 		}
@@ -232,9 +347,33 @@ func (f *Frame) MapBlocks(pool *exec.Pool, fn func(*core.DataFrame) (*core.DataF
 	return FromGrid(out)
 }
 
-// MapRowBands gathers each row band to full width and applies fn to the
-// bands in parallel. Band results may change row counts (selection) but
-// must agree on columns. The result is row-partitioned.
+// MapBlocksAsync schedules fn over every block as one task per block,
+// chained on the block's future, and returns the deferred result frame
+// immediately. Errors surface when the result is resolved; a failing block
+// cancels the group's remaining tasks.
+func (f *Frame) MapBlocksAsync(pool *exec.Pool, g *exec.Group, fn func(*core.DataFrame) (*core.DataFrame, error)) *Frame {
+	rb, cb := f.RowBands(), f.ColBands()
+	out := make([][]*exec.Future, rb)
+	for r := range out {
+		out[r] = make([]*exec.Future, cb)
+		for c := range out[r] {
+			r, c := r, c
+			in := f.grid[r][c]
+			out[r][c] = pool.SubmitIn(g, func() (any, error) {
+				blk, err := f.BlockErr(r, c)
+				if err != nil {
+					return nil, err
+				}
+				return fn(blk)
+			}, in)
+		}
+	}
+	return &Frame{grid: out}
+}
+
+// MapRowBands gathers each row band to full width, applies fn to the bands
+// in parallel, and waits for all. Band results may change row counts
+// (selection) but must agree on columns. The result is row-partitioned.
 func (f *Frame) MapRowBands(pool *exec.Pool, fn func(band *core.DataFrame) (*core.DataFrame, error)) (*Frame, error) {
 	rb := f.RowBands()
 	out := make([][]*core.DataFrame, rb)
@@ -272,7 +411,11 @@ func (f *Frame) Transpose(pool *exec.Pool, declared []types.Domain) (*Frame, err
 	}
 	err := pool.ForEach(rb*cb, func(i int) error {
 		r, c := i/cb, i%cb
-		t, err := algebra.TransposeFrame(f.grid[r][c], nil)
+		blk, err := f.BlockErr(r, c)
+		if err != nil {
+			return err
+		}
+		t, err := algebra.TransposeFrame(blk, nil)
 		if err != nil {
 			return err
 		}

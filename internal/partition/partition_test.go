@@ -198,6 +198,199 @@ func TestRepartitionAndEnsureSingle(t *testing.T) {
 	}
 }
 
+func TestEmptyFrameAllSchemes(t *testing.T) {
+	empty := core.Empty()
+	for _, scheme := range []Scheme{Rows, Cols, Blocks} {
+		pf := New(empty, scheme, 4)
+		if pf.RowBands() != 1 || pf.ColBands() != 1 {
+			t.Errorf("scheme %v: empty frame should be a single band, got %dx%d", scheme, pf.RowBands(), pf.ColBands())
+		}
+		back, err := pf.ToFrame()
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		if back.NRows() != 0 || back.NCols() != 0 {
+			t.Errorf("scheme %v: empty round trip = %dx%d", scheme, back.NRows(), back.NCols())
+		}
+	}
+}
+
+func TestSingleRowAndSingleColumn(t *testing.T) {
+	row := frame(t, 1, 5)
+	col := frame(t, 7, 1)
+	for _, scheme := range []Scheme{Rows, Cols, Blocks} {
+		for _, df := range []*core.DataFrame{row, col} {
+			pf := New(df, scheme, 8)
+			if pf.RowBands() > df.NRows() || pf.ColBands() > df.NCols() {
+				t.Errorf("scheme %v: bands %dx%d exceed shape %dx%d",
+					scheme, pf.RowBands(), pf.ColBands(), df.NRows(), df.NCols())
+			}
+			back, err := pf.ToFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(df) {
+				t.Errorf("scheme %v: single-row/col round trip failed", scheme)
+			}
+		}
+	}
+}
+
+func TestSchemeMovementRoundTrips(t *testing.T) {
+	df := frame(t, 18, 6)
+	// Rows → Cols → Blocks → Rows: every repartition preserves content.
+	pf := New(df, Rows, 3)
+	for _, step := range []struct {
+		scheme Scheme
+		bands  int
+	}{{Cols, 3}, {Blocks, 2}, {Rows, 4}, {Blocks, 3}, {Cols, 2}, {Rows, 1}} {
+		var err error
+		pf, err = pf.Repartition(step.scheme, step.bands)
+		if err != nil {
+			t.Fatalf("repartition to %v: %v", step.scheme, err)
+		}
+		back, err := pf.ToFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(df) {
+			t.Fatalf("content changed after moving to %v", step.scheme)
+		}
+	}
+}
+
+func TestDeferredFrameResolvesLazily(t *testing.T) {
+	df := frame(t, 12, 3)
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	materialized := New(df, Rows, 3)
+	gate := make(chan struct{})
+	grid := make([][]*exec.Future, 3)
+	for r := range grid {
+		r := r
+		grid[r] = []*exec.Future{pool.Submit(func() (any, error) {
+			<-gate
+			return materialized.Block(r, 0), nil
+		})}
+	}
+	pf, err := Deferred(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Ready() {
+		t.Error("gated frame should not be ready")
+	}
+	if pf.RowBands() != 3 || pf.ColBands() != 1 {
+		t.Error("deferred shape wrong")
+	}
+	close(gate)
+	if err := pf.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if !pf.Ready() {
+		t.Error("resolved frame should be ready")
+	}
+	back, err := pf.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(df) {
+		t.Error("deferred round trip failed")
+	}
+}
+
+func TestDeferredFrameErrorSurfacesAtResolve(t *testing.T) {
+	df := frame(t, 8, 2)
+	blk := New(df, Rows, 2)
+	grid := [][]*exec.Future{
+		{exec.Resolved(blk.Block(0, 0))},
+		{exec.Failed(fmt.Errorf("block task died"))},
+	}
+	pf, err := Deferred(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Resolve(); err == nil {
+		t.Error("failed block should surface at Resolve")
+	}
+	if _, err := pf.ToFrame(); err == nil {
+		t.Error("failed block should surface at ToFrame")
+	}
+	if _, err := pf.BlockErr(1, 0); err == nil {
+		t.Error("BlockErr should report the task error")
+	}
+	if got := pf.Block(1, 0); got.NRows() != 0 {
+		t.Error("Block on failed future should degrade to empty")
+	}
+}
+
+func TestDeferredRaggedGridRejected(t *testing.T) {
+	a := exec.Resolved(frame(t, 2, 2))
+	if _, err := Deferred([][]*exec.Future{{a}, {a, a}}); err == nil {
+		t.Error("ragged deferred grid should fail")
+	}
+	empty, err := Deferred(nil)
+	if err != nil || empty.NRows() != 0 {
+		t.Error("empty deferred grid should wrap Empty frame")
+	}
+}
+
+func TestDeferredShapeMismatchCaughtAtResolve(t *testing.T) {
+	// Blocks that disagree on row count within a band pass construction
+	// (futures are opaque) but must fail validation at Resolve.
+	grid := [][]*exec.Future{{
+		exec.Resolved(frame(t, 3, 1)),
+		exec.Resolved(frame(t, 4, 1)),
+	}}
+	pf, err := Deferred(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Resolve(); err == nil {
+		t.Error("row-count mismatch should fail Resolve")
+	}
+}
+
+func TestMapBlocksAsyncPipelines(t *testing.T) {
+	df := frame(t, 16, 4)
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	pf := New(df, Blocks, 2)
+	g := exec.NewGroup()
+	// Two chained async maps: no block waits for its sibling between the
+	// two stages.
+	step1 := pf.MapBlocksAsync(pool, g, func(blk *core.DataFrame) (*core.DataFrame, error) {
+		return algebra.MapFrame(blk, algebra.IsNullFn())
+	})
+	step2 := step1.MapBlocksAsync(pool, g, func(blk *core.DataFrame) (*core.DataFrame, error) {
+		return algebra.MapFrame(blk, algebra.IsNullFn())
+	})
+	got, err := step2.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NRows() != 16 || got.Value(0, 0).Bool() {
+		t.Error("chained async maps wrong")
+	}
+}
+
+func TestMapBlocksAsyncErrorCancelsGroup(t *testing.T) {
+	df := frame(t, 8, 2)
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	pf := New(df, Rows, 2)
+	g := exec.NewGroup()
+	out := pf.MapBlocksAsync(pool, g, func(blk *core.DataFrame) (*core.DataFrame, error) {
+		return nil, fmt.Errorf("block failure")
+	})
+	if _, err := out.ToFrame(); err == nil {
+		t.Error("async map error should surface at gather")
+	}
+	if g.Err() == nil {
+		t.Error("async map error should cancel the group")
+	}
+}
+
 func TestRowBandLabelsPreserved(t *testing.T) {
 	df := frame(t, 10, 2)
 	labels := make([]types.Value, 10)

@@ -1,0 +1,350 @@
+// Package physical is the physical-plan layer between the dataframe algebra
+// and the task-parallel execution engine: logical plans are *compiled* into
+// a DAG of physical stages, and the scheduler lowers those stages onto
+// per-block tasks on an exec.Pool.
+//
+// Two stage shapes exist, mirroring the two communication regimes of the
+// MODIN architecture (Petersohn et al., Section 3):
+//
+//   - Fused stages chain embarrassingly-parallel per-band kernels
+//     (selection, projection, map, rename, ...) into ONE task per band: a
+//     filter→map chain over an 8-band frame schedules 8 tasks total, with
+//     no inter-operator barrier — band 3's map may run while band 7's
+//     filter is still queued.
+//
+//   - Exchange stages are the repartition points (groupby shuffle, sort
+//     merge, join build, transpose): they depend on every input block and
+//     run as a single coordinating task that may itself fan out.
+//
+// The scheduler returns deferred partition.Frames (future blocks) without
+// waiting, so callers — the opportunistic session regime in particular —
+// hold unresolved handles and only block at gather/render time. A failing
+// task cancels the plan's exec.Group, skipping the query's remaining tasks.
+package physical
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/partition"
+)
+
+// Kernel is one embarrassingly-parallel operator lowered into a fused
+// stage: a pure per-band (or per-block) dataframe transform.
+type Kernel struct {
+	// Name labels the kernel in plan renderings ("selection", "map", ...).
+	Name string
+	// Elementwise marks kernels that are partitioning-agnostic (pure
+	// cell-level transforms): they may run per block under any scheme. A
+	// non-elementwise kernel needs full-width row bands.
+	Elementwise bool
+	// Fn transforms one band (or block).
+	Fn func(*core.DataFrame) (*core.DataFrame, error)
+}
+
+// Exchange is a repartition point: a stage that must observe all of its
+// inputs' blocks before producing output. Run receives the materialized
+// input frames in input order.
+type Exchange struct {
+	// Name labels the exchange in plan renderings ("groupby", "sort", ...).
+	Name string
+	// Run produces the stage's (materialized) output frame.
+	Run func(inputs []*partition.Frame) (*partition.Frame, error)
+}
+
+// Node is one stage of a physical plan DAG. Exactly one of Source, Kernels
+// and Exchange is set.
+type Node struct {
+	// Source is a leaf: an already-partitioned frame.
+	Source *partition.Frame
+	// Kernels is a fused chain applied per band over Inputs[0].
+	Kernels []Kernel
+	// Exchange is a barrier stage over Inputs.
+	Exchange *Exchange
+	// Inputs are the stage's input stages.
+	Inputs []*Node
+}
+
+// NewSource wraps a partitioned frame as a leaf stage.
+func NewSource(f *partition.Frame) *Node { return &Node{Source: f} }
+
+// NewFused chains kernels over an input stage as one fused stage.
+func NewFused(in *Node, kernels ...Kernel) *Node {
+	return &Node{Kernels: kernels, Inputs: []*Node{in}}
+}
+
+// Fuse appends kernels to a fused stage, returning the extended stage. The
+// receiver must be a fused stage.
+func (n *Node) Fuse(kernels ...Kernel) *Node {
+	return &Node{Kernels: append(append([]Kernel(nil), n.Kernels...), kernels...), Inputs: n.Inputs}
+}
+
+// NewExchange builds a barrier stage over the inputs.
+func NewExchange(name string, run func([]*partition.Frame) (*partition.Frame, error), inputs ...*Node) *Node {
+	return &Node{Exchange: &Exchange{Name: name, Run: run}, Inputs: inputs}
+}
+
+// Describe renders the stage (without inputs).
+func (n *Node) Describe() string {
+	switch {
+	case n.Source != nil:
+		return fmt.Sprintf("SOURCE[%dx%d bands]", n.Source.RowBands(), n.Source.ColBands())
+	case len(n.Kernels) > 0:
+		names := make([]string, len(n.Kernels))
+		for i, k := range n.Kernels {
+			names[i] = k.Name
+		}
+		return "FUSED[" + strings.Join(names, "→") + "]"
+	case n.Exchange != nil:
+		return "EXCHANGE[" + n.Exchange.Name + "]"
+	}
+	return "EMPTY"
+}
+
+// Render pretty-prints the physical plan, one stage per line, inputs
+// indented.
+func Render(n *Node) string {
+	var b strings.Builder
+	render(&b, n, 0)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Describe())
+	b.WriteByte('\n')
+	for _, in := range n.Inputs {
+		render(b, in, depth+1)
+	}
+}
+
+// Stages counts fused and exchange stages in the plan (shared sub-stages
+// count once).
+func Stages(n *Node) (fused, exchanges int) {
+	seen := make(map[*Node]bool)
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		switch {
+		case len(n.Kernels) > 0:
+			fused++
+		case n.Exchange != nil:
+			exchanges++
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+	}
+	walk(n)
+	return fused, exchanges
+}
+
+// Stats counts scheduler activity for instrumentation and tests.
+type Stats struct {
+	// FusedTasks counts per-band tasks scheduled for fused stages.
+	FusedTasks atomic.Int64
+	// ExchangeTasks counts barrier coordinating tasks scheduled.
+	ExchangeTasks atomic.Int64
+	// FusedStages and ExchangeStages count stages scheduled.
+	FusedStages    atomic.Int64
+	ExchangeStages atomic.Int64
+}
+
+// Scheduler lowers physical plans onto a worker pool as a task DAG.
+type Scheduler struct {
+	pool  *exec.Pool
+	group *exec.Group
+	memo  map[*Node]*Result
+
+	// Stats is exported for instrumentation (per-scheduler, i.e. per-run).
+	Stats Stats
+}
+
+// NewScheduler returns a scheduler for one plan run. Each run has its own
+// cancellation group: the first failing task skips the rest of the run.
+func NewScheduler(pool *exec.Pool) *Scheduler {
+	return &Scheduler{
+		pool:  pool,
+		group: exec.NewGroup(),
+		memo:  make(map[*Node]*Result),
+	}
+}
+
+// Group exposes the run's cancellation scope.
+func (s *Scheduler) Group() *exec.Group { return s.group }
+
+// Result is a scheduled stage's output handle. Stages whose output grid
+// shape is known at schedule time (sources, fused chains over them) carry a
+// deferred frame with one future per block; exchange outputs, whose shape
+// depends on the data, carry a single future resolving to the whole frame.
+type Result struct {
+	frame *partition.Frame // non-nil when the block grid shape is known
+	fut   *exec.Future     // otherwise: resolves to *partition.Frame
+}
+
+// Deferred reports whether the result still has in-flight work.
+func (r *Result) Deferred() bool {
+	if r.frame != nil {
+		return !r.frame.Ready()
+	}
+	return !r.fut.Ready()
+}
+
+// Frame waits for the stage's output frame. For shape-known results this
+// returns immediately with the deferred frame (its blocks may still be
+// computing); for exchange results it blocks until the exchange ran.
+func (r *Result) Frame() (*partition.Frame, error) {
+	if r.frame != nil {
+		return r.frame, nil
+	}
+	v, err := r.fut.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*partition.Frame), nil
+}
+
+// blockDeps lists the futures downstream tasks must wait on.
+func (r *Result) blockDeps() []*exec.Future {
+	if r.frame == nil {
+		return []*exec.Future{r.fut}
+	}
+	var deps []*exec.Future
+	for br := 0; br < r.frame.RowBands(); br++ {
+		for bc := 0; bc < r.frame.ColBands(); bc++ {
+			deps = append(deps, r.frame.BlockFuture(br, bc))
+		}
+	}
+	return deps
+}
+
+// Run schedules the plan's task DAG and returns the root's handle without
+// waiting for any task. Shared sub-stages are scheduled once.
+func (s *Scheduler) Run(n *Node) (*Result, error) {
+	if res, ok := s.memo[n]; ok {
+		return res, nil
+	}
+	res, err := s.schedule(n)
+	if err != nil {
+		return nil, err
+	}
+	s.memo[n] = res
+	return res, nil
+}
+
+func (s *Scheduler) schedule(n *Node) (*Result, error) {
+	switch {
+	case n.Source != nil:
+		return &Result{frame: n.Source}, nil
+
+	case len(n.Kernels) > 0:
+		in, err := s.Run(n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return s.scheduleFused(in, n.Kernels), nil
+
+	case n.Exchange != nil:
+		inputs := make([]*Result, len(n.Inputs))
+		var deps []*exec.Future
+		for i, child := range n.Inputs {
+			r, err := s.Run(child)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = r
+			deps = append(deps, r.blockDeps()...)
+		}
+		s.Stats.ExchangeStages.Add(1)
+		s.Stats.ExchangeTasks.Add(1)
+		ex := n.Exchange
+		fut := s.pool.SubmitIn(s.group, func() (any, error) {
+			frames := make([]*partition.Frame, len(inputs))
+			for i, r := range inputs {
+				f, err := r.Frame()
+				if err != nil {
+					return nil, err
+				}
+				frames[i] = f
+			}
+			out, err := ex.Run(frames)
+			if err != nil {
+				return nil, fmt.Errorf("physical: exchange %s: %w", ex.Name, err)
+			}
+			return out, nil
+		}, deps...)
+		return &Result{fut: fut}, nil
+	}
+	return nil, fmt.Errorf("physical: empty stage")
+}
+
+// scheduleFused chains the kernels over the input. When the input's grid
+// shape is known, each band gets exactly one task running the whole kernel
+// chain, chained on the band's block future — the no-barrier fast path.
+// When the input is an exchange (shape unknown until it runs), one
+// continuation task applies the chain band-parallel after the exchange.
+func (s *Scheduler) scheduleFused(in *Result, kernels []Kernel) *Result {
+	s.Stats.FusedStages.Add(1)
+	chain := func(df *core.DataFrame) (*core.DataFrame, error) {
+		var err error
+		for _, k := range kernels {
+			df, err = k.Fn(df)
+			if err != nil {
+				return nil, fmt.Errorf("physical: kernel %s: %w", k.Name, err)
+			}
+		}
+		return df, nil
+	}
+	elementwise := true
+	for _, k := range kernels {
+		if !k.Elementwise {
+			elementwise = false
+			break
+		}
+	}
+
+	if in.frame != nil && (elementwise || in.frame.ColBands() == 1) {
+		// Shape known and compatible: one task per block, no barrier.
+		f := in.frame
+		s.Stats.FusedTasks.Add(int64(f.RowBands() * f.ColBands()))
+		return &Result{frame: f.MapBlocksAsync(s.pool, s.group, chain)}
+	}
+
+	// Shape unknown (downstream of an exchange) or needs re-banding: one
+	// continuation task that fans out band-parallel once the input exists.
+	s.Stats.FusedTasks.Add(1)
+	fut := s.pool.SubmitIn(s.group, func() (any, error) {
+		f, err := in.Frame()
+		if err != nil {
+			return nil, err
+		}
+		if elementwise {
+			return f.MapBlocks(s.pool, chain)
+		}
+		full, err := f.EnsureSingleColBand()
+		if err != nil {
+			return nil, err
+		}
+		return full.MapRowBands(s.pool, chain)
+	}, in.blockDeps()...)
+	return &Result{fut: fut}
+}
+
+// Gather schedules a final task that resolves the root result into one
+// dataframe, returning its future without blocking. This is the handle the
+// opportunistic session regime hands back to users.
+func (s *Scheduler) Gather(r *Result) *exec.Future {
+	return s.pool.SubmitIn(s.group, func() (any, error) {
+		f, err := r.Frame()
+		if err != nil {
+			return nil, err
+		}
+		return f.ToFrame()
+	}, r.blockDeps()...)
+}

@@ -1,0 +1,295 @@
+package physical
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/partition"
+)
+
+func testDF(rows int) *core.DataFrame {
+	records := make([][]any, rows)
+	for i := range records {
+		records[i] = []any{i, i % 5}
+	}
+	return core.MustFromRecords([]string{"id", "grp"}, records)
+}
+
+func selectEven() Kernel {
+	return Kernel{
+		Name: "selection",
+		Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.SelectRows(b, func(r expr.Row) bool { return r.Value(0).Int()%2 == 0 }), nil
+		},
+	}
+}
+
+func isNull() Kernel {
+	return Kernel{
+		Name:        "map",
+		Elementwise: true,
+		Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+			return algebra.MapFrame(b, algebra.IsNullFn())
+		},
+	}
+}
+
+// TestFusedChainOneTaskPerBand is the acceptance test for fusion: a
+// filter→map chain over a 4-band frame must schedule exactly 4 tasks — one
+// per band running the whole kernel chain — not 8 (one per operator per
+// band) and no barrier in between.
+func TestFusedChainOneTaskPerBand(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	df := testDF(40)
+	src := NewSource(partition.New(df, partition.Rows, 4))
+	plan := NewFused(src, selectEven(), isNull())
+
+	s := NewScheduler(pool)
+	res, err := s.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.FusedTasks.Load(); got != 4 {
+		t.Errorf("fused tasks = %d, want 4 (one per band)", got)
+	}
+	if got := s.Stats.FusedStages.Load(); got != 1 {
+		t.Errorf("fused stages = %d, want 1", got)
+	}
+	if got := s.Stats.ExchangeTasks.Load(); got != 0 {
+		t.Errorf("exchange tasks = %d, want 0", got)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := frame.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 20 {
+		t.Errorf("rows = %d, want 20", out.NRows())
+	}
+}
+
+// TestFusedStageIsPipelined proves there is no inter-operator barrier: the
+// chain over band 0 completes even while band 1's input block is still
+// being computed.
+func TestFusedStageIsPipelined(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	df := testDF(20)
+	halves := partition.New(df, partition.Rows, 2)
+
+	gate := make(chan struct{})
+	blk0 := exec.Resolved(halves.Block(0, 0))
+	blk1 := pool.Submit(func() (any, error) {
+		<-gate // band 1 stalls until released
+		return halves.Block(1, 0), nil
+	})
+	src, err := partition.Deferred([][]*exec.Future{{blk0}, {blk1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewScheduler(pool)
+	res, err := s.Run(NewFused(NewSource(src), selectEven(), isNull()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band 0's fused chain must complete while band 1 is stalled.
+	deadline := time.After(5 * time.Second)
+	for !frame.BlockFuture(0, 0).Ready() {
+		select {
+		case <-deadline:
+			t.Fatal("band 0 never completed while band 1 stalled: barrier between operators")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if frame.BlockFuture(1, 0).Ready() {
+		t.Fatal("band 1 finished while its input was stalled")
+	}
+	close(gate)
+	out, err := frame.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 10 {
+		t.Errorf("rows = %d", out.NRows())
+	}
+}
+
+func TestExchangeBarrierSeesAllInputs(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	df := testDF(30)
+	src := NewSource(partition.New(df, partition.Rows, 3))
+	fused := NewFused(src, selectEven())
+	var sawRows atomic.Int64
+	ex := NewExchange("count", func(in []*partition.Frame) (*partition.Frame, error) {
+		sawRows.Store(int64(in[0].NRows()))
+		return in[0], nil
+	}, fused)
+
+	s := NewScheduler(pool)
+	res, err := s.Run(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawRows.Load() != 15 {
+		t.Errorf("exchange saw %d rows, want all 15", sawRows.Load())
+	}
+	if frame.NRows() != 15 {
+		t.Errorf("frame rows = %d", frame.NRows())
+	}
+	if got := s.Stats.ExchangeStages.Load(); got != 1 {
+		t.Errorf("exchange stages = %d", got)
+	}
+}
+
+func TestFusedAfterExchangeRuns(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	df := testDF(24)
+	src := NewSource(partition.New(df, partition.Rows, 3))
+	identity := NewExchange("identity", func(in []*partition.Frame) (*partition.Frame, error) {
+		return in[0], nil
+	}, src)
+	plan := NewFused(identity, isNull())
+
+	s := NewScheduler(pool)
+	res, err := s.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Gather(res).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*core.DataFrame).NRows() != 24 {
+		t.Error("post-exchange fused stage wrong")
+	}
+}
+
+func TestKernelErrorCancelsRun(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	df := testDF(40)
+	src := NewSource(partition.New(df, partition.Rows, 4))
+	sentinel := errors.New("kernel boom")
+	bad := Kernel{Name: "bad", Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+		if b.Value(0, 0).Int() == 0 {
+			return nil, sentinel
+		}
+		return b, nil
+	}}
+	s := NewScheduler(pool)
+	res, err := s.Run(NewFused(src, bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Gather(res).Wait(); !errors.Is(err, sentinel) {
+		t.Errorf("gather err = %v, want %v", err, sentinel)
+	}
+	if s.Group().Err() == nil {
+		t.Error("failing kernel should cancel the run's group")
+	}
+}
+
+func TestSharedStageScheduledOnce(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	df := testDF(20)
+	var runs atomic.Int64
+	counting := Kernel{Name: "count", Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+		runs.Add(1)
+		return b, nil
+	}}
+	shared := NewFused(NewSource(partition.New(df, partition.Rows, 2)), counting)
+	union := NewExchange("pair", func(in []*partition.Frame) (*partition.Frame, error) {
+		return in[0], nil
+	}, shared, shared)
+
+	s := NewScheduler(pool)
+	res, err := s.Run(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Gather(res).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 { // one per band, NOT doubled for the second consumer
+		t.Errorf("shared stage kernels ran %d times, want 2", runs.Load())
+	}
+}
+
+func TestRenderAndStages(t *testing.T) {
+	df := testDF(10)
+	src := NewSource(partition.New(df, partition.Rows, 2))
+	plan := NewExchange("groupby", func(in []*partition.Frame) (*partition.Frame, error) {
+		return in[0], nil
+	}, NewFused(src, selectEven(), isNull()))
+	text := Render(plan)
+	for _, want := range []string{"EXCHANGE[groupby]", "FUSED[selection→map]", "SOURCE"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+	fused, exchanges := Stages(plan)
+	if fused != 1 || exchanges != 1 {
+		t.Errorf("stages = %d fused, %d exchanges", fused, exchanges)
+	}
+	if (&Node{}).Describe() != "EMPTY" {
+		t.Error("empty node describe")
+	}
+}
+
+func TestEmptyStageErrors(t *testing.T) {
+	pool := exec.NewPool(1)
+	defer pool.Close()
+	s := NewScheduler(pool)
+	if _, err := s.Run(&Node{}); err == nil {
+		t.Error("empty stage should error")
+	}
+}
+
+func TestResultDeferredReporting(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	gate := make(chan struct{})
+	slow := Kernel{Name: "slow", Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+		<-gate
+		return b, nil
+	}}
+	s := NewScheduler(pool)
+	res, err := s.Run(NewFused(NewSource(partition.New(testDF(8), partition.Rows, 2)), slow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deferred() {
+		t.Error("result should be deferred while kernels are gated")
+	}
+	close(gate)
+	if _, err := s.Gather(res).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Deferred() {
+		t.Error("result should not be deferred after completion")
+	}
+}

@@ -151,6 +151,18 @@ func (h *Handle) Plan() algebra.Node { return h.plan }
 // Name returns the handle's statement name.
 func (h *Handle) Name() string { return h.name }
 
+// AsyncEngine is implemented by engines (MODIN) that can schedule a plan's
+// task DAG and hand back a future without blocking. Sessions prefer it for
+// background work: the statement's tasks pipeline on the engine's pool
+// instead of occupying a worker for the whole evaluation, and the
+// opportunistic regime hands back a genuinely unresolved handle.
+type AsyncEngine interface {
+	algebra.Engine
+	// ExecuteAsync schedules the plan and returns a future resolving to
+	// the gathered *core.DataFrame.
+	ExecuteAsync(algebra.Node) *exec.Future
+}
+
 // futureFor returns the materialization future for plan, starting one if
 // needed. Reuse: a plan already materialized (or in flight) — including as
 // a sub-plan of this one — is never recomputed.
@@ -167,9 +179,8 @@ func (s *Session) futureFor(plan algebra.Node, background bool) *exec.Future {
 		return fut
 	}
 	rewritten := s.substituteMaterializedLocked(plan)
-	task := func() (any, error) {
+	record := func(out any, err error) (any, error) {
 		s.Stats.FullEvaluations.Add(1)
-		out, err := s.engine.Execute(rewritten)
 		if err == nil {
 			s.mu.Lock()
 			s.residentOrder = append(s.residentOrder, plan)
@@ -180,16 +191,32 @@ func (s *Session) futureFor(plan algebra.Node, background bool) *exec.Future {
 	}
 	if background {
 		s.Stats.BackgroundTasks.Add(1)
-		fut := s.pool.Submit(task)
+		// Register a promise under the lock (so concurrent statements
+		// reuse this evaluation), but schedule outside it: Pool.Submit
+		// may run the task inline when its queue is full, and the task's
+		// bookkeeping re-enters the session lock.
+		fut, resolve := exec.NewPromise()
 		s.materialized[plan] = fut
 		s.mu.Unlock()
+		var inner *exec.Future
+		if ae, ok := s.engine.(AsyncEngine); ok {
+			// Deferred execution: the engine schedules the plan's task
+			// DAG now; the bookkeeping chains on its future instead of
+			// occupying a pool worker for the whole evaluation.
+			inner = ae.ExecuteAsync(rewritten)
+		} else {
+			inner = s.pool.Submit(func() (any, error) {
+				return s.engine.Execute(rewritten)
+			})
+		}
+		go func() { resolve(record(inner.Wait())) }()
 		return fut
 	}
-	// Synchronous evaluation runs outside the lock: the task re-enters
-	// the session to record spill bookkeeping.
+	// Synchronous evaluation runs outside the lock: record re-enters the
+	// session for spill bookkeeping.
 	s.mu.Unlock()
 	var fut *exec.Future
-	if v, err := task(); err != nil {
+	if v, err := record(s.engine.Execute(rewritten)); err != nil {
 		fut = exec.Failed(err)
 	} else {
 		fut = exec.Resolved(v)

@@ -312,3 +312,57 @@ func TestSpillingPreservesResults(t *testing.T) {
 		t.Error("spilled session result differs from plain session")
 	}
 }
+
+func TestAsyncEngineBackgroundStatementIsDeferred(t *testing.T) {
+	// The MODIN engine implements AsyncEngine: an opportunistic statement
+	// hands back an unresolved handle whose task DAG is already scheduled,
+	// without occupying a pool worker for the whole evaluation.
+	var _ AsyncEngine = modin.New() // compile-time wiring check
+
+	gate := make(chan struct{})
+	slow := expr.MapFn{
+		Name:    "gated",
+		OutCols: []types.Value{types.String("pos")},
+		Fn: func(r expr.Row) []types.Value {
+			<-gate
+			return []types.Value{types.IntValue(int64(r.Position()))}
+		},
+	}
+	s := New(modin.New(), Opportunistic, nil)
+	h := s.Bind("df", frame(40)).Apply("mapped", func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: slow}
+	})
+	if h.Ready() {
+		t.Fatal("gated opportunistic statement should be unresolved")
+	}
+	close(gate)
+	out, err := h.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 40 {
+		t.Errorf("rows = %d", out.NRows())
+	}
+	s.ThinkTime()                                        // drain the Bind statement's background evaluation too
+	if got := s.Stats.FullEvaluations.Load(); got != 2 { // source bind + map
+		t.Errorf("full evaluations = %d, want 2", got)
+	}
+	if s.Stats.BackgroundTasks.Load() == 0 {
+		t.Error("statement should have been scheduled in the background")
+	}
+}
+
+func TestAsyncEngineErrorSurfacesOnCollect(t *testing.T) {
+	bad := expr.MapFn{
+		Name:    "boom",
+		OutCols: []types.Value{types.String("x")},
+		Fn:      func(r expr.Row) []types.Value { panic("udf kaboom") },
+	}
+	s := New(modin.New(), Opportunistic, nil)
+	h := s.Bind("df", frame(20)).Apply("bad", func(in algebra.Node) algebra.Node {
+		return &algebra.Map{Input: in, Fn: bad}
+	})
+	if _, err := h.Collect(); err == nil {
+		t.Error("failing background statement should surface on Collect")
+	}
+}
