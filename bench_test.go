@@ -180,6 +180,54 @@ func BenchmarkPipelinedFirstBandLatency(b *testing.B) {
 	}
 }
 
+// benchmarkShuffleFirstBand measures the time until the FIRST output band
+// of a shuffle-fed fused chain is consumable. Under the gather exchange
+// nothing downstream could start until the whole repartition finished; the
+// two-phase shuffle emits one future per output band, so the downstream
+// fused kernel over band 0 lands while the other buckets' merges are still
+// running — the off-timer drain below is the remainder of the shuffle.
+func benchmarkShuffleFirstBand(b *testing.B, plan algebra.Node) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	e := modin.New(modin.WithPool(pool), modin.WithBands(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf, err := e.ExecutePartitioned(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-pf.BlockFuture(0, 0).Done() // first shuffled band consumable here
+		b.StopTimer()
+		if _, err := pf.ToFrame(); err != nil { // drain the rest off-timer
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPipelinedFirstBandLatencyGroupBy: filter→groupby→map, timed to
+// the first group band. The map is fused downstream of the shuffle, so its
+// band-0 task runs as soon as bucket 0's merge lands.
+func BenchmarkPipelinedFirstBandLatencyGroupBy(b *testing.B) {
+	benchmarkShuffleFirstBand(b, &algebra.Map{
+		Input: pipelinedChainPlan(benchTaxi),
+		Fn:    algebra.IsNullFn(),
+	})
+}
+
+// BenchmarkPipelinedFirstBandLatencySort: sort→map, timed to the first
+// range bucket.
+func BenchmarkPipelinedFirstBandLatencySort(b *testing.B) {
+	benchmarkShuffleFirstBand(b, &algebra.Map{
+		Input: &algebra.Sort{
+			Input: &algebra.Source{DF: benchTaxi, Name: "taxi"},
+			Order: expr.SortOrder{{Col: "fare_amount"}},
+		},
+		Fn: algebra.IsNullFn(),
+	})
+}
+
 // --- Figure 8: pivot plan comparison --------------------------------------
 
 func BenchmarkFigure8PivotPlans(b *testing.B) {

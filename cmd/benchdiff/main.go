@@ -1,0 +1,233 @@
+// Command benchdiff serializes `go test -bench` output to JSON and compares
+// two result files, failing on regressions past a threshold. It is the
+// benchmark-regression gate of the CI pipeline:
+//
+//	go test -run='^$' -bench=. -benchtime=3x -count=3 . | benchdiff parse -o BENCH_PR.json
+//	benchdiff compare -baseline BENCH_BASELINE.json -current BENCH_PR.json \
+//	    -match Pipelined -threshold 1.25
+//
+// parse keeps the FASTEST ns/op across repeated counts of each benchmark
+// (robust to scheduling noise) and strips the trailing GOMAXPROCS suffix so
+// results compare across machines with different core counts. compare exits
+// non-zero when any benchmark selected by -match slowed down by more than
+// the threshold ratio.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated timing.
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"` // fastest across samples
+	Samples int     `json:"samples"`
+}
+
+// File is the serialized benchmark run.
+type File struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// cpuSuffix is the -N GOMAXPROCS suffix Go appends to benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		runParse(os.Args[2:])
+	case "compare":
+		runCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchdiff parse [-o out.json]                      (bench output on stdin)
+  benchdiff compare -baseline a.json -current b.json [-threshold 1.25] [-match regexp]`)
+	os.Exit(2)
+}
+
+func runParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	data, err := json.MarshalIndent(File{Benchmarks: results}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseBench scans `go test -bench` output, aggregating repeated counts of
+// one benchmark to the fastest observation.
+func parseBench(r io.Reader) ([]Result, error) {
+	best := make(map[string]*Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if b, ok := best[name]; ok {
+			b.Samples++
+			if ns < b.NsPerOp {
+				b.NsPerOp = ns
+			}
+		} else {
+			best[name] = &Result{Name: name, NsPerOp: ns, Samples: 1}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(best))
+	for n := range best {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Result, len(names))
+	for i, n := range names {
+		out[i] = *best[n]
+	}
+	return out, nil
+}
+
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "", "baseline JSON (required)")
+	currentPath := fs.String("current", "", "current JSON (required)")
+	threshold := fs.Float64("threshold", 1.25, "fail when current/baseline exceeds this ratio")
+	match := fs.String("match", ".", "regexp selecting which benchmarks gate the comparison")
+	fs.Parse(args)
+	if *baselinePath == "" || *currentPath == "" {
+		usage()
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fatal(fmt.Errorf("bad -match: %w", err))
+	}
+	baseline, err := loadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var regressions, compared, missing int
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "baseline", "current", "ratio")
+	for _, b := range baseline.Benchmarks {
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		cur, ok := current[b.Name]
+		if !ok {
+			missing++
+			fmt.Printf("%-60s %14s %14s %8s\n", b.Name, fmtNs(b.NsPerOp), "MISSING", "-")
+			continue
+		}
+		compared++
+		ratio := cur.NsPerOp / b.NsPerOp
+		marker := ""
+		if ratio > *threshold {
+			regressions++
+			marker = "  << REGRESSION"
+		}
+		fmt.Printf("%-60s %14s %14s %7.2fx%s\n", b.Name, fmtNs(b.NsPerOp), fmtNs(cur.NsPerOp), ratio, marker)
+	}
+	fmt.Printf("\ncompared %d benchmark(s), %d missing, threshold %.2fx\n", compared, missing, *threshold)
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmarks matched %q in both files", *match))
+	}
+	if missing > 0 {
+		// A gated benchmark that produced no current result is itself a
+		// failure: a crashed or renamed benchmark must not pass silently.
+		fatal(fmt.Errorf("%d gated benchmark(s) missing from current results", missing))
+	}
+	if regressions > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed past %.2fx", regressions, *threshold))
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+func load(path string) (map[string]Result, error) {
+	f, err := loadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b
+	}
+	return out, nil
+}
+
+// loadFile keeps the slice form for the comparison's stable iteration.
+func loadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	}
+	return fmt.Sprintf("%.0fns", ns)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

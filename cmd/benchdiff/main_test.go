@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchAggregatesAndStripsCPUSuffix(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+BenchmarkPipelinedFusedChainOnly/modin-8   3   5000000 ns/op   12 B/op   1 allocs/op
+BenchmarkPipelinedFusedChainOnly/modin-8   3   4000000 ns/op   12 B/op   1 allocs/op
+BenchmarkPipelinedFusedChainOnly/modin-8   3   6000000 ns/op   12 B/op   1 allocs/op
+BenchmarkOther-8                           1   1234.5 ns/op
+PASS
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(results))
+	}
+	// Sorted by name: BenchmarkOther first.
+	if results[0].Name != "BenchmarkOther" || results[0].NsPerOp != 1234.5 {
+		t.Errorf("result 0 = %+v", results[0])
+	}
+	got := results[1]
+	if got.Name != "BenchmarkPipelinedFusedChainOnly/modin" {
+		t.Errorf("CPU suffix should be stripped, got %q", got.Name)
+	}
+	if got.Samples != 3 || got.NsPerOp != 4000000 {
+		t.Errorf("aggregation wrong: %+v (want fastest of 3 samples)", got)
+	}
+}
+
+func TestParseBenchIgnoresNonBenchLines(t *testing.T) {
+	results, err := parseBench(strings.NewReader("PASS\nok repro 1.2s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("parsed %d benchmarks from noise", len(results))
+	}
+}

@@ -9,10 +9,23 @@
 // evaluated bottom-up by the single-threaded baseline (internal/eager) or
 // compiled into a physical stage DAG (internal/physical) by the MODIN
 // engine (internal/modin) — embarrassingly-parallel operator chains fuse
-// into one task per partition band, repartition points become exchange
-// barriers — and scheduled asynchronously on the task-parallel execution
-// layer (internal/exec). Partitioned frames (internal/partition) hold
+// into one task per partition band; the hot repartition points (GROUPBY,
+// SORT, inner/left JOIN) lower to two-phase shuffles
+// (summarize→plan→partition→merge) emitting one independent future per
+// output band; shape-opaque operators keep gather-exchange barriers — and
+// scheduled asynchronously on the task-parallel execution layer
+// (internal/exec). Partitioned frames (internal/partition) hold
 // future-valued blocks, so results stay deferred until gathered; the
 // session layer (internal/session) exploits this for the paper's
-// opportunistic evaluation regime. See README.md for the full map.
+// opportunistic evaluation regime.
+//
+// Scheduler instrumentation: each run's physical.Scheduler exposes Stats
+// counters — FusedTasks/FusedStages for fused chains,
+// ExchangeTasks/ExchangeStages for gather barriers, and the shuffle-phase
+// counters ShuffleStages, ShuffleSummaryTasks, ShufflePlanTasks,
+// ShufflePartitionTasks (one per input band), ShuffleMergeTasks (one per
+// OUTPUT band; each backs its own block future) and ShuffleFallbacks
+// (shuffles over shape-opaque inputs degraded to a single coordinating
+// task). modin.Engine.Stats() aggregates the same counters across runs.
+// See README.md for the full map.
 package repro

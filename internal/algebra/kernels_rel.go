@@ -159,6 +159,29 @@ func allColIdx(n int) []int {
 	return idx
 }
 
+// GroupRowKeys renders each row's composite group key over the named key
+// columns — the routing tokens the MODIN shuffle partitions GROUPBY rows
+// by. The rendering matches GroupPartial's internal key exactly, so routing
+// and aggregation always agree on group identity. An empty keys list yields
+// the whole-frame group: every row keys to "".
+func GroupRowKeys(df *core.DataFrame, keys []string) ([]string, error) {
+	cols := make([]vector.Vector, len(keys))
+	for k, name := range keys {
+		j := df.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: groupby key %q not found", name)
+		}
+		cols[k] = df.TypedCol(j)
+	}
+	idx := allColIdx(len(cols))
+	out := make([]string, df.NRows())
+	var b strings.Builder
+	for i := range out {
+		out[i] = rowKey(cols, idx, i, &b)
+	}
+	return out, nil
+}
+
 // DifferenceFrames implements DIFFERENCE: left rows whose full tuple does
 // not appear in right, in left order. Schemas must agree on labels.
 func DifferenceFrames(left, right *core.DataFrame) (*core.DataFrame, error) {

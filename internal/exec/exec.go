@@ -162,11 +162,32 @@ func (p *Pool) SubmitIn(g *Group, fn func() (any, error), deps ...*Future) *Futu
 			}
 		}
 		for _, d := range deps {
+			if g != nil {
+				// Watch the group while waiting: a failure anywhere in the
+				// DAG — not just in a direct dependency — skips this task
+				// mid-wait. Shuffle merge tasks depend on many producers;
+				// without this, a merge whose own deps succeed would still
+				// run after a sibling bucket's producer failed.
+				select {
+				case <-g.Done():
+					f.err = fmt.Errorf("exec: group cancelled: %w", g.Err())
+					return
+				case <-d.Done():
+				}
+			}
 			if _, err := d.Wait(); err != nil {
 				f.err = fmt.Errorf("exec: dependency failed: %w", err)
 				if g != nil {
 					g.Cancel(err)
 				}
+				return
+			}
+		}
+		if g != nil {
+			// Re-check after the waits: the group may have cancelled while
+			// every direct dependency was completing successfully.
+			if err := g.Err(); err != nil {
+				f.err = fmt.Errorf("exec: group cancelled: %w", err)
 				return
 			}
 		}

@@ -207,6 +207,66 @@ func TestGroupExplicitCancel(t *testing.T) {
 	}
 }
 
+// TestGroupCancellationSkipsTaskWaitingOnDeps is the regression test for
+// shuffle-merge skipping: a task already mid-wait on its (eventually
+// successful) dependencies must be skipped as soon as the group cancels.
+// Before the group-aware dependency wait, only direct dependents of the
+// failed task were skipped — a merge whose own bucket producers all
+// succeeded would still run after a sibling bucket's producer failed.
+func TestGroupCancellationSkipsTaskWaitingOnDeps(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := NewGroup()
+	dep, resolve := NewPromise()
+	var ran atomic.Bool
+	merge := p.SubmitIn(g, func() (any, error) {
+		ran.Store(true)
+		return nil, nil
+	}, dep)
+	// Let the task start and block on its unresolved dependency, then
+	// cancel the group from elsewhere in the DAG.
+	time.Sleep(20 * time.Millisecond)
+	sentinel := errors.New("sibling bucket producer failed")
+	g.Cancel(sentinel)
+	// The task must resolve (skipped) without its dependency ever
+	// completing.
+	if _, err := merge.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the group cancellation cause", err)
+	}
+	if ran.Load() {
+		t.Error("task body ran after group cancellation")
+	}
+	resolve("late", nil) // the dependency succeeding later must not resurrect it
+	time.Sleep(10 * time.Millisecond)
+	if ran.Load() {
+		t.Error("task body ran after its dependency resolved")
+	}
+}
+
+// TestGroupCancellationAfterDependenciesSucceed covers the re-check between
+// the dependency waits and the task body: every direct dependency succeeds,
+// but the group is already cancelled by the time the waits finish.
+func TestGroupCancellationAfterDependenciesSucceed(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	g := NewGroup()
+	dep, resolve := NewPromise()
+	var ran atomic.Bool
+	f := p.SubmitIn(g, func() (any, error) {
+		ran.Store(true)
+		return nil, nil
+	}, dep)
+	time.Sleep(20 * time.Millisecond) // task is now waiting on dep
+	g.Cancel(errors.New("unrelated failure"))
+	resolve(1, nil) // dependency succeeds after the cancellation
+	if _, err := f.Wait(); err == nil {
+		t.Fatal("task in cancelled group should fail even with successful deps")
+	}
+	if ran.Load() {
+		t.Error("task body ran in a cancelled group")
+	}
+}
+
 func TestNilGroupBehavesLikeSubmit(t *testing.T) {
 	p := NewPool(1)
 	defer p.Close()

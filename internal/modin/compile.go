@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/expr"
 	"repro/internal/partition"
 	"repro/internal/physical"
 )
@@ -16,9 +17,13 @@ import (
 //     RENAME, TOLABELS, and TOPK's per-band pass) become kernels, and
 //     consecutive kernels over a single-use input fuse into ONE stage —
 //     one task per band, no inter-operator barrier.
-//   - Repartition points (GROUPBY, SORT, JOIN, TRANSPOSE, WINDOW, UNION,
-//     DIFFERENCE, ...) become exchange stages: explicit DAG dependencies on
-//     every input block.
+//   - The hot repartition points (GROUPBY, SORT, inner/left JOIN) become
+//     shuffle stages: a two-phase partition→route→merge lowering where each
+//     output band is its own future, so downstream fused stages start as
+//     soon as the band that feeds them lands (shuffle.go, sort.go).
+//   - Shape-opaque repartition points (TRANSPOSE, WINDOW, UNION,
+//     DIFFERENCE, outer JOIN, ...) stay exchange stages: explicit DAG
+//     dependencies on every input block, one coordinating task.
 //
 // Shared sub-plans (a statement referencing an earlier handle twice)
 // compile to shared physical nodes, scheduled once; fusion never crosses a
@@ -91,6 +96,24 @@ func (c *compiler) exchange(name string, run func([]*partition.Frame) (*partitio
 		compiled[i] = p
 	}
 	return physical.NewExchange(name, run, compiled...), nil
+}
+
+// shuffleStage compiles the shuffled input (and whole-frame side inputs)
+// and wraps sh as a two-phase shuffle stage.
+func (c *compiler) shuffleStage(sh *physical.Shuffle, input algebra.Node, sides ...algebra.Node) (*physical.Node, error) {
+	in, err := c.compile(input)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*physical.Node, len(sides))
+	for i, side := range sides {
+		p, err := c.compile(side)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = p
+	}
+	return physical.NewShuffle(sh, in, compiled...), nil
 }
 
 // wholeFrame adapts a gather-then-kernel operator (one that must see the
@@ -191,10 +214,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		}, partial), nil
 
 	case *algebra.GroupBy:
-		spec := node.Spec
-		return c.exchange("groupby", func(in []*partition.Frame) (*partition.Frame, error) {
-			return e.executeGroupBy(spec, in[0])
-		}, node.Input)
+		return c.shuffleStage(e.groupByShuffle(node.Spec), node.Input)
 
 	case *algebra.Window:
 		spec := node.Spec
@@ -203,9 +223,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		}, node.Input)
 
 	case *algebra.Sort:
-		return c.exchange("sort", func(in []*partition.Frame) (*partition.Frame, error) {
-			return e.executeSort(node, in[0])
-		}, node.Input)
+		return c.shuffleStage(e.sortShuffle(node), node.Input)
 
 	case *algebra.Transpose:
 		schema := node.Schema
@@ -214,8 +232,25 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		}, node.Input)
 
 	case *algebra.Join:
+		if node.Kind == expr.JoinInner || node.Kind == expr.JoinLeft {
+			// Anchored broadcast probe: left bands pass through in order,
+			// the right side is built once and broadcast; band b's join
+			// lands independently of the other bands.
+			probe, err := c.shuffleStage(e.joinProbeShuffle(node), node.Left, node.Right)
+			if err != nil {
+				return nil, err
+			}
+			if node.OnLabels {
+				return probe, nil
+			}
+			// Data-column joins reset row labels to one global positional
+			// sequence; the renumber pass is itself an anchored shuffle
+			// (only band counts cross bands), so the join's output bands
+			// stay independent futures.
+			return physical.NewShuffle(e.renumberShuffle(), probe), nil
+		}
 		return c.exchange("join", func(in []*partition.Frame) (*partition.Frame, error) {
-			return e.executeJoin(node, in[0], in[1])
+			return e.executeJoinGather(node, in[0], in[1])
 		}, node.Left, node.Right)
 
 	case *algebra.Union:

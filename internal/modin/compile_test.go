@@ -87,11 +87,11 @@ func TestCompileExchangeBoundaries(t *testing.T) {
 	}
 	fused, exchanges := physical.Stages(phys)
 	if fused != 2 || exchanges != 1 {
-		t.Errorf("stages = %d fused, %d exchanges, want 2/1:\n%s", fused, exchanges, physical.Render(phys))
+		t.Errorf("stages = %d fused, %d repartition stages, want 2/1:\n%s", fused, exchanges, physical.Render(phys))
 	}
 	rendered := physical.Render(phys)
-	if !strings.Contains(rendered, "EXCHANGE[groupby]") {
-		t.Errorf("groupby should be an exchange:\n%s", rendered)
+	if !strings.Contains(rendered, "SHUFFLE[groupby]") {
+		t.Errorf("groupby should be a shuffle stage:\n%s", rendered)
 	}
 }
 

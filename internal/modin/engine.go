@@ -5,13 +5,18 @@
 //
 // Execution is compile-then-schedule: logical plans are lowered into a
 // physical stage DAG (compile.go), where chains of embarrassingly-parallel
-// operators fuse into one task per band and repartition points (groupby,
-// sort, join, transpose) become exchange barriers; the physical scheduler
-// then drains the DAG asynchronously on the worker pool, handing back
-// deferred partition frames and futures (internal/physical).
+// operators fuse into one task per band, the hot repartition points
+// (groupby, sort, inner/left join) become two-phase shuffles with one
+// independent future per output band (shuffle.go, sort.go), and
+// shape-opaque operators (transpose, window, union, ...) keep the gather
+// exchange barrier; the physical scheduler then drains the DAG
+// asynchronously on the worker pool, handing back deferred partition frames
+// and futures (internal/physical).
 package modin
 
 import (
+	"sync/atomic"
+
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -19,13 +24,42 @@ import (
 	"repro/internal/partition"
 	"repro/internal/physical"
 	"repro/internal/types"
-	"repro/internal/vector"
 )
+
+// Stats aggregates physical-scheduler activity across an engine's runs.
+// Each run's own counts are reachable through Schedule's scheduler; these
+// totals let long-lived sessions observe how much of their work streams
+// through shuffles versus falls back to gather exchanges.
+type Stats struct {
+	// Runs counts scheduled plan executions.
+	Runs atomic.Int64
+	// FusedTasks and ExchangeTasks mirror the physical scheduler counters.
+	FusedTasks    atomic.Int64
+	ExchangeTasks atomic.Int64
+	// ShuffleStages, ShufflePartitionTasks and ShuffleMergeTasks count the
+	// streaming repartition work; ShuffleFallbacks counts shuffles that
+	// degraded to one coordinating task over a shape-opaque input.
+	ShuffleStages         atomic.Int64
+	ShufflePartitionTasks atomic.Int64
+	ShuffleMergeTasks     atomic.Int64
+	ShuffleFallbacks      atomic.Int64
+}
+
+func (s *Stats) add(run *physical.Stats) {
+	s.Runs.Add(1)
+	s.FusedTasks.Add(run.FusedTasks.Load())
+	s.ExchangeTasks.Add(run.ExchangeTasks.Load())
+	s.ShuffleStages.Add(run.ShuffleStages.Load())
+	s.ShufflePartitionTasks.Add(run.ShufflePartitionTasks.Load())
+	s.ShuffleMergeTasks.Add(run.ShuffleMergeTasks.Load())
+	s.ShuffleFallbacks.Add(run.ShuffleFallbacks.Load())
+}
 
 // Engine executes algebra plans in parallel over partitions.
 type Engine struct {
 	pool  *exec.Pool
 	bands int
+	stats Stats
 }
 
 // Option configures the engine.
@@ -57,6 +91,18 @@ func (e *Engine) Name() string { return "modin" }
 // work on it).
 func (e *Engine) Pool() *exec.Pool { return e.pool }
 
+// Stats exposes the engine's cumulative scheduler counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Schedule compiles the plan and launches its task DAG, returning the root
+// handle and the run's scheduler (whose Stats expose per-run fused,
+// exchange and shuffle task counts). The run's tasks are already in flight
+// when Schedule returns; the handle resolves as they land.
+func (e *Engine) Schedule(n algebra.Node) (*physical.Result, *physical.Scheduler, error) {
+	_, res, sched, err := e.schedule(n)
+	return res, sched, err
+}
+
 // Execute evaluates the plan and gathers the result into one dataframe.
 // The gather runs on the calling goroutine (no extra task) since Execute is
 // synchronous anyway.
@@ -86,9 +132,11 @@ func (e *Engine) ExecuteAsync(n algebra.Node) *exec.Future {
 // ExecutePartitioned evaluates the plan, leaving the result partitioned so
 // downstream operators (or head/tail views) can consume blocks lazily. The
 // returned frame may be deferred (blocks still computing) when the plan's
-// root is a fused stage; root exchanges are waited for so the result's band
-// structure is real. Task errors in deferred blocks surface at gather time
-// — Resolve, ToFrame, or BlockErr — not from this call.
+// root is a fused or shuffle stage — shuffle output bands resolve
+// independently as their merges land; root gather exchanges are waited for
+// so the result's band structure is real. Task errors in deferred blocks
+// surface at gather time — Resolve, ToFrame, or BlockErr — not from this
+// call.
 func (e *Engine) ExecutePartitioned(n algebra.Node) (*partition.Frame, error) {
 	_, res, _, err := e.schedule(n)
 	if err != nil {
@@ -109,6 +157,9 @@ func (e *Engine) schedule(n algebra.Node) (*physical.Node, *physical.Result, *ph
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// Task counters are incremented while Run wires the DAG, so the per-run
+	// stats are final here even though the tasks themselves still run.
+	e.stats.add(&sched.Stats)
 	return plan, res, sched, nil
 }
 
@@ -125,39 +176,6 @@ func gather(in *partition.Frame) (*core.DataFrame, error) { return in.ToFrame() 
 // rePartition splits a kernel result back into row bands.
 func (e *Engine) rePartition(df *core.DataFrame) *partition.Frame {
 	return partition.New(df, partition.Rows, e.bands)
-}
-
-// executeGroupBy computes partial aggregations per row band in parallel and
-// merges them in band order, preserving first-appearance group order.
-func (e *Engine) executeGroupBy(spec expr.GroupBySpec, in *partition.Frame) (*partition.Frame, error) {
-	full, err := in.EnsureSingleColBand()
-	if err != nil {
-		return nil, err
-	}
-	spec.Sorted = false // hashing per band; sortedness is a single-node optimization
-	partials, err := exec.MapParallel(e.pool, full.RowBands(), func(r int) (*algebra.GroupPartial, error) {
-		band, err := full.RowBand(r)
-		if err != nil {
-			return nil, err
-		}
-		g := algebra.NewGroupPartial(spec)
-		if err := g.AddFrame(band); err != nil {
-			return nil, err
-		}
-		return g, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	merged := partials[0]
-	for _, p := range partials[1:] {
-		merged.Merge(p)
-	}
-	out, err := merged.Finalize()
-	if err != nil {
-		return nil, err
-	}
-	return e.rePartition(out), nil
 }
 
 // executeWindow parallelizes direction-agnostic bounded windows (shift,
@@ -246,36 +264,13 @@ func (e *Engine) executeWindow(spec expr.WindowSpec, in *partition.Frame) (*part
 	return partition.FromGrid(grid)
 }
 
-// executeJoin builds the hash side once and probes left row bands in
-// parallel.
-func (e *Engine) executeJoin(node *algebra.Join, left, right *partition.Frame) (*partition.Frame, error) {
+// executeJoinGather handles the join kinds the shuffle path does not cover
+// (outer joins, whose row order mixes both inputs): gather both sides and
+// join whole.
+func (e *Engine) executeJoinGather(node *algebra.Join, left, right *partition.Frame) (*partition.Frame, error) {
 	rightDF, err := gather(right)
 	if err != nil {
 		return nil, err
-	}
-	if node.Kind == expr.JoinInner || node.Kind == expr.JoinLeft {
-		// Parallel probe: left order is preserved band-by-band, so
-		// concatenating band results reproduces the ordered join.
-		probed, err := left.MapRowBands(e.pool, func(band *core.DataFrame) (*core.DataFrame, error) {
-			return algebra.JoinFrames(band, rightDF, node.Kind, node.On, node.OnLabels)
-		})
-		if err != nil {
-			return nil, err
-		}
-		if node.OnLabels {
-			return probed, nil
-		}
-		// Data-column joins reset row labels positionally; per-band
-		// numbering must be replaced by a global sequence.
-		out, err := probed.ToFrame()
-		if err != nil {
-			return nil, err
-		}
-		out, err = out.WithRowLabels(vector.Range(0, out.NRows()))
-		if err != nil {
-			return nil, err
-		}
-		return e.rePartition(out), nil
 	}
 	leftDF, err := gather(left)
 	if err != nil {

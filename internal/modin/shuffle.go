@@ -1,0 +1,189 @@
+package modin
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/partition"
+	"repro/internal/physical"
+	"repro/internal/vector"
+)
+
+// This file builds the engine's shuffle stages: the two-phase
+// partition→route→merge lowerings of GROUPBY (key shuffle), JOIN (anchored
+// broadcast probe + renumber), and — in sort.go — SORT (range shuffle).
+// Each produces one independent output-band future per bucket, so
+// downstream fused stages start as soon as the band that feeds them lands.
+
+// bandCuts splits n items into nb roughly-equal contiguous ranges
+// (mirroring the partition layer's band boundaries).
+func bandCuts(n, nb int) []int {
+	out := make([]int, nb+1)
+	for i := 0; i <= nb; i++ {
+		out[i] = i * n / nb
+	}
+	return out
+}
+
+// groupSummary is one band's contribution to the groupby routing plan. The
+// per-row rendered keys are kept so the partition phase routes without
+// re-rendering them.
+type groupSummary struct {
+	keys     []string // rendered group key per row
+	distinct []string // the band's distinct keys in first-appearance order
+}
+
+// groupPlan is the routing state shared by every groupby partition and
+// merge task: each key's bucket, each bucket's global group-rank range, and
+// the per-band rendered keys carried over from the summaries.
+type groupPlan struct {
+	bucket   map[string]int
+	starts   []int // starts[b] is the global rank of bucket b's first group
+	rendered [][]string
+}
+
+// groupByShuffle lowers GROUPBY to a key shuffle. Routing hashes on the
+// rendered group key, but bucket assignment follows each key's GLOBAL
+// first-appearance rank (computed by the plan phase from cheap per-band key
+// summaries): bucket b owns the contiguous rank range [starts[b],
+// starts[b+1]), so concatenating the merged buckets in order reproduces the
+// ordered-dataframe groupby exactly — same group order, same positional row
+// labels — while every output band stays an independent future.
+func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
+	spec.Sorted = false // hashing per bucket; sortedness is a single-node optimization
+	nb := e.bands
+	keys := spec.Keys
+	return &physical.Shuffle{
+		Name:    "groupby",
+		Buckets: nb,
+		Summarize: func(_ int, band *core.DataFrame) (any, error) {
+			rendered, err := algebra.GroupRowKeys(band, keys)
+			if err != nil {
+				return nil, err
+			}
+			seen := make(map[string]bool)
+			var distinct []string
+			for _, k := range rendered {
+				if !seen[k] {
+					seen[k] = true
+					distinct = append(distinct, k)
+				}
+			}
+			return &groupSummary{keys: rendered, distinct: distinct}, nil
+		},
+		Plan: func(summaries []any, _ []*partition.Frame) (any, error) {
+			// Folding the band orders in band order reproduces the
+			// single-node scan's first-appearance order, which is what
+			// keeps the shuffled result identical to the gather
+			// implementation.
+			p := &groupPlan{bucket: make(map[string]int), rendered: make([][]string, len(summaries))}
+			var order []string
+			for r, s := range summaries {
+				sum := s.(*groupSummary)
+				p.rendered[r] = sum.keys
+				for _, k := range sum.distinct {
+					if _, ok := p.bucket[k]; !ok {
+						p.bucket[k] = -1 // rank-ranged below
+						order = append(order, k)
+					}
+				}
+			}
+			p.starts = bandCuts(len(order), nb)
+			b := 0
+			for rank, k := range order {
+				for rank >= p.starts[b+1] {
+					b++
+				}
+				p.bucket[k] = b
+			}
+			return p, nil
+		},
+		Partition: func(band int, df *core.DataFrame, plan any) ([]any, error) {
+			p := plan.(*groupPlan)
+			rendered := p.rendered[band]
+			assign := make([]int, len(rendered))
+			for i, k := range rendered {
+				assign[i] = p.bucket[k]
+			}
+			views, err := partition.SplitRows(df, assign, nb)
+			if err != nil {
+				return nil, err
+			}
+			pieces := make([]any, nb)
+			for b, v := range views {
+				pieces[b] = v
+			}
+			return pieces, nil
+		},
+		Merge: func(bucket int, pieces []any, plan any) (*core.DataFrame, error) {
+			p := plan.(*groupPlan)
+			g := algebra.NewGroupPartial(spec)
+			for _, piece := range pieces {
+				if err := g.AddFrame(piece.(*core.DataFrame)); err != nil {
+					return nil, err
+				}
+			}
+			out, err := g.Finalize()
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := p.starts[bucket], p.starts[bucket+1]
+			if out.NRows() != hi-lo {
+				return nil, fmt.Errorf("modin: groupby bucket %d produced %d groups, plan routed %d", bucket, out.NRows(), hi-lo)
+			}
+			if spec.AsLabels {
+				return out, nil
+			}
+			// Positional labels are global: bucket b's groups occupy the
+			// rank range [lo, hi), so the concatenated bands read 0..n-1.
+			return out.WithRowLabels(vector.Range(int64(lo), out.NRows()))
+		},
+	}
+}
+
+// joinProbeShuffle lowers an inner/left join to an anchored shuffle: the
+// probe side's bands pass through unshuffled (preserving left row order
+// exactly), while the build side is resolved once by the plan task and
+// broadcast to every per-band probe merge. Band b's join lands as soon as
+// band b's input and the build side exist — other probe bands may still be
+// computing.
+func (e *Engine) joinProbeShuffle(node *algebra.Join) *physical.Shuffle {
+	return &physical.Shuffle{
+		Name: "join",
+		Plan: func(_ []any, sides []*partition.Frame) (any, error) {
+			return sides[0].ToFrame()
+		},
+		Merge: func(_ int, pieces []any, plan any) (*core.DataFrame, error) {
+			return algebra.JoinFrames(pieces[0].(*core.DataFrame), plan.(*core.DataFrame),
+				node.Kind, node.On, node.OnLabels)
+		},
+	}
+}
+
+// renumberShuffle resets row labels to one global positional sequence. It
+// is an anchored shuffle with a PREFIX plan: band b's offset is the sum of
+// the row counts of bands [0, b), so band b's relabel waits only on
+// earlier bands — band 0 relabels the moment its own probe lands, and a
+// data-column join keeps streaming through the relabel instead of
+// barriering on its slowest band.
+func (e *Engine) renumberShuffle() *physical.Shuffle {
+	return &physical.Shuffle{
+		Name: "renumber",
+		Summarize: func(_ int, band *core.DataFrame) (any, error) {
+			return band.NRows(), nil
+		},
+		PrefixPlan: func(prefix []any) (any, error) {
+			off := 0
+			for _, s := range prefix {
+				off += s.(int)
+			}
+			return off, nil
+		},
+		Merge: func(_ int, pieces []any, plan any) (*core.DataFrame, error) {
+			df := pieces[0].(*core.DataFrame)
+			return df.WithRowLabels(vector.Range(int64(plan.(int)), df.NRows()))
+		},
+	}
+}

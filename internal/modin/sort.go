@@ -2,68 +2,195 @@ package modin
 
 import (
 	"container/heap"
+	"fmt"
+	"sort"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
-	"repro/internal/exec"
 	"repro/internal/partition"
+	"repro/internal/physical"
+	"repro/internal/types"
 	"repro/internal/vector"
 )
 
-// executeSort runs SORT as a parallel merge sort: each row band is stably
-// sorted in parallel, then the sorted runs are k-way merged. Because bands
-// preserve the input's band order and ties break toward the earlier global
-// position, the result is identical to the stable single-node sort.
-func (e *Engine) executeSort(node *algebra.Sort, in *partition.Frame) (*partition.Frame, error) {
-	full, err := in.EnsureSingleColBand()
-	if err != nil {
-		return nil, err
-	}
-	rb := full.RowBands()
-	if rb <= 1 {
-		band, err := full.ToFrame()
-		if err != nil {
-			return nil, err
-		}
-		out, err := algebra.SortFrame(band, node.Order, node.ByLabels)
-		if err != nil {
-			return nil, err
-		}
-		return partition.New(out, partition.Rows, e.bands), nil
-	}
+// SORT lowers to a range shuffle: each band contributes a small key sample
+// (summarize), the plan picks nb-1 range bounds from the pooled samples,
+// each partition task stably sorts its band and slices it into per-bucket
+// runs (contiguous, zero-copy), and each merge task k-way merges only the
+// runs routed to its bucket. Equal keys always route to one bucket and ties
+// break toward the earlier band, so the concatenated buckets reproduce the
+// stable single-node sort exactly — while every output band is its own
+// future.
 
-	sortedBands, err := exec.MapParallel(e.pool, rb, func(r int) (*core.DataFrame, error) {
-		band, err := full.RowBand(r)
-		if err != nil {
-			return nil, err
-		}
-		return algebra.SortFrame(band, node.Order, node.ByLabels)
-	})
-	if err != nil {
-		return nil, err
-	}
+// sortSampleTarget bounds the per-band key samples contributed to the plan.
+const sortSampleTarget = 32
 
-	cat, err := algebra.VStackFrames(sortedBands...)
-	if err != nil {
-		return nil, err
-	}
+// sortSummary is one band's key sample.
+type sortSummary struct {
+	samples [][]types.Value
+}
 
-	// Resolve the comparison keys once over the concatenated runs.
-	var keys []vector.Vector
-	var desc []bool
+// sortPlan carries the bucket range bounds: bucket b receives keys ≤
+// bounds[b]; the final bucket receives the rest.
+type sortPlan struct {
+	bounds [][]types.Value
+}
+
+// sortKeyVecs resolves the comparison key columns (row labels for
+// label-sorts) and the per-key descending flags.
+func sortKeyVecs(df *core.DataFrame, node *algebra.Sort) ([]vector.Vector, []bool, error) {
 	if node.ByLabels {
-		keys = []vector.Vector{cat.RowLabels()}
-		desc = []bool{false}
-	} else {
-		for _, o := range node.Order {
-			j := cat.ColIndex(o.Col)
-			keys = append(keys, cat.TypedCol(j))
-			desc = append(desc, o.Desc)
+		return []vector.Vector{df.RowLabels()}, []bool{false}, nil
+	}
+	keys := make([]vector.Vector, len(node.Order))
+	desc := make([]bool, len(node.Order))
+	for k, o := range node.Order {
+		j := df.ColIndex(o.Col)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("modin: sort on unknown column %q", o.Col)
+		}
+		keys[k] = df.TypedCol(j)
+		desc[k] = o.Desc
+	}
+	return keys, desc, nil
+}
+
+// keyTuple materializes row i's comparison key.
+func keyTuple(keys []vector.Vector, i int) []types.Value {
+	out := make([]types.Value, len(keys))
+	for k := range keys {
+		out[k] = keys[k].Value(i)
+	}
+	return out
+}
+
+// compareTuples orders two key tuples under the per-key direction flags.
+func compareTuples(a, b []types.Value, desc []bool) int {
+	for k := range a {
+		c := a[k].Compare(b[k])
+		if desc[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c
 		}
 	}
-	// less orders global positions; ties resolve to the earlier position,
-	// which reproduces the stable single-node sort because bands appear
-	// in input order.
+	return 0
+}
+
+// sortDesc returns the direction flags without needing a frame.
+func sortDesc(node *algebra.Sort) []bool {
+	if node.ByLabels {
+		return []bool{false}
+	}
+	desc := make([]bool, len(node.Order))
+	for k, o := range node.Order {
+		desc[k] = o.Desc
+	}
+	return desc
+}
+
+func (e *Engine) sortShuffle(node *algebra.Sort) *physical.Shuffle {
+	nb := e.bands
+	desc := sortDesc(node)
+	return &physical.Shuffle{
+		Name:    "sort",
+		Buckets: nb,
+		Summarize: func(_ int, band *core.DataFrame) (any, error) {
+			keys, _, err := sortKeyVecs(band, node)
+			if err != nil {
+				return nil, err
+			}
+			n := band.NRows()
+			step := n / sortSampleTarget
+			if step < 1 {
+				step = 1
+			}
+			var samples [][]types.Value
+			for i := 0; i < n; i += step {
+				samples = append(samples, keyTuple(keys, i))
+			}
+			return &sortSummary{samples: samples}, nil
+		},
+		Plan: func(summaries []any, _ []*partition.Frame) (any, error) {
+			var all [][]types.Value
+			for _, s := range summaries {
+				all = append(all, s.(*sortSummary).samples...)
+			}
+			sort.SliceStable(all, func(i, j int) bool {
+				return compareTuples(all[i], all[j], desc) < 0
+			})
+			p := &sortPlan{}
+			for b := 1; b < nb && len(all) > 0; b++ {
+				p.bounds = append(p.bounds, all[b*len(all)/nb])
+			}
+			return p, nil
+		},
+		Partition: func(_ int, df *core.DataFrame, plan any) ([]any, error) {
+			p := plan.(*sortPlan)
+			sorted, err := algebra.SortFrame(df, node.Order, node.ByLabels)
+			if err != nil {
+				return nil, err
+			}
+			keys, _, err := sortKeyVecs(sorted, node)
+			if err != nil {
+				return nil, err
+			}
+			// The band is sorted, so each bucket's rows are one contiguous
+			// run: binary-search the first row past each bound and slice —
+			// routing moves no cells.
+			pieces := make([]any, nb)
+			n := sorted.NRows()
+			lo := 0
+			for b := 0; b < nb; b++ {
+				hi := n
+				if b < len(p.bounds) {
+					bound := p.bounds[b]
+					hi = lo + sort.Search(n-lo, func(i int) bool {
+						return compareTuples(keyTuple(keys, lo+i), bound, desc) > 0
+					})
+				}
+				pieces[b] = sorted.SliceRows(lo, hi)
+				lo = hi
+			}
+			return pieces, nil
+		},
+		Merge: func(_ int, pieces []any, _ any) (*core.DataFrame, error) {
+			runs := make([]*core.DataFrame, 0, len(pieces))
+			for _, piece := range pieces {
+				df := piece.(*core.DataFrame)
+				if df.NRows() > 0 {
+					runs = append(runs, df)
+				}
+			}
+			if len(runs) == 0 {
+				// Keep the input's arity so the empty bucket still fits
+				// the output band grid.
+				return pieces[0].(*core.DataFrame), nil
+			}
+			return mergeSortedRuns(runs, node)
+		},
+	}
+}
+
+// mergeSortedRuns k-way merges stably-sorted runs into one frame. Ties
+// resolve toward the earlier run (and the earlier row within a run), which
+// reproduces the stable single-node sort when runs arrive in input-band
+// order.
+func mergeSortedRuns(runs []*core.DataFrame, node *algebra.Sort) (*core.DataFrame, error) {
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	cat, err := algebra.VStackFrames(runs...)
+	if err != nil {
+		return nil, err
+	}
+	keys, desc, err := sortKeyVecs(cat, node)
+	if err != nil {
+		return nil, err
+	}
+	// less orders global positions over the concatenated runs; ties resolve
+	// to the earlier position, which is the earlier run.
 	less := func(a, b int) bool {
 		for k := range keys {
 			c := keys[k].Value(a).Compare(keys[k].Value(b))
@@ -77,13 +204,12 @@ func (e *Engine) executeSort(node *algebra.Sort, in *partition.Frame) (*partitio
 		return a < b
 	}
 
-	// K-way merge over the sorted runs.
-	offsets := make([]int, rb+1)
-	for r, band := range sortedBands {
-		offsets[r+1] = offsets[r] + band.NRows()
+	offsets := make([]int, len(runs)+1)
+	for r, run := range runs {
+		offsets[r+1] = offsets[r] + run.NRows()
 	}
 	mh := &mergeHeap{less: less}
-	for r := 0; r < rb; r++ {
+	for r := range runs {
 		if offsets[r] < offsets[r+1] {
 			mh.items = append(mh.items, mergeCursor{pos: offsets[r], end: offsets[r+1]})
 		}
@@ -101,7 +227,7 @@ func (e *Engine) executeSort(node *algebra.Sort, in *partition.Frame) (*partitio
 			heap.Pop(mh)
 		}
 	}
-	return partition.New(cat.TakeRows(perm), partition.Rows, e.bands), nil
+	return cat.TakeRows(perm), nil
 }
 
 // mergeCursor tracks one sorted run's next global position.

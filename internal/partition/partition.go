@@ -447,6 +447,44 @@ func (f *Frame) Repartition(scheme Scheme, targetBands int) (*Frame, error) {
 	return New(df, scheme, targetBands), nil
 }
 
+// SplitRows routes df's rows into buckets per the selection vector assign
+// (assign[i] names row i's bucket), preserving input order within each
+// bucket. Bucket frames are zero-copy views over df's column storage
+// (vector.TakeView): the shuffle partition phase routes rows between bands
+// without copying cells — only the per-bucket index vectors are allocated.
+// Buckets receiving no rows come back as empty frames that keep df's
+// columns, so downstream merges see a uniform arity.
+func SplitRows(df *core.DataFrame, assign []int, buckets int) ([]*core.DataFrame, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("partition: split into %d buckets", buckets)
+	}
+	if len(assign) != df.NRows() {
+		return nil, fmt.Errorf("partition: %d bucket assignments for %d rows", len(assign), df.NRows())
+	}
+	idx := make([][]int, buckets)
+	for i, b := range assign {
+		if b < 0 || b >= buckets {
+			return nil, fmt.Errorf("partition: row %d assigned to bucket %d of %d", i, b, buckets)
+		}
+		idx[b] = append(idx[b], i)
+	}
+	domains := append([]types.Domain(nil), df.Domains()...)
+	out := make([]*core.DataFrame, buckets)
+	for b := range out {
+		cols := make([]vector.Vector, df.NCols())
+		for j := range cols {
+			cols[j] = vector.TakeView(df.Col(j), idx[b])
+		}
+		f, err := core.Build(cols, vector.TakeView(df.RowLabels(), idx[b]),
+			df.ColLabels(), append([]types.Domain(nil), domains...), df.Cache())
+		if err != nil {
+			return nil, err
+		}
+		out[b] = f
+	}
+	return out, nil
+}
+
 // EnsureSingleColBand returns a frame whose row bands are full width,
 // hstacking column bands when needed (used before row-wise UDFs).
 func (f *Frame) EnsureSingleColBand() (*Frame, error) {

@@ -410,3 +410,104 @@ func TestRowBandLabelsPreserved(t *testing.T) {
 		t.Error("labels should survive partitioning")
 	}
 }
+
+// TestSplitRowsRoutesAndPreservesOrder: SplitRows is the shuffle's routing
+// primitive — rows land in their assigned bucket, in input order, with
+// labels travelling alongside, and empty buckets keep the frame's arity.
+func TestSplitRowsRoutesAndPreservesOrder(t *testing.T) {
+	df := frame(t, 12, 3)
+	assign := make([]int, 12)
+	for i := range assign {
+		assign[i] = i % 3
+	}
+	buckets, err := SplitRows(df, assign, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	for b := 0; b < 3; b++ {
+		blk := buckets[b]
+		if blk.NRows() != 4 || blk.NCols() != 3 {
+			t.Fatalf("bucket %d shape = %dx%d", b, blk.NRows(), blk.NCols())
+		}
+		for i := 0; i < blk.NRows(); i++ {
+			wantRow := b + 3*i // input order within the bucket
+			if got := blk.Value(i, 0).Int(); got != int64(wantRow*3) {
+				t.Errorf("bucket %d row %d = %d, want %d", b, i, got, wantRow*3)
+			}
+			if got := blk.RowLabels().Value(i).Int(); got != int64(wantRow) {
+				t.Errorf("bucket %d label %d = %d, want %d", b, i, got, wantRow)
+			}
+		}
+	}
+	// Bucket 3 received nothing but still matches the frame's arity.
+	if buckets[3].NRows() != 0 || buckets[3].NCols() != 3 {
+		t.Errorf("empty bucket shape = %dx%d", buckets[3].NRows(), buckets[3].NCols())
+	}
+}
+
+// TestSplitRowsViewsShareStorage: the bucket frames are views — no cell
+// copies — yet behave like real frames under slicing and gathering.
+func TestSplitRowsViewsShareStorage(t *testing.T) {
+	df := frame(t, 10, 2)
+	assign := make([]int, 10)
+	for i := range assign {
+		assign[i] = i / 5
+	}
+	buckets, err := SplitRows(df, assign, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VStacking the buckets in order reproduces the original rows.
+	back, err := algebra.VStackFrames(buckets[0], buckets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(df) {
+		t.Error("split+vstack should round-trip")
+	}
+	// Views slice and take like any vector.
+	sliced := buckets[1].SliceRows(1, 3)
+	if sliced.Value(0, 0).Int() != df.Value(6, 0).Int() {
+		t.Error("view slice wrong")
+	}
+	taken := buckets[1].TakeRows([]int{2, 0})
+	if taken.Value(0, 0).Int() != df.Value(7, 0).Int() {
+		t.Error("view take wrong")
+	}
+}
+
+// TestSplitRowsValidation: bad assignments error instead of corrupting the
+// grid.
+func TestSplitRowsValidation(t *testing.T) {
+	df := frame(t, 4, 1)
+	if _, err := SplitRows(df, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := SplitRows(df, []int{0, 0, 0, 5}, 2); err == nil {
+		t.Error("out-of-range bucket should error")
+	}
+	if _, err := SplitRows(df, nil, 0); err == nil {
+		t.Error("zero buckets should error")
+	}
+}
+
+// TestSplitRowsViewInducesDomains: a view over a raw (Σ*) column still
+// induces its domain correctly — the shuffle must not detype raw frames.
+func TestSplitRowsViewInducesDomains(t *testing.T) {
+	raw := core.MustFromRecords([]string{"n"}, [][]any{{"1"}, {"2"}, {"3"}, {"4"}})
+	buckets, err := SplitRows(raw, []int{0, 1, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, blk := range buckets {
+		if d := blk.Domain(0); d != types.Int {
+			t.Errorf("bucket %d induced %v, want int", b, d)
+		}
+		if blk.Value(1, 0).Int() != int64(b+3) {
+			t.Errorf("bucket %d typed value wrong", b)
+		}
+	}
+}

@@ -12,9 +12,14 @@
 //     no inter-operator barrier — band 3's map may run while band 7's
 //     filter is still queued.
 //
-//   - Exchange stages are the repartition points (groupby shuffle, sort
-//     merge, join build, transpose): they depend on every input block and
-//     run as a single coordinating task that may itself fan out.
+//   - Shuffle stages are the streaming repartition points (groupby, sort,
+//     join): a two-phase partition→route→merge lowering where each OUTPUT
+//     band is its own task — downstream fused chains start as soon as the
+//     band that feeds them lands, not when the whole shuffle does.
+//
+//   - Exchange stages are the gather barriers kept for shape-opaque
+//     operators (transpose, window, union, ...): they depend on every input
+//     block and run as a single coordinating task that may itself fan out.
 //
 // The scheduler returns deferred partition.Frames (future blocks) without
 // waiting, so callers — the opportunistic session regime in particular —
@@ -55,13 +60,58 @@ type Exchange struct {
 	Run func(inputs []*partition.Frame) (*partition.Frame, error)
 }
 
-// Node is one stage of a physical plan DAG. Exactly one of Source, Kernels
-// and Exchange is set.
+// Shuffle is a two-phase repartition stage (partition → route → merge): a
+// per-input-band partition task splits its band into per-bucket pieces, and
+// a per-output-band merge task combines only the pieces routed to it. Each
+// output band is therefore its own future — downstream fused stages chain
+// on the band that feeds them and start as soon as *its* merge lands, not
+// when the whole shuffle does. (Contrast Exchange, which funnels everything
+// through one coordinating task: the fallback for shape-opaque operators.)
+//
+// An optional summarize→plan pre-phase computes shared routing state from
+// small per-band summaries (sampled range bounds for SORT, the global
+// first-appearance key order for GROUPBY, band row counts for relabeling);
+// side inputs (e.g. a join's build side) are resolved whole and handed to
+// Plan.
+type Shuffle struct {
+	// Name labels the stage in plan renderings ("groupby", "sort", ...).
+	Name string
+	// Buckets is the number of output bands when Partition is set. When
+	// Partition is nil the shuffle is *anchored*: output band b is produced
+	// from input band b alone (no rows cross bands) and Buckets is ignored.
+	Buckets int
+	// Summarize (optional) extracts a small per-band summary for Plan.
+	Summarize func(band int, df *core.DataFrame) (any, error)
+	// Plan (optional) folds the band summaries — indexed by input band —
+	// and the materialized side inputs into routing state passed to every
+	// Partition and Merge call. Required when the stage has side inputs.
+	Plan func(summaries []any, sides []*partition.Frame) (any, error)
+	// PrefixPlan (optional; anchored shuffles only, mutually exclusive
+	// with Plan, requires Summarize) computes band b's routing state from
+	// the summaries of bands [0, b) ONLY — prefix state such as label
+	// offsets. Band b's merge then depends on earlier bands but never on
+	// later ones, so prefix-planned passes keep streaming band by band
+	// instead of barriering on the slowest band.
+	PrefixPlan func(prefix []any) (any, error)
+	// Partition splits input band `band` into exactly Buckets pieces;
+	// piece b is routed to output band b. Nil marks an anchored shuffle.
+	Partition func(band int, df *core.DataFrame, plan any) ([]any, error)
+	// Merge combines the pieces routed to output band `bucket` (one per
+	// input band, in band order) into that band's block. Anchored shuffles
+	// receive the input band itself as the only piece.
+	Merge func(bucket int, pieces []any, plan any) (*core.DataFrame, error)
+}
+
+// Node is one stage of a physical plan DAG. Exactly one of Source, Kernels,
+// Shuffle and Exchange is set.
 type Node struct {
 	// Source is a leaf: an already-partitioned frame.
 	Source *partition.Frame
 	// Kernels is a fused chain applied per band over Inputs[0].
 	Kernels []Kernel
+	// Shuffle is a streaming repartition stage over Inputs[0], with
+	// Inputs[1:] as whole-frame side inputs to its plan phase.
+	Shuffle *Shuffle
 	// Exchange is a barrier stage over Inputs.
 	Exchange *Exchange
 	// Inputs are the stage's input stages.
@@ -87,6 +137,12 @@ func NewExchange(name string, run func([]*partition.Frame) (*partition.Frame, er
 	return &Node{Exchange: &Exchange{Name: name, Run: run}, Inputs: inputs}
 }
 
+// NewShuffle builds a two-phase repartition stage over input, with optional
+// whole-frame side inputs consumed by the shuffle's plan phase.
+func NewShuffle(sh *Shuffle, input *Node, sides ...*Node) *Node {
+	return &Node{Shuffle: sh, Inputs: append([]*Node{input}, sides...)}
+}
+
 // Describe renders the stage (without inputs).
 func (n *Node) Describe() string {
 	switch {
@@ -98,6 +154,8 @@ func (n *Node) Describe() string {
 			names[i] = k.Name
 		}
 		return "FUSED[" + strings.Join(names, "→") + "]"
+	case n.Shuffle != nil:
+		return "SHUFFLE[" + n.Shuffle.Name + "]"
 	case n.Exchange != nil:
 		return "EXCHANGE[" + n.Exchange.Name + "]"
 	}
@@ -121,8 +179,8 @@ func render(b *strings.Builder, n *Node, depth int) {
 	}
 }
 
-// Stages counts fused and exchange stages in the plan (shared sub-stages
-// count once).
+// Stages counts fused and repartition (shuffle or exchange) stages in the
+// plan (shared sub-stages count once).
 func Stages(n *Node) (fused, exchanges int) {
 	seen := make(map[*Node]bool)
 	var walk func(*Node)
@@ -134,7 +192,7 @@ func Stages(n *Node) (fused, exchanges int) {
 		switch {
 		case len(n.Kernels) > 0:
 			fused++
-		case n.Exchange != nil:
+		case n.Shuffle != nil, n.Exchange != nil:
 			exchanges++
 		}
 		for _, in := range n.Inputs {
@@ -154,6 +212,20 @@ type Stats struct {
 	// FusedStages and ExchangeStages count stages scheduled.
 	FusedStages    atomic.Int64
 	ExchangeStages atomic.Int64
+
+	// ShuffleStages counts shuffle stages scheduled. The per-phase task
+	// counters below record the streaming lowering: one summary/partition
+	// task per input band, one plan task per planned shuffle, and one merge
+	// task per OUTPUT band — each merge backs its own block future.
+	ShuffleStages         atomic.Int64
+	ShuffleSummaryTasks   atomic.Int64
+	ShufflePlanTasks      atomic.Int64
+	ShufflePartitionTasks atomic.Int64
+	ShuffleMergeTasks     atomic.Int64
+	// ShuffleFallbacks counts shuffles over shape-opaque inputs that
+	// degraded to a single coordinating task (band-parallel internally but
+	// one output future, like an exchange).
+	ShuffleFallbacks atomic.Int64
 }
 
 // Scheduler lowers physical plans onto a worker pool as a task DAG.
@@ -250,6 +322,21 @@ func (s *Scheduler) schedule(n *Node) (*Result, error) {
 		}
 		return s.scheduleFused(in, n.Kernels), nil
 
+	case n.Shuffle != nil:
+		in, err := s.Run(n.Inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		sides := make([]*Result, len(n.Inputs)-1)
+		for i, child := range n.Inputs[1:] {
+			r, err := s.Run(child)
+			if err != nil {
+				return nil, err
+			}
+			sides[i] = r
+		}
+		return s.scheduleShuffle(n.Shuffle, in, sides)
+
 	case n.Exchange != nil:
 		inputs := make([]*Result, len(n.Inputs))
 		var deps []*exec.Future
@@ -334,6 +421,324 @@ func (s *Scheduler) scheduleFused(in *Result, kernels []Kernel) *Result {
 		return full.MapRowBands(s.pool, chain)
 	}, in.blockDeps()...)
 	return &Result{fut: fut}
+}
+
+// scheduleShuffle lowers a shuffle onto the task DAG:
+//
+//	summaries[r] ──┐
+//	input band r ──┼→ plan ──→ partition[r] ──→ merge[b] (one per OUTPUT band)
+//	side inputs  ──┘
+//
+// Every output band's merge is its own task and its own block future, so
+// the result is a shape-known deferred frame (Buckets×1): downstream fused
+// stages chain per band on the merge that feeds them — the no-barrier fast
+// path — instead of waiting for the whole repartition like an exchange.
+func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*Result, error) {
+	if sh.Merge == nil {
+		return nil, fmt.Errorf("physical: shuffle %s has no merge", sh.Name)
+	}
+	if len(sides) > 0 && sh.Plan == nil {
+		return nil, fmt.Errorf("physical: shuffle %s has side inputs but no plan", sh.Name)
+	}
+	if sh.Partition != nil && sh.Buckets < 1 {
+		return nil, fmt.Errorf("physical: shuffle %s needs at least one bucket", sh.Name)
+	}
+	if sh.PrefixPlan != nil && (sh.Plan != nil || sh.Partition != nil || sh.Summarize == nil) {
+		return nil, fmt.Errorf("physical: shuffle %s prefix plan requires an anchored shuffle with summaries and no global plan", sh.Name)
+	}
+	s.Stats.ShuffleStages.Add(1)
+	if in.frame == nil {
+		return s.scheduleShuffleFallback(sh, in, sides), nil
+	}
+	f := in.frame
+	rb := f.RowBands()
+	bandDeps := func(r int) []*exec.Future {
+		deps := make([]*exec.Future, f.ColBands())
+		for c := range deps {
+			deps[c] = f.BlockFuture(r, c)
+		}
+		return deps
+	}
+
+	var sums []*exec.Future
+	if sh.Summarize != nil && (sh.Plan != nil || sh.PrefixPlan != nil) {
+		sums = make([]*exec.Future, rb)
+		s.Stats.ShuffleSummaryTasks.Add(int64(rb))
+		for r := 0; r < rb; r++ {
+			r := r
+			sums[r] = s.pool.SubmitIn(s.group, func() (any, error) {
+				band, err := f.RowBand(r)
+				if err != nil {
+					return nil, err
+				}
+				return sh.Summarize(r, band)
+			}, bandDeps(r)...)
+		}
+	}
+
+	var planFut *exec.Future
+	if sh.Plan != nil {
+		var planDeps []*exec.Future
+		for _, sf := range sums {
+			planDeps = append(planDeps, sf)
+		}
+		for _, side := range sides {
+			planDeps = append(planDeps, side.blockDeps()...)
+		}
+		s.Stats.ShufflePlanTasks.Add(1)
+		planFut = s.pool.SubmitIn(s.group, func() (any, error) {
+			summaries := make([]any, rb)
+			for r, sf := range sums {
+				if sf == nil {
+					continue
+				}
+				v, err := sf.Wait()
+				if err != nil {
+					return nil, err
+				}
+				summaries[r] = v
+			}
+			sideFrames := make([]*partition.Frame, len(sides))
+			for i, side := range sides {
+				pf, err := side.Frame()
+				if err != nil {
+					return nil, err
+				}
+				sideFrames[i] = pf
+			}
+			out, err := sh.Plan(summaries, sideFrames)
+			if err != nil {
+				return nil, fmt.Errorf("physical: shuffle %s plan: %w", sh.Name, err)
+			}
+			return out, nil
+		}, planDeps...)
+	}
+	planVal := func() (any, error) {
+		if planFut == nil {
+			return nil, nil
+		}
+		return planFut.Wait()
+	}
+	withPlan := func(deps []*exec.Future) []*exec.Future {
+		if planFut != nil {
+			deps = append(deps, planFut)
+		}
+		return deps
+	}
+
+	var mergeFuts []*exec.Future
+	switch {
+	case sh.PrefixPlan != nil:
+		// Anchored with prefix routing state: band b's merge waits on its
+		// own input plus the summaries of EARLIER bands only, so the pass
+		// streams band by band (band 0 needs nothing but itself).
+		mergeFuts = make([]*exec.Future, rb)
+		s.Stats.ShuffleMergeTasks.Add(int64(rb))
+		for b := 0; b < rb; b++ {
+			b := b
+			deps := append(bandDeps(b), sums[:b]...)
+			mergeFuts[b] = s.pool.SubmitIn(s.group, func() (any, error) {
+				band, err := f.RowBand(b)
+				if err != nil {
+					return nil, err
+				}
+				prefix := make([]any, b)
+				for r := 0; r < b; r++ {
+					v, err := sums[r].Wait()
+					if err != nil {
+						return nil, err
+					}
+					prefix[r] = v
+				}
+				plan, err := sh.PrefixPlan(prefix)
+				if err != nil {
+					return nil, fmt.Errorf("physical: shuffle %s prefix plan band %d: %w", sh.Name, b, err)
+				}
+				return s.runMerge(sh, b, []any{band}, plan)
+			}, deps...)
+		}
+	case sh.Partition == nil:
+		// Anchored: output band b depends only on input band b (plus the
+		// plan) — no rows cross bands, so band b's merge can land while
+		// other bands are still computing their inputs.
+		mergeFuts = make([]*exec.Future, rb)
+		s.Stats.ShuffleMergeTasks.Add(int64(rb))
+		for b := 0; b < rb; b++ {
+			b := b
+			mergeFuts[b] = s.pool.SubmitIn(s.group, func() (any, error) {
+				band, err := f.RowBand(b)
+				if err != nil {
+					return nil, err
+				}
+				plan, err := planVal()
+				if err != nil {
+					return nil, err
+				}
+				return s.runMerge(sh, b, []any{band}, plan)
+			}, withPlan(bandDeps(b))...)
+		}
+	default:
+		nb := sh.Buckets
+		parts := make([]*exec.Future, rb)
+		s.Stats.ShufflePartitionTasks.Add(int64(rb))
+		for r := 0; r < rb; r++ {
+			r := r
+			parts[r] = s.pool.SubmitIn(s.group, func() (any, error) {
+				band, err := f.RowBand(r)
+				if err != nil {
+					return nil, err
+				}
+				plan, err := planVal()
+				if err != nil {
+					return nil, err
+				}
+				return s.runPartition(sh, r, band, plan)
+			}, withPlan(bandDeps(r))...)
+		}
+		mergeFuts = make([]*exec.Future, nb)
+		s.Stats.ShuffleMergeTasks.Add(int64(nb))
+		for b := 0; b < nb; b++ {
+			b := b
+			mergeFuts[b] = s.pool.SubmitIn(s.group, func() (any, error) {
+				pieces := make([]any, rb)
+				for r, pf := range parts {
+					v, err := pf.Wait()
+					if err != nil {
+						return nil, err
+					}
+					pieces[r] = v.([]any)[b]
+				}
+				plan, err := planVal()
+				if err != nil {
+					return nil, err
+				}
+				return s.runMerge(sh, b, pieces, plan)
+			}, parts...)
+		}
+	}
+	grid := make([][]*exec.Future, len(mergeFuts))
+	for b, mf := range mergeFuts {
+		grid[b] = []*exec.Future{mf}
+	}
+	out, err := partition.Deferred(grid)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{frame: out}, nil
+}
+
+// scheduleShuffleFallback degrades a shuffle over a shape-opaque input
+// (downstream of a gather exchange) to one coordinating task that runs the
+// phases band-parallel internally once the input frame exists.
+func (s *Scheduler) scheduleShuffleFallback(sh *Shuffle, in *Result, sides []*Result) *Result {
+	s.Stats.ShuffleFallbacks.Add(1)
+	deps := in.blockDeps()
+	for _, side := range sides {
+		deps = append(deps, side.blockDeps()...)
+	}
+	fut := s.pool.SubmitIn(s.group, func() (any, error) {
+		f, err := in.Frame()
+		if err != nil {
+			return nil, err
+		}
+		sideFrames := make([]*partition.Frame, len(sides))
+		for i, side := range sides {
+			pf, err := side.Frame()
+			if err != nil {
+				return nil, err
+			}
+			sideFrames[i] = pf
+		}
+		return s.runShuffleSync(sh, f, sideFrames)
+	}, deps...)
+	return &Result{fut: fut}
+}
+
+// runShuffleSync executes the shuffle phases synchronously (band-parallel
+// via the pool) over a materialized input frame.
+func (s *Scheduler) runShuffleSync(sh *Shuffle, f *partition.Frame, sides []*partition.Frame) (*partition.Frame, error) {
+	rb := f.RowBands()
+	bands, err := exec.MapParallel(s.pool, rb, func(r int) (*core.DataFrame, error) {
+		return f.RowBand(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	summaries := make([]any, rb)
+	if sh.Summarize != nil && (sh.Plan != nil || sh.PrefixPlan != nil) {
+		summaries, err = exec.MapParallel(s.pool, rb, func(r int) (any, error) {
+			return sh.Summarize(r, bands[r])
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var plan any
+	if sh.Plan != nil {
+		plan, err = sh.Plan(summaries, sides)
+		if err != nil {
+			return nil, fmt.Errorf("physical: shuffle %s plan: %w", sh.Name, err)
+		}
+	}
+	var blocks []*core.DataFrame
+	if sh.Partition == nil {
+		blocks, err = exec.MapParallel(s.pool, rb, func(b int) (*core.DataFrame, error) {
+			bandPlan := plan
+			if sh.PrefixPlan != nil {
+				var perr error
+				bandPlan, perr = sh.PrefixPlan(summaries[:b])
+				if perr != nil {
+					return nil, fmt.Errorf("physical: shuffle %s prefix plan band %d: %w", sh.Name, b, perr)
+				}
+			}
+			return s.runMerge(sh, b, []any{bands[b]}, bandPlan)
+		})
+	} else {
+		var parts [][]any
+		parts, err = exec.MapParallel(s.pool, rb, func(r int) ([]any, error) {
+			return s.runPartition(sh, r, bands[r], plan)
+		})
+		if err != nil {
+			return nil, err
+		}
+		blocks, err = exec.MapParallel(s.pool, sh.Buckets, func(b int) (*core.DataFrame, error) {
+			pieces := make([]any, rb)
+			for r := range parts {
+				pieces[r] = parts[r][b]
+			}
+			return s.runMerge(sh, b, pieces, plan)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]*core.DataFrame, len(blocks))
+	for b, blk := range blocks {
+		grid[b] = []*core.DataFrame{blk}
+	}
+	return partition.FromGrid(grid)
+}
+
+// runPartition invokes the shuffle's partition hook with error context and
+// piece-count validation.
+func (s *Scheduler) runPartition(sh *Shuffle, r int, band *core.DataFrame, plan any) ([]any, error) {
+	pieces, err := sh.Partition(r, band, plan)
+	if err != nil {
+		return nil, fmt.Errorf("physical: shuffle %s partition band %d: %w", sh.Name, r, err)
+	}
+	if len(pieces) != sh.Buckets {
+		return nil, fmt.Errorf("physical: shuffle %s partition band %d returned %d pieces, want %d", sh.Name, r, len(pieces), sh.Buckets)
+	}
+	return pieces, nil
+}
+
+// runMerge invokes the shuffle's merge hook with error context.
+func (s *Scheduler) runMerge(sh *Shuffle, b int, pieces []any, plan any) (*core.DataFrame, error) {
+	out, err := sh.Merge(b, pieces, plan)
+	if err != nil {
+		return nil, fmt.Errorf("physical: shuffle %s merge band %d: %w", sh.Name, b, err)
+	}
+	return out, nil
 }
 
 // Gather schedules a final task that resolves the root result into one

@@ -269,6 +269,378 @@ func TestEmptyStageErrors(t *testing.T) {
 	}
 }
 
+// modShuffle routes rows to buckets by id % buckets and vstacks each
+// bucket's routed pieces — a minimal but real row shuffle for the tests.
+func modShuffle(buckets int, mergeHook func(bucket int)) *Shuffle {
+	return &Shuffle{
+		Name:    "mod",
+		Buckets: buckets,
+		Partition: func(_ int, df *core.DataFrame, _ any) ([]any, error) {
+			assign := make([]int, df.NRows())
+			for i := range assign {
+				assign[i] = int(df.Value(i, 0).Int()) % buckets
+			}
+			views, err := partition.SplitRows(df, assign, buckets)
+			if err != nil {
+				return nil, err
+			}
+			pieces := make([]any, buckets)
+			for b, v := range views {
+				pieces[b] = v
+			}
+			return pieces, nil
+		},
+		Merge: func(bucket int, pieces []any, _ any) (*core.DataFrame, error) {
+			if mergeHook != nil {
+				mergeHook(bucket)
+			}
+			frames := make([]*core.DataFrame, len(pieces))
+			for r, piece := range pieces {
+				frames[r] = piece.(*core.DataFrame)
+			}
+			return algebra.VStackFrames(frames...)
+		},
+	}
+}
+
+// TestShuffleSchedulesPerBandTasks is the tentpole acceptance test: a
+// shuffle over a 4-band input with 3 buckets schedules 4 partition tasks
+// and 3 merge tasks — one per OUTPUT band — and its result is a
+// shape-known deferred frame with one independent future per bucket.
+func TestShuffleSchedulesPerBandTasks(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	src := NewSource(partition.New(testDF(60), partition.Rows, 4))
+	s := NewScheduler(pool)
+	res, err := s.Run(NewShuffle(modShuffle(3, nil), src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.RowBands() != 3 || frame.ColBands() != 1 {
+		t.Errorf("shuffle output grid = %dx%d, want 3x1 (one band per bucket)", frame.RowBands(), frame.ColBands())
+	}
+	if got := s.Stats.ShuffleStages.Load(); got != 1 {
+		t.Errorf("shuffle stages = %d", got)
+	}
+	if got := s.Stats.ShufflePartitionTasks.Load(); got != 4 {
+		t.Errorf("partition tasks = %d, want 4 (one per input band)", got)
+	}
+	if got := s.Stats.ShuffleMergeTasks.Load(); got != 3 {
+		t.Errorf("merge tasks = %d, want 3 (one per output band)", got)
+	}
+	if err := frame.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		blk, err := frame.BlockErr(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.NRows() != 20 {
+			t.Errorf("bucket %d rows = %d, want 20", b, blk.NRows())
+		}
+		for i := 0; i < blk.NRows(); i++ {
+			if int(blk.Value(i, 0).Int())%3 != b {
+				t.Fatalf("row %d of bucket %d routed wrong: id=%v", i, b, blk.Value(i, 0))
+			}
+		}
+	}
+}
+
+// TestShuffleDownstreamStartsBeforeShuffleCompletes proves the streaming
+// property the gather exchange lacked: a fused kernel chained on bucket 0
+// completes while bucket 1's merge is still gated — downstream work starts
+// when ITS band lands, not when the whole shuffle does.
+func TestShuffleDownstreamStartsBeforeShuffleCompletes(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	gate := make(chan struct{})
+	sh := modShuffle(2, func(bucket int) {
+		if bucket == 1 {
+			<-gate
+		}
+	})
+	src := NewSource(partition.New(testDF(40), partition.Rows, 4))
+	s := NewScheduler(pool)
+	res, err := s.Run(NewFused(NewShuffle(sh, src), isNull()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame() // shape-known: one block per bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for !frame.BlockFuture(0, 0).Ready() {
+		select {
+		case <-deadline:
+			t.Fatal("downstream band 0 never completed while bucket 1's merge was gated: the shuffle is still a barrier")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if frame.BlockFuture(1, 0).Ready() {
+		t.Fatal("bucket 1 finished while its merge was gated")
+	}
+	close(gate)
+	out, err := frame.ToFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 40 {
+		t.Errorf("rows = %d", out.NRows())
+	}
+}
+
+// TestAnchoredShuffleSummarizePlan exercises the anchored (pass-through)
+// form plus the summarize→plan pre-phase: band row counts become prefix
+// offsets, and each merge sees the shared plan.
+func TestAnchoredShuffleSummarizePlan(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	sh := &Shuffle{
+		Name: "offsets",
+		Summarize: func(_ int, df *core.DataFrame) (any, error) {
+			return df.NRows(), nil
+		},
+		Plan: func(summaries []any, _ []*partition.Frame) (any, error) {
+			offsets := make([]int, len(summaries)+1)
+			for r, s := range summaries {
+				offsets[r+1] = offsets[r] + s.(int)
+			}
+			return offsets, nil
+		},
+		Merge: func(band int, pieces []any, plan any) (*core.DataFrame, error) {
+			df := pieces[0].(*core.DataFrame)
+			if plan.([]int)[band] != band*10 {
+				return nil, errors.New("plan offsets wrong")
+			}
+			return df, nil
+		},
+	}
+	src := NewSource(partition.New(testDF(30), partition.Rows, 3))
+	s := NewScheduler(pool)
+	res, err := s.Run(NewShuffle(sh, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := frame.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.ShuffleSummaryTasks.Load(); got != 3 {
+		t.Errorf("summary tasks = %d, want 3", got)
+	}
+	if got := s.Stats.ShufflePlanTasks.Load(); got != 1 {
+		t.Errorf("plan tasks = %d, want 1", got)
+	}
+	if got := s.Stats.ShuffleMergeTasks.Load(); got != 3 {
+		t.Errorf("anchored merge tasks = %d, want 3 (one per input band)", got)
+	}
+	if frame.NRows() != 30 {
+		t.Errorf("rows = %d", frame.NRows())
+	}
+}
+
+// TestShuffleOverOpaqueInputFallsBack: a shuffle whose input shape is
+// unknown at schedule time (downstream of a gather exchange) degrades to
+// one coordinating task but still produces the right rows.
+func TestShuffleOverOpaqueInputFallsBack(t *testing.T) {
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	src := NewSource(partition.New(testDF(30), partition.Rows, 3))
+	identity := NewExchange("identity", func(in []*partition.Frame) (*partition.Frame, error) {
+		return in[0], nil
+	}, src)
+	s := NewScheduler(pool)
+	res, err := s.Run(NewShuffle(modShuffle(2, nil), identity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats.ShuffleFallbacks.Load(); got != 1 {
+		t.Errorf("fallbacks = %d, want 1", got)
+	}
+	if got := s.Stats.ShuffleMergeTasks.Load(); got != 0 {
+		t.Errorf("merge tasks = %d, want 0 on the fallback path", got)
+	}
+	if frame.NRows() != 30 {
+		t.Errorf("rows = %d", frame.NRows())
+	}
+}
+
+// TestShuffleSiblingFailureSkipsIndependentMerges: in an anchored shuffle
+// no merge depends on another band's input, yet when band 1's input task
+// fails, band 0's merge — still waiting on its gated input — must be
+// skipped via the run's cancellation group rather than run (or hang).
+func TestShuffleSiblingFailureSkipsIndependentMerges(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	df := testDF(20)
+	halves := partition.New(df, partition.Rows, 2)
+	gate := make(chan struct{})
+	defer close(gate)
+	sentinel := errors.New("band 1 input failed")
+	blk0 := pool.Submit(func() (any, error) {
+		<-gate // band 0's input never resolves during the test window
+		return halves.Block(0, 0), nil
+	})
+	blk1 := pool.Submit(func() (any, error) { return nil, sentinel })
+	src, err := partition.Deferred([][]*exec.Future{{blk0}, {blk1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merges atomic.Int64
+	sh := &Shuffle{
+		Name: "anchored",
+		Merge: func(_ int, pieces []any, _ any) (*core.DataFrame, error) {
+			merges.Add(1)
+			return pieces[0].(*core.DataFrame), nil
+		},
+	}
+	s := NewScheduler(pool)
+	res, err := s.Run(NewShuffle(sh, NewSource(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band 0's merge must resolve (skipped) even though its own input is
+	// still gated: the group cancellation from band 1 reaches it mid-wait.
+	if _, err := frame.BlockErr(0, 0); !errors.Is(err, sentinel) {
+		t.Fatalf("band 0 merge err = %v, want the sibling failure", err)
+	}
+	if merges.Load() != 0 {
+		t.Errorf("%d merge bodies ran after the sibling failure", merges.Load())
+	}
+	if s.Group().Err() == nil {
+		t.Error("run group should be cancelled")
+	}
+}
+
+// TestPrefixPlanShuffleStreamsBandByBand: a prefix-planned anchored
+// shuffle (the join renumber pass) must complete band 0 while band 1's
+// input is still gated — band b depends on earlier bands' summaries only,
+// never on later ones.
+func TestPrefixPlanShuffleStreamsBandByBand(t *testing.T) {
+	pool := exec.NewPool(4)
+	defer pool.Close()
+	df := testDF(20)
+	halves := partition.New(df, partition.Rows, 2)
+	gate := make(chan struct{})
+	blk0 := exec.Resolved(halves.Block(0, 0))
+	blk1 := pool.Submit(func() (any, error) {
+		<-gate
+		return halves.Block(1, 0), nil
+	})
+	src, err := partition.Deferred([][]*exec.Future{{blk0}, {blk1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := &Shuffle{
+		Name: "renumber",
+		Summarize: func(_ int, df *core.DataFrame) (any, error) {
+			return df.NRows(), nil
+		},
+		PrefixPlan: func(prefix []any) (any, error) {
+			off := 0
+			for _, s := range prefix {
+				off += s.(int)
+			}
+			return off, nil
+		},
+		Merge: func(_ int, pieces []any, plan any) (*core.DataFrame, error) {
+			if plan.(int) < 0 {
+				return nil, errors.New("bad offset")
+			}
+			return pieces[0].(*core.DataFrame), nil
+		},
+	}
+	s := NewScheduler(pool)
+	res, err := s.Run(NewShuffle(sh, NewSource(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for !frame.BlockFuture(0, 0).Ready() {
+		select {
+		case <-deadline:
+			t.Fatal("band 0 never completed while band 1 was gated: prefix plan barriers on later bands")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if frame.BlockFuture(1, 0).Ready() {
+		t.Fatal("band 1 finished while its input was gated")
+	}
+	close(gate)
+	if err := frame.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if frame.NRows() != 20 {
+		t.Errorf("rows = %d", frame.NRows())
+	}
+}
+
+// TestShuffleValidation covers the construction error paths.
+func TestShuffleValidation(t *testing.T) {
+	pool := exec.NewPool(1)
+	defer pool.Close()
+	src := NewSource(partition.New(testDF(4), partition.Rows, 1))
+	for name, sh := range map[string]*Shuffle{
+		"no merge":           {Name: "bad"},
+		"no buckets":         {Name: "bad", Partition: func(int, *core.DataFrame, any) ([]any, error) { return nil, nil }, Merge: func(int, []any, any) (*core.DataFrame, error) { return nil, nil }},
+		"sides without plan": {Name: "bad", Merge: func(int, []any, any) (*core.DataFrame, error) { return nil, nil }},
+	} {
+		n := NewShuffle(sh, src)
+		if name == "sides without plan" {
+			n = NewShuffle(sh, src, src)
+		}
+		if _, err := NewScheduler(pool).Run(n); err == nil {
+			t.Errorf("%s: schedule should fail", name)
+		}
+	}
+	// A partition hook returning the wrong piece count fails the run.
+	bad := &Shuffle{
+		Name:    "bad-pieces",
+		Buckets: 2,
+		Partition: func(int, *core.DataFrame, any) ([]any, error) {
+			return []any{nil}, nil
+		},
+		Merge: func(_ int, pieces []any, _ any) (*core.DataFrame, error) {
+			return core.Empty(), nil
+		},
+	}
+	s := NewScheduler(pool)
+	res, err := s.Run(NewShuffle(bad, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := frame.BlockErr(0, 0); err == nil {
+		t.Error("wrong piece count should fail the merge")
+	}
+}
+
 func TestResultDeferredReporting(t *testing.T) {
 	pool := exec.NewPool(2)
 	defer pool.Close()

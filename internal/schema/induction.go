@@ -21,8 +21,20 @@ import (
 func Induce(v vector.Vector) types.Domain {
 	obj, ok := v.(*vector.Object)
 	if !ok {
-		// Already typed: the vector's own domain is its schema.
-		return v.Domain()
+		if v.Domain() != types.Object {
+			// Already typed: the vector's own domain is its schema.
+			return v.Domain()
+		}
+		// An Object-domain vector without raw storage (a selection-vector
+		// view over a raw column): induce over the rendered non-null
+		// entries.
+		var data []string
+		for i := 0; i < v.Len(); i++ {
+			if !v.IsNull(i) {
+				data = append(data, v.Value(i).String())
+			}
+		}
+		return InduceStrings(data)
 	}
 	return InduceStrings(obj.RawData())
 }

@@ -258,3 +258,25 @@ func TestBuilderRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTakeViewSharesStorage(t *testing.T) {
+	base := NewInt([]int64{10, 20, 30, 40}, []bool{false, true, false, false})
+	v := TakeView(base, []int{3, 1, 0, -1})
+	if v.Len() != 4 || v.Domain() != types.Int {
+		t.Fatalf("view shape wrong: len=%d dom=%v", v.Len(), v.Domain())
+	}
+	if v.Value(0).Int() != 40 {
+		t.Error("view value wrong")
+	}
+	if !v.IsNull(1) || !v.IsNull(3) {
+		t.Error("view must surface base nulls and -1 as null")
+	}
+	sliced := v.Slice(1, 3)
+	if sliced.Len() != 2 || sliced.Value(1).Int() != 10 {
+		t.Error("view slice wrong")
+	}
+	taken := v.Take([]int{2, -1, 0})
+	if taken.Value(0).Int() != 10 || !taken.IsNull(1) || taken.Value(2).Int() != 40 {
+		t.Error("view take should compose selection vectors")
+	}
+}

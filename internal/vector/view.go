@@ -1,0 +1,64 @@
+package vector
+
+import (
+	"repro/internal/types"
+)
+
+// view is a lazily-indexed projection of a base vector: entry i reads base
+// entry idx[i]. It is the zero-copy selection-vector primitive the shuffle
+// partition phase routes rows with — bucket views share the base column's
+// storage, so splitting a band into B buckets allocates only the per-bucket
+// index slices, never cell data.
+type view struct {
+	base Vector
+	idx  []int
+}
+
+// TakeView returns a view of base at the given positions without copying
+// entries; index -1 yields null, mirroring Take. The view pins base for its
+// lifetime — use Take when the result must outlive a much larger base.
+func TakeView(base Vector, idx []int) Vector {
+	return &view{base: base, idx: idx}
+}
+
+// Len returns the number of selected entries.
+func (v *view) Len() int { return len(v.idx) }
+
+// Domain returns the base vector's domain.
+func (v *view) Domain() types.Domain { return v.base.Domain() }
+
+// IsNull reports whether selected entry i is null.
+func (v *view) IsNull(i int) bool {
+	if v.idx[i] < 0 {
+		return true
+	}
+	return v.base.IsNull(v.idx[i])
+}
+
+// Value returns selected entry i.
+func (v *view) Value(i int) types.Value {
+	if v.idx[i] < 0 {
+		return types.NullValue(v.base.Domain())
+	}
+	return v.base.Value(v.idx[i])
+}
+
+// Slice returns the subview [lo, hi), sharing the index slice.
+func (v *view) Slice(lo, hi int) Vector {
+	checkSlice(len(v.idx), lo, hi)
+	return &view{base: v.base, idx: v.idx[lo:hi]}
+}
+
+// Take composes the selection vectors and materializes through the base
+// (views are for transient routing; a take of a take flattens the chain).
+func (v *view) Take(idx []int) Vector {
+	composed := make([]int, len(idx))
+	for j, i := range idx {
+		if i < 0 || v.idx[i] < 0 {
+			composed[j] = -1
+		} else {
+			composed[j] = v.idx[i]
+		}
+	}
+	return v.base.Take(composed)
+}
