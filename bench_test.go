@@ -14,6 +14,7 @@ package repro_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/sparse"
 	"repro/internal/types"
+	"repro/internal/vector"
 	"repro/internal/workload"
 )
 
@@ -95,18 +97,24 @@ func BenchmarkFigure2Transpose(b *testing.B) {
 
 // --- Pipelined operator chain (the compile→schedule fusion path) ----------
 
+// pcNotNull is the structured passenger_count filter used across the
+// pipelined benches: it runs through the typed kernels, with the opaque
+// predicate kept as the documented fallback.
+func pcNotNull() *algebra.Selection {
+	w := expr.WhereNotNull("passenger_count")
+	return &algebra.Selection{Where: w, Pred: w.Predicate(), Desc: "pc notnull"}
+}
+
 // pipelinedChainPlan is a realistic filter→map→groupby session statement:
 // under the physical layer the filter and map fuse into one task per band
 // (no inter-operator gather), and only the groupby is a barrier.
 func pipelinedChainPlan(src *core.DataFrame) algebra.Node {
+	sel := pcNotNull()
+	sel.Input = &algebra.Source{DF: src, Name: "taxi"}
 	return &algebra.GroupBy{
 		Input: &algebra.Map{
-			Input: &algebra.Selection{
-				Input: &algebra.Source{DF: src, Name: "taxi"},
-				Pred:  expr.ColNotNull("passenger_count"),
-				Desc:  "pc notnull",
-			},
-			Fn: algebra.FillNAFn(types.FloatValue(0)),
+			Input: sel,
+			Fn:    algebra.FillNAFn(types.FloatValue(0)),
 		},
 		Spec: expr.GroupBySpec{
 			Keys: []string{"vendor_id"},
@@ -132,13 +140,11 @@ func BenchmarkPipelinedFilterMapGroupBy(b *testing.B) {
 // BenchmarkPipelinedFusedChainOnly isolates the embarrassingly-parallel
 // prefix (filter→map, no barrier at all under MODIN).
 func BenchmarkPipelinedFusedChainOnly(b *testing.B) {
+	sel := pcNotNull()
+	sel.Input = &algebra.Source{DF: benchTaxi, Name: "taxi"}
 	plan := &algebra.Map{
-		Input: &algebra.Selection{
-			Input: &algebra.Source{DF: benchTaxi, Name: "taxi"},
-			Pred:  expr.ColNotNull("passenger_count"),
-			Desc:  "pc notnull",
-		},
-		Fn: algebra.IsNullFn(),
+		Input: sel,
+		Fn:    algebra.IsNullFn(),
 	}
 	for name, e := range engines() {
 		b.Run(name, func(b *testing.B) { runPlan(b, e, plan) })
@@ -156,13 +162,11 @@ func BenchmarkPipelinedFirstBandLatency(b *testing.B) {
 	pool := exec.NewPool(1)
 	defer pool.Close()
 	e := modin.New(modin.WithPool(pool), modin.WithBands(4))
+	sel := pcNotNull()
+	sel.Input = &algebra.Source{DF: benchTaxi, Name: "taxi"}
 	plan := &algebra.Map{
-		Input: &algebra.Selection{
-			Input: &algebra.Source{DF: benchTaxi, Name: "taxi"},
-			Pred:  expr.ColNotNull("passenger_count"),
-			Desc:  "pc notnull",
-		},
-		Fn: algebra.IsNullFn(),
+		Input: sel,
+		Fn:    algebra.IsNullFn(),
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -266,8 +270,9 @@ func operatorPlans() map[string]algebra.Node {
 		[]string{"vendor_id", "region"},
 		[][]any{{"CMT", "east"}, {"VTS", "west"}, {"DDS", "south"}},
 	)}
+	selWhere := expr.WhereNotNull("passenger_count")
 	return map[string]algebra.Node{
-		"Selection": &algebra.Selection{Input: src, Pred: expr.ColNotNull("passenger_count"), Desc: "pc notnull"},
+		"Selection": &algebra.Selection{Input: src, Where: selWhere, Pred: selWhere.Predicate(), Desc: "pc notnull"},
 		"Projection": &algebra.Projection{Input: src, Cols: []string{
 			"vendor_id", "fare_amount"}},
 		"Union":          &algebra.Union{Left: src, Right: src},
@@ -398,10 +403,12 @@ func BenchmarkE9Transpose(b *testing.B) {
 
 func BenchmarkE10EvaluationModes(b *testing.B) {
 	frame := algebra.InduceFrame(workload.Taxi(workload.DefaultTaxiOptions(30_000)))
+	cardWhere := expr.WhereEquals("payment_type", types.CategoryValue("card"))
 	build := func(in algebra.Node) algebra.Node {
 		return &algebra.Selection{
 			Input: in,
-			Pred:  expr.ColEquals("payment_type", types.CategoryValue("card")),
+			Where: cardWhere,
+			Pred:  cardWhere.Predicate(),
 			Desc:  "card",
 		}
 	}
@@ -633,4 +640,78 @@ func BenchmarkHLLSketch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Vectorized kernels vs boxed paths --------------------------------------
+
+// BenchmarkVectorizedFilter contrasts the two SELECTION implementations on
+// the same predicate: the boxed path materializes a row view and a
+// types.Value per inspected cell; the kernel path compares the column's
+// storage slice against the operand directly.
+func BenchmarkVectorizedFilter(b *testing.B) {
+	w := expr.WhereEquals("payment_type", types.CategoryValue("card"))
+	pred := w.Predicate()
+	b.Run("boxed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if algebra.SelectRows(benchTaxi, pred).NRows() == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := algebra.SelectWhere(benchTaxi, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.NRows() == 0 {
+				b.Fatal("empty selection")
+			}
+		}
+	})
+}
+
+// BenchmarkHashGroupByKeys contrasts group-key identity computation: the
+// boxed path renders every row's key tuple to a string (the pre-kernel
+// routing representation — one rendered string and 1-2 allocations per
+// row); the kernel path bulk-hashes the typed key columns and keeps one
+// boxed exemplar per distinct group.
+func BenchmarkHashGroupByKeys(b *testing.B) {
+	keys := []string{"vendor_id", "passenger_count"}
+	cols := make([]vector.Vector, len(keys))
+	for k, name := range keys {
+		cols[k] = benchTaxi.TypedCol(benchTaxi.ColIndex(name))
+	}
+	b.Run("boxed-string-keys", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sb strings.Builder
+			distinct := make(map[string]struct{})
+			for r := 0; r < benchTaxi.NRows(); r++ {
+				sb.Reset()
+				for _, c := range cols {
+					sb.WriteString(c.Value(r).Key())
+					sb.WriteByte('\x1f')
+				}
+				distinct[sb.String()] = struct{}{}
+			}
+			if len(distinct) == 0 {
+				b.Fatal("no keys")
+			}
+		}
+	})
+	b.Run("hash-kernels", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := algebra.SummarizeGroupKeys(benchTaxi, keys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(s.Hashes) == 0 {
+				b.Fatal("no keys")
+			}
+		}
+	})
 }

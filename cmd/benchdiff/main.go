@@ -2,15 +2,18 @@
 // two result files, failing on regressions past a threshold. It is the
 // benchmark-regression gate of the CI pipeline:
 //
-//	go test -run='^$' -bench=. -benchtime=3x -count=3 . | benchdiff parse -o BENCH_PR.json
+//	go test -run='^$' -bench=. -benchmem -benchtime=3x -count=3 . | benchdiff parse -o BENCH_PR.json
 //	benchdiff compare -baseline BENCH_BASELINE.json -current BENCH_PR.json \
-//	    -match Pipelined -threshold 1.25
+//	    -match Pipelined -threshold 1.25 -alloc-threshold 1.25
 //
-// parse keeps the FASTEST ns/op across repeated counts of each benchmark
-// (robust to scheduling noise) and strips the trailing GOMAXPROCS suffix so
-// results compare across machines with different core counts. compare exits
+// parse keeps the FASTEST ns/op (and, when the run used -benchmem, the
+// LOWEST allocs/op) across repeated counts of each benchmark (robust to
+// scheduling noise) and strips the trailing GOMAXPROCS suffix so results
+// compare across machines with different core counts. compare exits
 // non-zero when any benchmark selected by -match slowed down by more than
-// the threshold ratio.
+// the time threshold ratio, or allocated more than the alloc threshold
+// ratio over baseline (alloc gating applies only where both files carry
+// allocation counts).
 package main
 
 import (
@@ -31,6 +34,10 @@ type Result struct {
 	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"` // fastest across samples
 	Samples int     `json:"samples"`
+	// AllocsPerOp is the lowest allocs/op across samples; nil when the run
+	// did not report allocations (no -benchmem). Omitted from JSON when
+	// absent, so pre-benchmem baselines stay readable.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // File is the serialized benchmark run.
@@ -38,7 +45,7 @@ type File struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9.]+) allocs/op)?`)
 
 // cpuSuffix is the -N GOMAXPROCS suffix Go appends to benchmark names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
@@ -107,13 +114,22 @@ func parseBench(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue
 		}
+		var allocs *float64
+		if m[3] != "" {
+			if a, err := strconv.ParseFloat(m[3], 64); err == nil {
+				allocs = &a
+			}
+		}
 		if b, ok := best[name]; ok {
 			b.Samples++
 			if ns < b.NsPerOp {
 				b.NsPerOp = ns
 			}
+			if allocs != nil && (b.AllocsPerOp == nil || *allocs < *b.AllocsPerOp) {
+				b.AllocsPerOp = allocs
+			}
 		} else {
-			best[name] = &Result{Name: name, NsPerOp: ns, Samples: 1}
+			best[name] = &Result{Name: name, NsPerOp: ns, Samples: 1, AllocsPerOp: allocs}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -135,7 +151,8 @@ func runCompare(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	baselinePath := fs.String("baseline", "", "baseline JSON (required)")
 	currentPath := fs.String("current", "", "current JSON (required)")
-	threshold := fs.Float64("threshold", 1.25, "fail when current/baseline exceeds this ratio")
+	threshold := fs.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
+	allocThreshold := fs.Float64("alloc-threshold", 1.25, "fail when current/baseline allocs/op exceeds this ratio (where both record allocations)")
 	match := fs.String("match", ".", "regexp selecting which benchmarks gate the comparison")
 	fs.Parse(args)
 	if *baselinePath == "" || *currentPath == "" {
@@ -155,7 +172,7 @@ func runCompare(args []string) {
 	}
 
 	var regressions, compared, missing int
-	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "baseline", "current", "ratio")
+	fmt.Printf("%-60s %14s %14s %8s %10s\n", "benchmark", "baseline", "current", "ratio", "allocs")
 	for _, b := range baseline.Benchmarks {
 		if !re.MatchString(b.Name) {
 			continue
@@ -163,19 +180,37 @@ func runCompare(args []string) {
 		cur, ok := current[b.Name]
 		if !ok {
 			missing++
-			fmt.Printf("%-60s %14s %14s %8s\n", b.Name, fmtNs(b.NsPerOp), "MISSING", "-")
+			fmt.Printf("%-60s %14s %14s %8s %10s\n", b.Name, fmtNs(b.NsPerOp), "MISSING", "-", "-")
 			continue
 		}
 		compared++
 		ratio := cur.NsPerOp / b.NsPerOp
-		marker := ""
-		if ratio > *threshold {
-			regressions++
-			marker = "  << REGRESSION"
+		timeReg := ratio > *threshold
+		// Allocation gate: only where both runs used -benchmem. The +1
+		// smoothing keeps zero-alloc baselines comparable (0→0 is 1.00x,
+		// 0→1 is 2.00x).
+		allocCol := "-"
+		allocReg := false
+		if b.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			allocRatio := (*cur.AllocsPerOp + 1) / (*b.AllocsPerOp + 1)
+			allocCol = fmt.Sprintf("%.2fx", allocRatio)
+			allocReg = allocRatio > *allocThreshold
 		}
-		fmt.Printf("%-60s %14s %14s %7.2fx%s\n", b.Name, fmtNs(b.NsPerOp), fmtNs(cur.NsPerOp), ratio, marker)
+		marker := ""
+		switch {
+		case timeReg && allocReg:
+			marker = "  << TIME+ALLOC REGRESSION"
+		case timeReg:
+			marker = "  << REGRESSION"
+		case allocReg:
+			marker = "  << ALLOC REGRESSION"
+		}
+		if timeReg || allocReg {
+			regressions++
+		}
+		fmt.Printf("%-60s %14s %14s %7.2fx %10s%s\n", b.Name, fmtNs(b.NsPerOp), fmtNs(cur.NsPerOp), ratio, allocCol, marker)
 	}
-	fmt.Printf("\ncompared %d benchmark(s), %d missing, threshold %.2fx\n", compared, missing, *threshold)
+	fmt.Printf("\ncompared %d benchmark(s), %d missing, time threshold %.2fx, alloc threshold %.2fx\n", compared, missing, *threshold, *allocThreshold)
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmarks matched %q in both files", *match))
 	}

@@ -32,6 +32,32 @@ PASS
 	if got.Samples != 3 || got.NsPerOp != 4000000 {
 		t.Errorf("aggregation wrong: %+v (want fastest of 3 samples)", got)
 	}
+	if got.AllocsPerOp == nil || *got.AllocsPerOp != 1 {
+		t.Errorf("allocs/op should parse from -benchmem output: %+v", got)
+	}
+	if results[0].AllocsPerOp != nil {
+		t.Errorf("benchmark without -benchmem columns must carry no alloc count: %+v", results[0])
+	}
+}
+
+func TestParseBenchKeepsLowestAllocs(t *testing.T) {
+	out := `BenchmarkX-8   3   5000 ns/op   128 B/op   7 allocs/op
+BenchmarkX-8   3   6000 ns/op   96 B/op   5 allocs/op
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(results))
+	}
+	r := results[0]
+	if r.NsPerOp != 5000 {
+		t.Errorf("ns/op = %v, want fastest 5000", r.NsPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 5 {
+		t.Errorf("allocs/op = %v, want lowest 5", r.AllocsPerOp)
+	}
 }
 
 func TestParseBenchIgnoresNonBenchLines(t *testing.T) {

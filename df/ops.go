@@ -6,15 +6,76 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/expr"
 	"repro/internal/types"
+	"repro/internal/vector"
 )
 
 // Table 2 of the paper maps pandas operators onto the algebra; the methods
 // in this file are those rewrites, executable.
 
-// Filter implements boolean-predicate SELECTION, like df[df.col == x].
+// Filter implements boolean-predicate SELECTION, like df[df.col == x], with
+// an opaque Go predicate evaluated row at a time. When the condition is a
+// column comparison, prefer Where — it compiles to the typed filter kernels
+// and never materializes row views.
 func (d *DataFrame) Filter(desc string, pred func(Row) bool) (*DataFrame, error) {
 	return d.run(func(in algebra.Node) algebra.Node {
 		return &algebra.Selection{Input: in, Pred: func(r expr.Row) bool { return pred(Row{r}) }, Desc: desc}
+	})
+}
+
+// Cond is one column comparison of a structured filter; build with Eq, Ne,
+// Lt, Le, Gt, Ge, NotNull and IsNull.
+type Cond struct{ term expr.WhereTerm }
+
+// Eq selects rows where col equals v (a null v selects null cells).
+func Eq(col string, v Value) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpEq, Operand: v}}
+}
+
+// Ne selects rows where col is non-null and differs from v.
+func Ne(col string, v Value) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpNe, Operand: v}}
+}
+
+// Lt selects rows where col is non-null and orders before v.
+func Lt(col string, v Value) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpLt, Operand: v}}
+}
+
+// Le selects rows where col is non-null and orders at or before v.
+func Le(col string, v Value) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpLe, Operand: v}}
+}
+
+// Gt selects rows where col is non-null and orders after v.
+func Gt(col string, v Value) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpGt, Operand: v}}
+}
+
+// Ge selects rows where col is non-null and orders at or after v.
+func Ge(col string, v Value) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpGe, Operand: v}}
+}
+
+// NotNull selects rows where col is non-null.
+func NotNull(col string) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpNe, Operand: types.Null()}}
+}
+
+// IsNull selects rows where col is null.
+func IsNull(col string) Cond {
+	return Cond{expr.WhereTerm{Col: col, Op: vector.CmpEq, Operand: types.Null()}}
+}
+
+// Where implements structured SELECTION: the conjunction of the given
+// conditions, compiled to the typed filter kernels (no per-row boxing).
+// Zero conditions keep every row.
+func (d *DataFrame) Where(conds ...Cond) (*DataFrame, error) {
+	w := &expr.Where{Terms: make([]expr.WhereTerm, len(conds))}
+	for i, c := range conds {
+		w.Terms[i] = c.term
+	}
+	return d.run(func(in algebra.Node) algebra.Node {
+		return &algebra.Selection{Input: in, Where: w, Pred: w.Predicate(), Desc: w.Describe()}
 	})
 }
 
@@ -226,8 +287,30 @@ func (d *DataFrame) FillNA(v Value) (*DataFrame, error) {
 	})
 }
 
-// DropNA removes rows containing any null (pandas dropna).
+// DropNA removes rows containing any null (pandas dropna). With unique
+// column labels the filter compiles to one structured NotNull conjunction
+// over every column (the kernel path); duplicated labels fall back to the
+// positional row predicate, which Where's by-name terms cannot express.
 func (d *DataFrame) DropNA() (*DataFrame, error) {
+	names := d.frame.ColNames()
+	unique := make(map[string]bool, len(names))
+	dups := false
+	for _, n := range names {
+		if unique[n] {
+			dups = true
+			break
+		}
+		unique[n] = true
+	}
+	if !dups {
+		w := &expr.Where{Terms: make([]expr.WhereTerm, len(names))}
+		for i, n := range names {
+			w.Terms[i] = expr.WhereTerm{Col: n, Op: vector.CmpNe, Operand: types.Null()}
+		}
+		return d.run(func(in algebra.Node) algebra.Node {
+			return &algebra.Selection{Input: in, Where: w, Pred: w.Predicate(), Desc: "no nulls"}
+		})
+	}
 	return d.run(func(in algebra.Node) algebra.Node {
 		return &algebra.Selection{
 			Input: in,

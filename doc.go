@@ -19,6 +19,19 @@
 // session layer (internal/session) exploits this for the paper's
 // opportunistic evaluation regime.
 //
+// Vectorized kernels: the operator inner loops run on typed bulk kernels
+// (internal/vector) rather than boxing cells into types.Value or rendering
+// them to string keys. Row identity in GROUPBY, JOIN, DROP-DUPLICATES,
+// DIFFERENCE and the shuffle routing plan is a 64-bit hash over the typed
+// key columns (vector.HashRows) with typed-equality verification on
+// collisions; SORT/TOPK compare storage slices via vector.CompareRows; and
+// structured SELECTION predicates (expr.Where, built by df.Where) execute
+// through the typed filter kernels (vector.Filter*). Opaque func(Row) bool
+// predicates keep the row-at-a-time path, and expr.Where.Predicate() is the
+// transparent fallback wherever only a predicate is understood — the
+// kernels change nothing about ordered-dataframe semantics (group
+// first-appearance order, stable sort ties, nested join order).
+//
 // Scheduler instrumentation: each run's physical.Scheduler exposes Stats
 // counters — FusedTasks/FusedStages for fused chains,
 // ExchangeTasks/ExchangeStages for gather barriers, and the shuffle-phase

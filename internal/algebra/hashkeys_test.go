@@ -1,0 +1,313 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// hashKeyFrame builds a frame whose key column has nulls, repeated values
+// and a literal "NA" string (distinct from null), plus an int payload.
+func hashKeyFrame(t *testing.T) *core.DataFrame {
+	t.Helper()
+	key := vector.NewObject(
+		[]string{"a", "NA", "b", "a", "NA", "b", "a"},
+		//        -    null  -    -   str.  -    -
+		[]bool{false, true, false, false, false, false, false},
+	)
+	val := vector.NewInt([]int64{1, 2, 3, 4, 5, 6, 7}, nil)
+	df, err := core.New([]string{"k", "v"}, []vector.Vector{key, val})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+// TestGroupByNullKeyVsNAString asserts the hash-keyed grouping keeps a null
+// key and the literal string "NA" in separate groups — the renderer-based
+// representation conflated values whose printed forms agree.
+func TestGroupByNullKeyVsNAString(t *testing.T) {
+	df := hashKeyFrame(t)
+	out, err := GroupByFrame(df, expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "s"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First-appearance order: "a" (1+4+7), null (2), "b" (3+6), "NA" (5).
+	if out.NRows() != 4 {
+		t.Fatalf("want 4 groups (null and \"NA\" distinct), got %d", out.NRows())
+	}
+	wantKeys := []types.Value{types.String("a"), types.Null(), types.String("b"), types.String("NA")}
+	wantSums := []float64{12, 2, 9, 5}
+	for i := range wantSums {
+		k, s := out.Value(i, 0), out.Value(i, 1)
+		if !k.Equal(wantKeys[i]) {
+			t.Errorf("group %d key = %#v, want %#v", i, k, wantKeys[i])
+		}
+		if s.Float() != wantSums[i] {
+			t.Errorf("group %d sum = %v, want %v", i, s.Float(), wantSums[i])
+		}
+	}
+}
+
+// TestGroupByForcedHashCollisions narrows every row hash to 3 bits so
+// distinct keys collide constantly; the exemplar verification must keep the
+// result identical to the full-width run.
+func TestGroupByForcedHashCollisions(t *testing.T) {
+	spec := expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "s"}},
+	}
+	df := hashKeyFrame(t)
+	want, err := GroupByFrame(df, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := SetRowHashMaskForTesting(0x7)
+	defer restore()
+	got, err := GroupByFrame(df, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("collided groupby differs:\ngot  %v rows\nwant %v rows", got.NRows(), want.NRows())
+	}
+	// Degenerate mask: every row hashes identically.
+	restore2 := SetRowHashMaskForTesting(0)
+	defer restore2()
+	got0, err := GroupByFrame(df, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got0.Equal(want) {
+		t.Error("all-colliding groupby differs from full-width result")
+	}
+}
+
+// TestGroupPartialMergeUnderCollisions exercises the cross-partial merge
+// path with colliding hashes.
+func TestGroupPartialMergeUnderCollisions(t *testing.T) {
+	restore := SetRowHashMaskForTesting(0x3)
+	defer restore()
+	spec := expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "s"}},
+	}
+	df := hashKeyFrame(t)
+	g1 := NewGroupPartial(spec)
+	if err := g1.AddFrame(df.SliceRows(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGroupPartial(spec)
+	if err := g2.AddFrame(df.SliceRows(4, df.NRows())); err != nil {
+		t.Fatal(err)
+	}
+	g1.Merge(g2)
+	merged, err := g1.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := GroupByFrame(df, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Equal(whole) {
+		t.Error("merged partials differ from single-pass groupby under collisions")
+	}
+}
+
+// TestGroupByDictKeys groups on a dictionary-encoded (Category) column and
+// checks order and aggregation, plus agreement with the same data as
+// Object.
+func TestGroupByDictKeys(t *testing.T) {
+	codes := []string{"red", "blue", "red", "green", "blue", "red"}
+	dict := vector.NewDictFromStrings(codes)
+	obj := vector.NewObject(append([]string(nil), codes...), nil)
+	val := vector.NewInt([]int64{1, 2, 3, 4, 5, 6}, nil)
+	spec := expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "s"}},
+	}
+	dfDict := core.MustNew([]string{"k", "v"}, []vector.Vector{dict, val})
+	dfObj := core.MustNew([]string{"k", "v"}, []vector.Vector{obj, val})
+	a, err := GroupByFrame(dfDict, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GroupByFrame(dfObj, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NRows() != 3 {
+		t.Fatalf("want 3 groups, got %d", a.NRows())
+	}
+	if !a.Equal(b) {
+		t.Error("Dict-keyed groupby differs from Object-keyed groupby on the same data")
+	}
+	// First appearance: red(1+3+6), blue(2+5), green(4).
+	for i, want := range []float64{10, 7, 4} {
+		if a.Value(i, 1).Float() != want {
+			t.Errorf("group %d sum = %v, want %v", i, a.Value(i, 1).Float(), want)
+		}
+	}
+}
+
+// TestJoinAndDedupUnderCollisions runs JOIN, DROP-DUPLICATES and DIFFERENCE
+// with forced collisions and checks against full-width results.
+func TestJoinAndDedupUnderCollisions(t *testing.T) {
+	left := hashKeyFrame(t)
+	right := core.MustNew([]string{"k", "tag"}, []vector.Vector{
+		vector.NewObject([]string{"a", "NA", "b"}, []bool{false, true, false}),
+		vector.NewObject([]string{"A", "NULLTAG", "B"}, nil),
+	})
+	joined, err := JoinFrames(left, right, expr.JoinInner, []string{"k"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup, err := DropDuplicatesFrame(left, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := DifferenceFrames(left, left.SliceRows(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restore := SetRowHashMaskForTesting(0x1)
+	defer restore()
+	joined2, err := JoinFrames(left, right, expr.JoinInner, []string{"k"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !joined2.Equal(joined) {
+		t.Error("join differs under forced collisions")
+	}
+	// Null keys never match: the null-keyed right row contributes nothing.
+	for i := 0; i < joined.NRows(); i++ {
+		if joined.Value(i, joined.ColIndex("tag")).String() == "NULLTAG" {
+			t.Error("null key must not join")
+		}
+	}
+	dedup2, err := DropDuplicatesFrame(left, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dedup2.Equal(dedup) {
+		t.Error("drop-duplicates differs under forced collisions")
+	}
+	if dedup.NRows() != 4 {
+		t.Errorf("dedup should keep a, null, b, \"NA\": got %d rows", dedup.NRows())
+	}
+	diff2, err := DifferenceFrames(left, left.SliceRows(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff2.Equal(diff) {
+		t.Error("difference differs under forced collisions")
+	}
+}
+
+// TestSelectWhereMatchesSelectRows checks the kernel filter against the
+// row-at-a-time path across representations and operators.
+func TestSelectWhereMatchesSelectRows(t *testing.T) {
+	df := core.MustNew([]string{"i", "f", "s", "c"}, []vector.Vector{
+		vector.NewInt([]int64{3, 1, 4, 1, 5}, []bool{false, true, false, false, false}),
+		vector.NewFloat([]float64{1.5, 2.5, 0, 3.5, 2.5}, []bool{false, false, true, false, false}),
+		vector.NewObject([]string{"x", "y", "x", "z", "y"}, nil),
+		vector.NewDictFromStrings([]string{"m", "n", "m", "m", "n"}),
+	})
+	cases := []*expr.Where{
+		expr.WhereEquals("i", types.IntValue(1)),
+		expr.WhereCompare("i", vector.CmpGe, types.IntValue(3)),
+		expr.WhereCompare("f", vector.CmpLt, types.FloatValue(2.6)),
+		expr.WhereEquals("s", types.String("y")),
+		expr.WhereCompare("c", vector.CmpNe, types.CategoryValue("m")),
+		expr.WhereNotNull("i"),
+		expr.WhereIsNull("f"),
+		expr.WhereNotNull("i").And("f", vector.CmpGt, types.FloatValue(1)).And("s", vector.CmpNe, types.String("z")),
+		expr.WhereEquals("missing", types.IntValue(1)),
+		expr.WhereIsNull("missing"),
+		expr.WhereAnd(),
+	}
+	for _, w := range cases {
+		got, err := SelectWhere(df, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SelectRows(df, w.Predicate())
+		if !got.Equal(want) {
+			t.Errorf("SelectWhere(%s) = %d rows, SelectRows fallback = %d rows", w.Describe(), got.NRows(), want.NRows())
+		}
+	}
+}
+
+// TestSummarizeGroupKeysOrdinals checks the shuffle-routing summary:
+// ordinals follow first appearance, hashes match the boxed tuples, and the
+// "NA" string stays distinct from null.
+func TestSummarizeGroupKeysOrdinals(t *testing.T) {
+	df := hashKeyFrame(t)
+	s, err := SummarizeGroupKeys(df, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrds := []int32{0, 1, 2, 0, 3, 2, 0} // a, null, b, a, "NA", b, a
+	for i, w := range wantOrds {
+		if s.Ordinals[i] != w {
+			t.Fatalf("ordinals = %v, want %v", s.Ordinals, wantOrds)
+		}
+	}
+	if len(s.Hashes) != 4 || len(s.Exemplars) != 4 {
+		t.Fatalf("want 4 distinct keys, got %d", len(s.Hashes))
+	}
+	for d, ex := range s.Exemplars {
+		if got := hashValues(ex); got != s.Hashes[d] {
+			t.Errorf("distinct %d: exemplar hash %x != summary hash %x", d, got, s.Hashes[d])
+		}
+	}
+	// Empty key list: the whole-frame group.
+	s0, err := SummarizeGroupKeys(df, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s0.Hashes) != 1 {
+		t.Fatalf("keyless summary should have one group, got %d", len(s0.Hashes))
+	}
+	for _, o := range s0.Ordinals {
+		if o != 0 {
+			t.Fatal("keyless summary ordinals must all be 0")
+		}
+	}
+}
+
+// TestKeylessCountSizeBulkPath checks the NullCount-driven fast path for
+// whole-frame COUNT/SIZE aggregates against per-row accumulation.
+func TestKeylessCountSizeBulkPath(t *testing.T) {
+	df := core.MustNew([]string{"v"}, []vector.Vector{
+		vector.NewInt([]int64{1, 0, 3, 0, 5}, []bool{false, true, false, true, false}),
+	})
+	out, err := GroupByFrame(df, expr.GroupBySpec{Aggs: []expr.AggSpec{
+		{Col: "v", Agg: expr.AggCount, As: "count"},
+		{Col: "v", Agg: expr.AggSize, As: "size"},
+		{Col: "v", Agg: expr.AggSum, As: "sum"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NRows() != 1 {
+		t.Fatalf("want 1 row, got %d", out.NRows())
+	}
+	if got := out.Value(0, 0).Int(); got != 3 {
+		t.Errorf("count = %d, want 3 (non-null)", got)
+	}
+	if got := out.Value(0, 1).Int(); got != 5 {
+		t.Errorf("size = %d, want 5 (all rows)", got)
+	}
+	if got := out.Value(0, 2).Float(); got != 9 {
+		t.Errorf("sum = %v, want 9", got)
+	}
+}

@@ -1,0 +1,74 @@
+package algebra
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// SelectWhere implements SELECTION for structured predicates: each
+// column-op-constant term runs as a typed filter kernel over the column's
+// storage slices, narrowing one shared selection vector, and the surviving
+// positions are gathered once at the end. No types.Value is constructed per
+// cell on the kernel path; terms the kernels cannot express (see
+// vector.Filter) fall back to a boxed per-candidate comparison with
+// identical semantics.
+//
+// A nil or empty Where is the vacuous conjunction: every row survives,
+// matching expr.And() over zero predicates.
+func SelectWhere(df *core.DataFrame, w *expr.Where) (*core.DataFrame, error) {
+	if w == nil || len(w.Terms) == 0 {
+		return df, nil
+	}
+	var sel []int // nil = all rows; narrows term by term
+	for _, t := range w.Terms {
+		j := df.ColIndex(t.Col)
+		if j < 0 {
+			// Missing columns read as null for every row, mirroring
+			// Row.ByName — decidable without building a vector: the
+			// IsNull spelling (CmpEq against null) keeps the current
+			// selection, every other comparison keeps nothing.
+			if t.Op == vector.CmpEq && t.Operand.IsNull() {
+				continue
+			}
+			sel = []int{}
+			break
+		}
+		col := df.TypedCol(j)
+		out, ok := vector.Filter(col, t.Op, t.Operand, sel)
+		if !ok {
+			out = filterBoxedTerm(col, t, sel)
+		}
+		sel = out
+		if len(sel) == 0 {
+			break
+		}
+	}
+	if sel == nil {
+		// Every term kept every row (e.g. only missing-column IsNull
+		// terms): the frame passes through unchanged.
+		return df, nil
+	}
+	return df.TakeRows(sel), nil
+}
+
+// filterBoxedTerm is the row-at-a-time fallback for terms without a typed
+// kernel (cross-representation operands, Composite columns).
+func filterBoxedTerm(col vector.Vector, t expr.WhereTerm, sel []int) []int {
+	if sel != nil {
+		out := make([]int, 0, len(sel))
+		for _, i := range sel {
+			if t.Match(col.Value(i)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	out := make([]int, 0, col.Len())
+	for i := 0; i < col.Len(); i++ {
+		if t.Match(col.Value(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -2,7 +2,6 @@ package algebra
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -10,9 +9,91 @@ import (
 	"repro/internal/vector"
 )
 
+// Group identity is hash-based: every row's key columns are bulk-hashed to
+// one 64-bit hash (vector.HashRows, no per-row rendering or boxing), the
+// hash indexes a bucket table, and bucket probes verify true key equality
+// against the group's boxed exemplar tuple — so two distinct keys that
+// collide on the hash still land in distinct groups. The old representation
+// rendered every row's key into a string ("a\x1f5\x1f"), which allocated
+// per row and conflated values whose renderings agree (a null cell and the
+// literal string "NA"); the hash path keeps them distinct because
+// verification uses types.Value.Equal.
+
+// rowHashSeed is the fixed seed of every row-key hash in the kernels. It
+// must be one process-wide constant: shuffle summaries hash on partition
+// tasks and compare on plan tasks.
+const rowHashSeed uint64 = 0x7f4a7c159e3779b9
+
+// rowHashMask narrows row hashes; all-ones in production. Tests shrink it
+// to force collisions through the verification paths.
+var rowHashMask = ^uint64(0)
+
+// SetRowHashMaskForTesting narrows every row-key hash to the given mask so
+// tests can force 64-bit hash collisions through the collision-verification
+// paths (group tables, join probes, shuffle routing plans). It returns the
+// restore function. Not for production use.
+func SetRowHashMaskForTesting(mask uint64) (restore func()) {
+	old := rowHashMask
+	rowHashMask = mask
+	return func() { rowHashMask = old }
+}
+
+// rowHashes bulk-hashes the rows of the key columns.
+func rowHashes(cols []vector.Vector, n int) []uint64 {
+	dst := make([]uint64, n)
+	vector.HashRows(cols, rowHashSeed, dst)
+	if rowHashMask != ^uint64(0) {
+		for i := range dst {
+			dst[i] &= rowHashMask
+		}
+	}
+	return dst
+}
+
+// hashValues hashes one boxed key tuple under the same seed and mask.
+func hashValues(vals []types.Value) uint64 {
+	return vector.HashRowValues(vals, rowHashSeed) & rowHashMask
+}
+
+// keysMatchRow verifies that row i of the key columns equals the boxed
+// exemplar tuple (the collision check behind every bucket probe).
+func keysMatchRow(exemplar []types.Value, cols []vector.Vector, i int) bool {
+	for k, c := range cols {
+		if !vector.EqualRowValue(c, i, exemplar[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tuplesEqual compares two boxed key tuples of equal arity under
+// vector.KeyEqual — the same equivalence the row-level hash probes verify
+// with, so per-row and per-exemplar checks can never disagree.
+func tuplesEqual(a, b []types.Value) bool {
+	for k := range a {
+		if !vector.KeyEqual(a[k], b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyTuplesEqual reports whether two boxed key tuples are the same group
+// key under value equality. It is the one collision-verification
+// equivalence shared by the group tables here and the shuffle routing plan
+// that consumes SummarizeGroupKeys — keeping a single definition means
+// routing and aggregation can never disagree on group identity.
+func KeyTuplesEqual(a, b []types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return tuplesEqual(a, b)
+}
+
 // groupEntry is the running state for one group.
 type groupEntry struct {
-	keyVals   []types.Value
+	hash      uint64
+	keyVals   []types.Value // exemplar key tuple (verification + finalize)
 	accs      []*expr.Accumulator
 	collected []*core.DataFrame // sub-frames contributed per partition (collect aggs)
 }
@@ -23,14 +104,14 @@ type groupEntry struct {
 // appearance order, preserving the ordered-dataframe semantics.
 type GroupPartial struct {
 	spec    expr.GroupBySpec
-	order   []string
-	groups  map[string]*groupEntry
+	entries []*groupEntry      // first-appearance order
+	buckets map[uint64][]int32 // row hash → entry indices
 	hasColl bool
 }
 
 // NewGroupPartial returns an empty partial aggregation for the spec.
 func NewGroupPartial(spec expr.GroupBySpec) *GroupPartial {
-	g := &GroupPartial{spec: spec, groups: make(map[string]*groupEntry)}
+	g := &GroupPartial{spec: spec, buckets: make(map[uint64][]int32)}
 	for _, a := range spec.Aggs {
 		if a.Agg == expr.AggCollect {
 			g.hasColl = true
@@ -39,81 +120,163 @@ func NewGroupPartial(spec expr.GroupBySpec) *GroupPartial {
 	return g
 }
 
-// AddFrame folds every row of df into the partial aggregation.
-func (g *GroupPartial) AddFrame(df *core.DataFrame) error {
-	keyCols := make([]vector.Vector, len(g.spec.Keys))
-	keyIdx := allColIdx(len(g.spec.Keys))
+// lookup returns the entry index for row i (hash h), creating the group on
+// first appearance.
+func (g *GroupPartial) lookup(h uint64, keyCols []vector.Vector, i int) int32 {
+	for _, ei := range g.buckets[h] {
+		if keysMatchRow(g.entries[ei].keyVals, keyCols, i) {
+			return ei
+		}
+	}
+	e := &groupEntry{
+		hash:    h,
+		keyVals: make([]types.Value, len(keyCols)),
+		accs:    make([]*expr.Accumulator, len(g.spec.Aggs)),
+	}
+	for k, c := range keyCols {
+		e.keyVals[k] = c.Value(i)
+	}
+	for k, a := range g.spec.Aggs {
+		e.accs[k] = expr.NewAccumulator(a.Agg)
+	}
+	ei := int32(len(g.entries))
+	g.entries = append(g.entries, e)
+	g.buckets[h] = append(g.buckets[h], ei)
+	return ei
+}
+
+// keyAggCols resolves the typed key and aggregate columns of df.
+func (g *GroupPartial) keyAggCols(df *core.DataFrame) (keyCols, aggCols []vector.Vector, err error) {
+	keyCols = make([]vector.Vector, len(g.spec.Keys))
 	for k, name := range g.spec.Keys {
 		j := df.ColIndex(name)
 		if j < 0 {
-			return fmt.Errorf("algebra: groupby key %q not found", name)
+			return nil, nil, fmt.Errorf("algebra: groupby key %q not found", name)
 		}
 		keyCols[k] = df.TypedCol(j)
 	}
-	aggCols := make([]vector.Vector, len(g.spec.Aggs))
+	aggCols = make([]vector.Vector, len(g.spec.Aggs))
 	for k, a := range g.spec.Aggs {
 		if a.Col == "" {
 			continue
 		}
 		j := df.ColIndex(a.Col)
 		if j < 0 {
-			return fmt.Errorf("algebra: groupby aggregate column %q not found", a.Col)
+			return nil, nil, fmt.Errorf("algebra: groupby aggregate column %q not found", a.Col)
 		}
 		aggCols[k] = df.TypedCol(j)
 	}
+	return keyCols, aggCols, nil
+}
 
-	// Row positions per group, gathered only when a collect agg needs
-	// them.
-	var collectRows map[string][]int
-	if g.hasColl {
-		collectRows = make(map[string][]int)
+// AddFrame folds every row of df into the partial aggregation.
+func (g *GroupPartial) AddFrame(df *core.DataFrame) error {
+	keyCols, aggCols, err := g.keyAggCols(df)
+	if err != nil {
+		return err
+	}
+	n := df.NRows()
+	if n == 0 {
+		return nil
 	}
 
-	var b strings.Builder
-	for i := 0; i < df.NRows(); i++ {
-		key := rowKey(keyCols, keyIdx, i, &b)
-		e, ok := g.groups[key]
-		if !ok {
-			e = &groupEntry{
-				keyVals: make([]types.Value, len(keyCols)),
-				accs:    make([]*expr.Accumulator, len(g.spec.Aggs)),
+	// With no grouping keys there is exactly one group, and COUNT/SIZE
+	// aggregates read straight off the column length and null count — no
+	// per-row accumulation (and no row hashing) at all.
+	bulk := g.bulkAggs()
+	allBulk := bulk != nil && !g.hasColl
+	if bulk != nil {
+		for k := range g.spec.Aggs {
+			if !bulk[k] {
+				allBulk = false
 			}
-			for k, c := range keyCols {
-				e.keyVals[k] = c.Value(i)
-			}
-			for k, a := range g.spec.Aggs {
-				e.accs[k] = expr.NewAccumulator(a.Agg)
-			}
-			g.groups[key] = e
-			g.order = append(g.order, key)
 		}
-		for k, a := range g.spec.Aggs {
-			if a.Agg == expr.AggCollect {
-				continue
+	}
+
+	if !allBulk {
+		hashes := rowHashes(keyCols, n)
+		// Row positions per group, gathered only when a collect agg needs
+		// them.
+		var rowsByEntry map[int32][]int
+		if g.hasColl {
+			rowsByEntry = make(map[int32][]int)
+		}
+		for i := 0; i < n; i++ {
+			ei := g.lookup(hashes[i], keyCols, i)
+			e := g.entries[ei]
+			for k, a := range g.spec.Aggs {
+				if a.Agg == expr.AggCollect || (bulk != nil && bulk[k]) {
+					continue
+				}
+				if aggCols[k] != nil {
+					e.accs[k].Add(aggCols[k].Value(i))
+				} else {
+					// Whole-row aggregates (size) count the row itself.
+					e.accs[k].Add(types.IntValue(int64(i)))
+				}
 			}
-			if aggCols[k] != nil {
-				e.accs[k].Add(aggCols[k].Value(i))
-			} else {
-				// Whole-row aggregates (size) count the row itself.
-				e.accs[k].Add(types.IntValue(int64(i)))
+			if g.hasColl {
+				rowsByEntry[ei] = append(rowsByEntry[ei], i)
 			}
 		}
 		if g.hasColl {
-			collectRows[key] = append(collectRows[key], i)
+			nonKey := g.nonKeyColumns(df)
+			for ei := range g.entries {
+				rows, ok := rowsByEntry[int32(ei)]
+				if !ok {
+					continue
+				}
+				sub := df.TakeRows(rows)
+				if len(nonKey) > 0 {
+					sub = sub.SelectCols(nonKey)
+				}
+				g.entries[ei].collected = append(g.entries[ei].collected, sub)
+			}
 		}
+	} else {
+		// Ensure the single group exists even though no row loop runs;
+		// hashValues(nil) is the same whole-frame hash rowHashes produces
+		// for an empty key list.
+		g.lookup(hashValues(nil), keyCols, 0)
 	}
 
-	if g.hasColl {
-		nonKey := g.nonKeyColumns(df)
-		for key, rows := range collectRows {
-			sub := df.TakeRows(rows)
-			if len(nonKey) > 0 {
-				sub = sub.SelectCols(nonKey)
+	if bulk != nil {
+		e := g.entries[len(g.entries)-1]
+		if len(g.entries) != 1 {
+			return fmt.Errorf("algebra: keyless groupby produced %d groups", len(g.entries))
+		}
+		for k := range g.spec.Aggs {
+			if !bulk[k] {
+				continue
 			}
-			g.groups[key].collected = append(g.groups[key].collected, sub)
+			nonNull := int64(n)
+			if aggCols[k] != nil {
+				nonNull -= int64(vector.NullCount(aggCols[k]))
+			}
+			e.accs[k].AddCounts(int64(n), nonNull)
 		}
 	}
 	return nil
+}
+
+// bulkAggs returns the per-aggregate bulk-eligibility flags for a keyless
+// frame fold, or nil when the bulk path does not apply.
+func (g *GroupPartial) bulkAggs() []bool {
+	if len(g.spec.Keys) != 0 {
+		return nil
+	}
+	bulk := make([]bool, len(g.spec.Aggs))
+	any := false
+	for k, a := range g.spec.Aggs {
+		if a.Agg == expr.AggCount || a.Agg == expr.AggSize {
+			bulk[k] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return bulk
 }
 
 func (g *GroupPartial) nonKeyColumns(df *core.DataFrame) []int {
@@ -133,14 +296,21 @@ func (g *GroupPartial) nonKeyColumns(df *core.DataFrame) []int {
 // Merge folds another partial (same spec) into g, preserving g's group
 // order first, then appending groups first seen in other.
 func (g *GroupPartial) Merge(other *GroupPartial) {
-	for _, key := range other.order {
-		oe := other.groups[key]
-		e, ok := g.groups[key]
-		if !ok {
-			g.groups[key] = oe
-			g.order = append(g.order, key)
+	for _, oe := range other.entries {
+		found := int32(-1)
+		for _, ei := range g.buckets[oe.hash] {
+			if tuplesEqual(g.entries[ei].keyVals, oe.keyVals) {
+				found = ei
+				break
+			}
+		}
+		if found < 0 {
+			ei := int32(len(g.entries))
+			g.entries = append(g.entries, oe)
+			g.buckets[oe.hash] = append(g.buckets[oe.hash], ei)
 			continue
 		}
+		e := g.entries[found]
 		for k := range e.accs {
 			e.accs[k].Merge(oe.accs[k])
 		}
@@ -149,13 +319,13 @@ func (g *GroupPartial) Merge(other *GroupPartial) {
 }
 
 // NumGroups returns the number of distinct groups seen so far.
-func (g *GroupPartial) NumGroups() int { return len(g.order) }
+func (g *GroupPartial) NumGroups() int { return len(g.entries) }
 
 // Finalize materializes the grouped result: key columns (or key row labels
 // when AsLabels), then one column per aggregate. Collect aggregates yield
 // Composite cells holding each group's sub-dataframe.
 func (g *GroupPartial) Finalize() (*core.DataFrame, error) {
-	n := len(g.order)
+	n := len(g.entries)
 	keyVals := make([][]types.Value, len(g.spec.Keys))
 	for k := range keyVals {
 		keyVals[k] = make([]types.Value, 0, n)
@@ -165,8 +335,7 @@ func (g *GroupPartial) Finalize() (*core.DataFrame, error) {
 		aggVals[k] = make([]types.Value, 0, n)
 	}
 
-	for _, key := range g.order {
-		e := g.groups[key]
+	for _, e := range g.entries {
 		for k := range g.spec.Keys {
 			keyVals[k] = append(keyVals[k], e.keyVals[k])
 		}
@@ -232,68 +401,40 @@ func GroupByFrame(df *core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, e
 }
 
 // groupBySorted performs a streaming group-by over key-sorted input: runs
-// of equal keys become groups in one pass, with no hash table and no
-// per-row key rendering — the advantage the Figure 8(b) pivot rewrite
+// of equal keys become groups in one pass, with one hashed entry lookup per
+// run instead of per row — the advantage the Figure 8(b) pivot rewrite
 // exploits. Non-adjacent duplicate keys (input not actually sorted) still
-// merge correctly because run boundaries fall back to the hashed entry map.
+// merge correctly because run boundaries fall back to the hashed entry
+// table.
 func groupBySorted(df *core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, error) {
-	keyCols := make([]vector.Vector, len(spec.Keys))
-	for k, name := range spec.Keys {
-		j := df.ColIndex(name)
-		if j < 0 {
-			return nil, fmt.Errorf("algebra: groupby key %q not found", name)
-		}
-		keyCols[k] = df.TypedCol(j)
-	}
-	aggCols := make([]vector.Vector, len(spec.Aggs))
-	for k, a := range spec.Aggs {
-		if a.Col == "" {
-			continue
-		}
-		j := df.ColIndex(a.Col)
-		if j < 0 {
-			return nil, fmt.Errorf("algebra: groupby aggregate column %q not found", a.Col)
-		}
-		aggCols[k] = df.TypedCol(j)
-	}
-
 	inner := spec
 	inner.Sorted = false
 	g := NewGroupPartial(inner)
+	keyCols, aggCols, err := g.keyAggCols(df)
+	if err != nil {
+		return nil, err
+	}
+	n := df.NRows()
+	if n == 0 {
+		return g.Finalize()
+	}
+	hashes := rowHashes(keyCols, n)
 
 	sameKey := func(a, b int) bool {
 		for _, c := range keyCols {
-			if !c.Value(a).Equal(c.Value(b)) {
+			if !vector.EqualRows(c, a, c, b) {
 				return false
 			}
 		}
 		return true
 	}
 
-	var b strings.Builder
-	keyIdx := allColIdx(len(keyCols))
 	var cur *groupEntry
-	for i := 0; i < df.NRows(); i++ {
+	for i := 0; i < n; i++ {
 		if cur == nil || !sameKey(i-1, i) {
 			// Run boundary: locate (or create) the group entry. The
 			// hashed lookup happens once per run, not once per row.
-			key := rowKey(keyCols, keyIdx, i, &b)
-			e, ok := g.groups[key]
-			if !ok {
-				e = &groupEntry{
-					keyVals: make([]types.Value, len(keyCols)),
-					accs:    make([]*expr.Accumulator, len(spec.Aggs)),
-				}
-				for k, c := range keyCols {
-					e.keyVals[k] = c.Value(i)
-				}
-				for k, a := range spec.Aggs {
-					e.accs[k] = expr.NewAccumulator(a.Agg)
-				}
-				g.groups[key] = e
-				g.order = append(g.order, key)
-			}
-			cur = e
+			cur = g.entries[g.lookup(hashes[i], keyCols, i)]
 		}
 		for k, a := range spec.Aggs {
 			if a.Agg == expr.AggCollect {
@@ -308,33 +449,28 @@ func groupBySorted(df *core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, 
 	}
 
 	if g.hasColl {
-		if err := collectRuns(df, g, keyCols, sameKey); err != nil {
-			return nil, err
-		}
+		collectRuns(df, g, keyCols, hashes, sameKey)
 	}
 	return g.Finalize()
 }
 
 // collectRuns attaches each run's sub-frame for collect aggregates during a
 // streaming group-by.
-func collectRuns(df *core.DataFrame, g *GroupPartial, keyCols []vector.Vector, sameKey func(a, b int) bool) error {
-	var b strings.Builder
-	keyIdx := allColIdx(len(keyCols))
+func collectRuns(df *core.DataFrame, g *GroupPartial, keyCols []vector.Vector, hashes []uint64, sameKey func(a, b int) bool) {
 	nonKey := g.nonKeyColumns(df)
 	start := 0
 	for i := 1; i <= df.NRows(); i++ {
 		if i < df.NRows() && sameKey(i-1, i) {
 			continue
 		}
-		key := rowKey(keyCols, keyIdx, start, &b)
+		e := g.entries[g.lookup(hashes[start], keyCols, start)]
 		sub := df.SliceRows(start, i)
 		if len(nonKey) > 0 {
 			sub = sub.SelectCols(nonKey)
 		}
-		g.groups[key].collected = append(g.groups[key].collected, sub)
+		e.collected = append(e.collected, sub)
 		start = i
 	}
-	return nil
 }
 
 // unionAll concatenates frames in order (used to merge collected groups
@@ -381,4 +517,59 @@ func buildColumn(vals []types.Value) vector.Vector {
 		dom = types.Object
 	}
 	return vector.FromValues(dom, vals)
+}
+
+// GroupKeySummary is the routing form of a frame's group keys, shipped from
+// shuffle summarize tasks to the plan task: one small ordinal per row
+// (which of the frame's distinct keys the row carries, in first-appearance
+// order) plus, per distinct key, its 64-bit hash and a boxed exemplar tuple
+// for collision verification. Nothing is rendered to strings.
+type GroupKeySummary struct {
+	// Ordinals holds, per row, the index of the row's key in Distinct.
+	Ordinals []int32
+	// Hashes holds the row hash of each distinct key.
+	Hashes []uint64
+	// Exemplars holds one boxed key tuple per distinct key.
+	Exemplars [][]types.Value
+}
+
+// SummarizeGroupKeys computes the GroupKeySummary of df over the named key
+// columns. Empty keys yield the whole-frame group: every row gets ordinal
+// 0. The hashing and verification match GroupPartial exactly, so routing
+// and aggregation always agree on group identity.
+func SummarizeGroupKeys(df *core.DataFrame, keys []string) (*GroupKeySummary, error) {
+	cols := make([]vector.Vector, len(keys))
+	for k, name := range keys {
+		j := df.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: groupby key %q not found", name)
+		}
+		cols[k] = df.TypedCol(j)
+	}
+	n := df.NRows()
+	s := &GroupKeySummary{Ordinals: make([]int32, n)}
+	hashes := rowHashes(cols, n)
+	buckets := make(map[uint64][]int32)
+	for i := 0; i < n; i++ {
+		h := hashes[i]
+		ord := int32(-1)
+		for _, d := range buckets[h] {
+			if keysMatchRow(s.Exemplars[d], cols, i) {
+				ord = d
+				break
+			}
+		}
+		if ord < 0 {
+			ord = int32(len(s.Hashes))
+			exemplar := make([]types.Value, len(cols))
+			for k, c := range cols {
+				exemplar[k] = c.Value(i)
+			}
+			s.Hashes = append(s.Hashes, h)
+			s.Exemplars = append(s.Exemplars, exemplar)
+			buckets[h] = append(buckets[h], ord)
+		}
+		s.Ordinals[i] = ord
+	}
+	return s, nil
 }

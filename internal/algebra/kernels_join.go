@@ -2,7 +2,6 @@ package algebra
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -10,11 +9,23 @@ import (
 	"repro/internal/vector"
 )
 
+// joinGroup is one distinct build-side key: the ordered row positions
+// carrying it, plus an anchor row for collision verification (probes compare
+// typed cells against the anchor instead of rendering keys).
+type joinGroup struct {
+	anchor int
+	rows   []int
+}
+
 // JoinFrames implements JOIN and CROSS-PRODUCT. The result order is nested:
 // left rows in order, each associated in order with its matching right rows
 // (Table 1 †). Unmatched right rows of right/outer joins follow in right
 // order. Column-label collisions outside the join keys get pandas-style
 // "_x"/"_y" suffixes.
+//
+// Key matching is hash-based: both sides' key columns are bulk-hashed, the
+// build side chains distinct keys per hash, and probes verify equality with
+// the typed vector kernels — no per-row string keys, no boxed values.
 func JoinFrames(left, right *core.DataFrame, kind expr.JoinKind, on []string, onLabels bool) (*core.DataFrame, error) {
 	if kind == expr.JoinCross {
 		return crossProduct(left, right)
@@ -27,26 +38,43 @@ func JoinFrames(left, right *core.DataFrame, kind expr.JoinKind, on []string, on
 	if err != nil {
 		return nil, err
 	}
-	keyIdx := allColIdx(len(leftKeys))
 
 	// Build side: right key → ordered row positions. Null keys never
 	// match (SQL and pandas semantics).
-	var b strings.Builder
-	build := make(map[string][]int, right.NRows())
+	rightHashes := rowHashes(rightKeys, right.NRows())
+	build := make(map[uint64][]joinGroup, right.NRows())
 	for i := 0; i < right.NRows(); i++ {
 		if anyNullAt(rightKeys, i) {
 			continue
 		}
-		k := rowKey(rightKeys, keyIdx, i, &b)
-		build[k] = append(build[k], i)
+		h := rightHashes[i]
+		groups := build[h]
+		found := false
+		for gi := range groups {
+			if rowsEqualAt(rightKeys, i, rightKeys, groups[gi].anchor) {
+				groups[gi].rows = append(groups[gi].rows, i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, joinGroup{anchor: i, rows: []int{i}})
+		}
+		build[h] = groups
 	}
 
+	leftHashes := rowHashes(leftKeys, left.NRows())
 	var leftIdx, rightIdx []int
 	rightMatched := make([]bool, right.NRows())
 	for i := 0; i < left.NRows(); i++ {
 		var matches []int
 		if !anyNullAt(leftKeys, i) {
-			matches = build[rowKey(leftKeys, keyIdx, i, &b)]
+			for _, grp := range build[leftHashes[i]] {
+				if rowsEqualAt(leftKeys, i, rightKeys, grp.anchor) {
+					matches = grp.rows
+					break
+				}
+			}
 		}
 		if len(matches) == 0 {
 			if kind == expr.JoinLeft || kind == expr.JoinOuter {
@@ -71,6 +99,17 @@ func JoinFrames(left, right *core.DataFrame, kind expr.JoinKind, on []string, on
 	}
 
 	return assembleJoin(left, right, on, onLabels, leftIdx, rightIdx)
+}
+
+// rowsEqualAt verifies column-wise key equality between row i of cols a and
+// row j of cols b.
+func rowsEqualAt(a []vector.Vector, i int, b []vector.Vector, j int) bool {
+	for k := range a {
+		if !vector.EqualRows(a[k], i, b[k], j) {
+			return false
+		}
+	}
+	return true
 }
 
 // crossProduct yields the ordered cross product: each left tuple paired, in

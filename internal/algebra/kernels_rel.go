@@ -3,7 +3,6 @@ package algebra
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/expr"
@@ -140,50 +139,10 @@ func VStackFrames(frames ...*core.DataFrame) (*core.DataFrame, error) {
 	return core.Build(cols, vector.Concat(labParts...), first.ColLabels(), doms, first.Cache())
 }
 
-// rowKey builds a hashable key from the given column positions of row i.
-func rowKey(cols []vector.Vector, idx []int, i int, b *strings.Builder) string {
-	b.Reset()
-	for _, j := range idx {
-		b.WriteString(cols[j].Value(i).Key())
-		b.WriteByte('\x1f')
-	}
-	return b.String()
-}
-
-// allColIdx returns [0, n).
-func allColIdx(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	return idx
-}
-
-// GroupRowKeys renders each row's composite group key over the named key
-// columns — the routing tokens the MODIN shuffle partitions GROUPBY rows
-// by. The rendering matches GroupPartial's internal key exactly, so routing
-// and aggregation always agree on group identity. An empty keys list yields
-// the whole-frame group: every row keys to "".
-func GroupRowKeys(df *core.DataFrame, keys []string) ([]string, error) {
-	cols := make([]vector.Vector, len(keys))
-	for k, name := range keys {
-		j := df.ColIndex(name)
-		if j < 0 {
-			return nil, fmt.Errorf("algebra: groupby key %q not found", name)
-		}
-		cols[k] = df.TypedCol(j)
-	}
-	idx := allColIdx(len(cols))
-	out := make([]string, df.NRows())
-	var b strings.Builder
-	for i := range out {
-		out[i] = rowKey(cols, idx, i, &b)
-	}
-	return out, nil
-}
-
 // DifferenceFrames implements DIFFERENCE: left rows whose full tuple does
-// not appear in right, in left order. Schemas must agree on labels.
+// not appear in right, in left order. Schemas must agree on labels. Tuple
+// membership is hash-based: right rows bulk-hash into an anchor table and
+// left probes verify with the typed equality kernels.
 func DifferenceFrames(left, right *core.DataFrame) (*core.DataFrame, error) {
 	if left.NCols() != right.NCols() {
 		return nil, fmt.Errorf("algebra: difference arity mismatch: %d vs %d", left.NCols(), right.NCols())
@@ -193,23 +152,40 @@ func DifferenceFrames(left, right *core.DataFrame) (*core.DataFrame, error) {
 	if err != nil {
 		return nil, fmt.Errorf("algebra: difference schema mismatch: %w", err)
 	}
-	var b strings.Builder
 	rcols := make([]vector.Vector, aligned.NCols())
 	for j := range rcols {
 		rcols[j] = aligned.TypedCol(j)
 	}
-	rIdx := allColIdx(len(rcols))
-	present := make(map[string]struct{}, aligned.NRows())
+	rh := rowHashes(rcols, aligned.NRows())
+	present := make(map[uint64][]int32, aligned.NRows())
 	for i := 0; i < aligned.NRows(); i++ {
-		present[rowKey(rcols, rIdx, i, &b)] = struct{}{}
+		h := rh[i]
+		dup := false
+		for _, a := range present[h] {
+			if rowsEqualAt(rcols, i, rcols, int(a)) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			present[h] = append(present[h], int32(i))
+		}
 	}
 	lcols := make([]vector.Vector, left.NCols())
 	for j := range lcols {
 		lcols[j] = left.TypedCol(j)
 	}
+	lh := rowHashes(lcols, left.NRows())
 	keep := make([]int, 0, left.NRows())
 	for i := 0; i < left.NRows(); i++ {
-		if _, ok := present[rowKey(lcols, rIdx, i, &b)]; !ok {
+		found := false
+		for _, a := range present[lh[i]] {
+			if rowsEqualAt(lcols, i, rcols, int(a)) {
+				found = true
+				break
+			}
+		}
+		if !found {
 			keep = append(keep, i)
 		}
 	}
@@ -218,34 +194,41 @@ func DifferenceFrames(left, right *core.DataFrame) (*core.DataFrame, error) {
 
 // DropDuplicatesFrame implements DROP-DUPLICATES: first occurrence of each
 // distinct tuple (over subset columns, or all columns when nil), in input
-// order.
+// order. Distinctness is hash-based with typed-kernel verification, like
+// GROUPBY's key table.
 func DropDuplicatesFrame(df *core.DataFrame, subset []string) (*core.DataFrame, error) {
-	var idx []int
+	var cols []vector.Vector
 	if len(subset) == 0 {
-		idx = allColIdx(df.NCols())
+		cols = make([]vector.Vector, df.NCols())
+		for j := range cols {
+			cols[j] = df.TypedCol(j)
+		}
 	} else {
-		idx = make([]int, len(subset))
+		cols = make([]vector.Vector, len(subset))
 		for k, name := range subset {
 			j := df.ColIndex(name)
 			if j < 0 {
 				return nil, fmt.Errorf("algebra: drop-duplicates on unknown column %q", name)
 			}
-			idx[k] = j
+			cols[k] = df.TypedCol(j)
 		}
 	}
-	cols := make([]vector.Vector, df.NCols())
-	for _, j := range idx {
-		cols[j] = df.TypedCol(j)
-	}
-	var b strings.Builder
-	seen := make(map[string]struct{}, df.NRows())
+	hashes := rowHashes(cols, df.NRows())
+	seen := make(map[uint64][]int32, df.NRows())
 	keep := make([]int, 0, df.NRows())
 	for i := 0; i < df.NRows(); i++ {
-		k := rowKey(cols, idx, i, &b)
-		if _, ok := seen[k]; ok {
+		h := hashes[i]
+		dup := false
+		for _, a := range seen[h] {
+			if rowsEqualAt(cols, i, cols, int(a)) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[h] = append(seen[h], int32(i))
 		keep = append(keep, i)
 	}
 	return df.TakeRows(keep), nil
@@ -283,7 +266,7 @@ func SortFrame(df *core.DataFrame, order expr.SortOrder, byLabels bool) (*core.D
 	if byLabels {
 		labels := df.RowLabels()
 		sort.SliceStable(idx, func(a, b int) bool {
-			return labels.Value(idx[a]).Less(labels.Value(idx[b]))
+			return vector.CompareRows(labels, idx[a], labels, idx[b]) < 0
 		})
 		return df.TakeRows(idx), nil
 	}
@@ -295,9 +278,11 @@ func SortFrame(df *core.DataFrame, order expr.SortOrder, byLabels bool) (*core.D
 		}
 		keys[k] = df.TypedCol(j)
 	}
+	// The comparator runs on the typed key vectors through the comparison
+	// kernels: no boxed Value per comparison.
 	sort.SliceStable(idx, func(a, b int) bool {
 		for k, o := range order {
-			c := keys[k].Value(idx[a]).Compare(keys[k].Value(idx[b]))
+			c := vector.CompareRows(keys[k], idx[a], keys[k], idx[b])
 			if o.Desc {
 				c = -c
 			}

@@ -39,10 +39,18 @@ func (s *Source) Describe() string {
 	return fmt.Sprintf("SOURCE(%s, %dx%d)", name, s.DF.NRows(), s.DF.NCols())
 }
 
-// Selection eliminates rows, preserving input order.
+// Selection eliminates rows, preserving input order. Exactly one of Where
+// and Pred drives execution: a structured Where runs through the typed
+// filter kernels (SelectWhere); an opaque Pred runs row at a time
+// (SelectRows). When both are set, Where wins and Pred serves as the
+// documentation-level fallback for tools that only understand predicates.
 type Selection struct {
 	Input Node
-	Pred  expr.Predicate
+	// Where is the structured column-op-constant conjunction, when the
+	// predicate has one.
+	Where *expr.Where
+	// Pred is the opaque row predicate (the fallback path).
+	Pred expr.Predicate
 	// Desc documents the predicate in plan renderings.
 	Desc string
 }
@@ -51,7 +59,12 @@ type Selection struct {
 func (s *Selection) Children() []Node { return []Node{s.Input} }
 
 // Describe renders the node.
-func (s *Selection) Describe() string { return "SELECTION(" + s.Desc + ")" }
+func (s *Selection) Describe() string {
+	if s.Desc == "" && s.Where != nil {
+		return "SELECTION(" + s.Where.Describe() + ")"
+	}
+	return "SELECTION(" + s.Desc + ")"
+}
 
 // Projection eliminates columns, preserving both orders.
 type Projection struct {

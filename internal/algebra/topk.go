@@ -78,10 +78,11 @@ func TopKFrame(df *core.DataFrame, order expr.SortOrder, n int) (*core.DataFrame
 	}
 
 	// less reports whether row a sorts strictly before row b under the
-	// order, with input position breaking ties (stability).
+	// order, with input position breaking ties (stability). Comparisons run
+	// through the typed kernels, not boxed values.
 	less := func(a, b int) bool {
 		for i, o := range order {
-			c := keys[i].Value(a).Compare(keys[i].Value(b))
+			c := vector.CompareRows(keys[i], a, keys[i], b)
 			if o.Desc {
 				c = -c
 			}

@@ -52,6 +52,9 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 		if err != nil {
 			return nil, err
 		}
+		if node.Where != nil {
+			return algebra.SelectWhere(in, node.Where)
+		}
 		return algebra.SelectRows(in, node.Pred), nil
 
 	case *algebra.Projection:

@@ -1,0 +1,144 @@
+package expr
+
+import (
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Where is the structured SELECTION predicate: a conjunction of
+// column-op-constant terms. Unlike the opaque Predicate func, a Where
+// exposes its shape, so engines can run it through the typed filter kernels
+// in internal/vector — no types.Value is constructed per cell. Predicates
+// that cannot be expressed this way (arbitrary Go code over the row) keep
+// using Predicate; every consumer of Where falls back to the equivalent
+// opaque predicate via Predicate() when it must.
+//
+// Term semantics per cell (identical in the kernels and the fallback):
+//
+//   - null operand: CmpEq selects null cells, CmpNe selects non-null cells
+//     (these spell IsNull / NotNull), ordering operators select nothing.
+//   - null cell, non-null operand: never selected.
+//   - both non-null: CmpEq/CmpNe use types.Value.Equal; orderings use
+//     types.Value.Compare.
+type Where struct {
+	// Terms are ANDed; zero terms select every row (the vacuous
+	// conjunction, matching And() over zero predicates).
+	Terms []WhereTerm
+}
+
+// WhereTerm is one column-op-constant comparison.
+type WhereTerm struct {
+	// Col is the tested column's label; a missing column reads as null
+	// (mirroring Row.ByName).
+	Col string
+	// Op is the comparison operator.
+	Op vector.CmpOp
+	// Operand is the constant; a null operand turns CmpEq/CmpNe into
+	// null-ness tests.
+	Operand types.Value
+}
+
+// WhereCompare builds a single-term Where: col op operand.
+func WhereCompare(col string, op vector.CmpOp, operand types.Value) *Where {
+	return &Where{Terms: []WhereTerm{{Col: col, Op: op, Operand: operand}}}
+}
+
+// WhereEquals selects rows where col equals v (null v selects null cells).
+func WhereEquals(col string, v types.Value) *Where {
+	return WhereCompare(col, vector.CmpEq, v)
+}
+
+// WhereNotNull selects rows where col is non-null.
+func WhereNotNull(col string) *Where {
+	return WhereCompare(col, vector.CmpNe, types.Null())
+}
+
+// WhereIsNull selects rows where col is null.
+func WhereIsNull(col string) *Where {
+	return WhereCompare(col, vector.CmpEq, types.Null())
+}
+
+// WhereAnd concatenates the conjunctions of the given Wheres (nil inputs are
+// skipped; zero inputs yield the match-everything conjunction).
+func WhereAnd(ws ...*Where) *Where {
+	out := &Where{}
+	for _, w := range ws {
+		if w != nil {
+			out.Terms = append(out.Terms, w.Terms...)
+		}
+	}
+	return out
+}
+
+// And returns w extended with one more term.
+func (w *Where) And(col string, op vector.CmpOp, operand types.Value) *Where {
+	terms := make([]WhereTerm, 0, len(w.Terms)+1)
+	terms = append(terms, w.Terms...)
+	terms = append(terms, WhereTerm{Col: col, Op: op, Operand: operand})
+	return &Where{Terms: terms}
+}
+
+// Match evaluates one term against a cell value.
+func (t WhereTerm) Match(v types.Value) bool {
+	if t.Operand.IsNull() {
+		switch t.Op {
+		case vector.CmpEq:
+			return v.IsNull()
+		case vector.CmpNe:
+			return !v.IsNull()
+		default:
+			return false
+		}
+	}
+	if v.IsNull() {
+		return false
+	}
+	switch t.Op {
+	case vector.CmpEq:
+		return v.Equal(t.Operand)
+	case vector.CmpNe:
+		return !v.Equal(t.Operand)
+	default:
+		return t.Op.Accept(v.Compare(t.Operand))
+	}
+}
+
+// Predicate returns the opaque row predicate equivalent to w: the
+// transparent fallback for engines and tools that only understand
+// func(Row) bool.
+func (w *Where) Predicate() Predicate {
+	terms := w.Terms
+	return func(r Row) bool {
+		for _, t := range terms {
+			if !t.Match(r.ByName(t.Col)) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Describe renders the conjunction for plan printing.
+func (w *Where) Describe() string {
+	if len(w.Terms) == 0 {
+		return "true"
+	}
+	var b strings.Builder
+	for i, t := range w.Terms {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		b.WriteString(t.Col)
+		switch {
+		case t.Operand.IsNull() && t.Op == vector.CmpEq:
+			b.WriteString(" is null")
+		case t.Operand.IsNull() && t.Op == vector.CmpNe:
+			b.WriteString(" not null")
+		default:
+			b.WriteString(" " + t.Op.String() + " " + t.Operand.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// fakeRow implements Row over a name→value map (absent names read null,
+// like dataframe rows).
+type fakeRow map[string]types.Value
+
+func (r fakeRow) NCols() int { return len(r) }
+func (r fakeRow) Value(j int) types.Value {
+	panic("positional access not used")
+}
+func (r fakeRow) ColName(j int) string { panic("not used") }
+func (r fakeRow) ByName(name string) types.Value {
+	if v, ok := r[name]; ok {
+		return v
+	}
+	return types.Null()
+}
+func (r fakeRow) Label() types.Value { return types.Null() }
+func (r fakeRow) Position() int      { return 0 }
+
+// TestAndOrZeroPredicates locks the boundary behavior the structured
+// predicate layer mirrors: the empty conjunction accepts every row and the
+// empty disjunction rejects every row.
+func TestAndOrZeroPredicates(t *testing.T) {
+	row := fakeRow{"a": types.IntValue(1)}
+	if !And()(row) {
+		t.Error("And() over zero predicates must accept (vacuous truth)")
+	}
+	if Or()(row) {
+		t.Error("Or() over zero predicates must reject")
+	}
+	// One- and two-predicate forms still compose as expected.
+	yes := Predicate(func(Row) bool { return true })
+	no := Predicate(func(Row) bool { return false })
+	if And(yes, no)(row) || !And(yes, yes)(row) {
+		t.Error("And composition wrong")
+	}
+	if !Or(no, yes)(row) || Or(no, no)(row) {
+		t.Error("Or composition wrong")
+	}
+}
+
+func TestWhereZeroTermsAcceptsEverything(t *testing.T) {
+	w := WhereAnd()
+	if len(w.Terms) != 0 {
+		t.Fatal("WhereAnd() should have no terms")
+	}
+	if !w.Predicate()(fakeRow{}) {
+		t.Error("zero-term Where must accept every row, like And()")
+	}
+}
+
+func TestWhereTermSemantics(t *testing.T) {
+	five := types.IntValue(5)
+	cases := []struct {
+		name string
+		term WhereTerm
+		cell types.Value
+		want bool
+	}{
+		{"eq match", WhereTerm{"c", vector.CmpEq, five}, types.IntValue(5), true},
+		{"eq cross-domain", WhereTerm{"c", vector.CmpEq, five}, types.FloatValue(5), true},
+		{"eq miss", WhereTerm{"c", vector.CmpEq, five}, types.IntValue(4), false},
+		{"eq null cell", WhereTerm{"c", vector.CmpEq, five}, types.Null(), false},
+		{"eq null operand selects nulls", WhereTerm{"c", vector.CmpEq, types.Null()}, types.Null(), true},
+		{"eq null operand rejects non-null", WhereTerm{"c", vector.CmpEq, types.Null()}, five, false},
+		{"ne null operand selects non-null", WhereTerm{"c", vector.CmpNe, types.Null()}, five, true},
+		{"ne null operand rejects nulls", WhereTerm{"c", vector.CmpNe, types.Null()}, types.Null(), false},
+		{"ne excludes null cells", WhereTerm{"c", vector.CmpNe, five}, types.Null(), false},
+		{"lt", WhereTerm{"c", vector.CmpLt, five}, types.IntValue(4), true},
+		{"lt null cell never matches", WhereTerm{"c", vector.CmpLt, five}, types.Null(), false},
+		{"lt null operand never matches", WhereTerm{"c", vector.CmpLt, types.Null()}, types.IntValue(4), false},
+		{"ge", WhereTerm{"c", vector.CmpGe, five}, types.IntValue(5), true},
+	}
+	for _, c := range cases {
+		if got := c.term.Match(c.cell); got != c.want {
+			t.Errorf("%s: Match = %v, want %v", c.name, got, c.want)
+		}
+		// The opaque fallback must agree with term-level matching.
+		w := &Where{Terms: []WhereTerm{c.term}}
+		if got := w.Predicate()(fakeRow{"c": c.cell}); got != c.want {
+			t.Errorf("%s: Predicate fallback = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestWhereConjunctionAndDescribe(t *testing.T) {
+	w := WhereNotNull("a").And("b", vector.CmpGt, types.IntValue(3))
+	row := func(a, b types.Value) fakeRow { return fakeRow{"a": a, "b": b} }
+	if !w.Predicate()(row(types.IntValue(1), types.IntValue(4))) {
+		t.Error("both terms hold: should accept")
+	}
+	if w.Predicate()(row(types.Null(), types.IntValue(4))) {
+		t.Error("first term fails: should reject")
+	}
+	if w.Predicate()(row(types.IntValue(1), types.IntValue(3))) {
+		t.Error("second term fails: should reject")
+	}
+	// Missing column reads as null.
+	if w.Predicate()(fakeRow{"b": types.IntValue(4)}) {
+		t.Error("missing column must read as null")
+	}
+	if got := w.Describe(); got != "a not null && b > 3" {
+		t.Errorf("Describe = %q", got)
+	}
+	if got := WhereAnd().Describe(); got != "true" {
+		t.Errorf("empty Describe = %q", got)
+	}
+}

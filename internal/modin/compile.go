@@ -140,6 +140,15 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		return physical.NewSource(partition.New(node.DF, partition.Rows, e.bands)), nil
 
 	case *algebra.Selection:
+		if node.Where != nil {
+			where := node.Where
+			return c.fuse(node.Input, physical.Kernel{
+				Name: "selection",
+				Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
+					return algebra.SelectWhere(b, where)
+				},
+			})
+		}
 		pred := node.Pred
 		return c.fuse(node.Input, physical.Kernel{
 			Name: "selection",

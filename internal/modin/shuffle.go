@@ -8,6 +8,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/partition"
 	"repro/internal/physical"
+	"repro/internal/types"
 	"repro/internal/vector"
 )
 
@@ -27,30 +28,27 @@ func bandCuts(n, nb int) []int {
 	return out
 }
 
-// groupSummary is one band's contribution to the groupby routing plan. The
-// per-row rendered keys are kept so the partition phase routes without
-// re-rendering them.
-type groupSummary struct {
-	keys     []string // rendered group key per row
-	distinct []string // the band's distinct keys in first-appearance order
-}
-
 // groupPlan is the routing state shared by every groupby partition and
-// merge task: each key's bucket, each bucket's global group-rank range, and
-// the per-band rendered keys carried over from the summaries.
+// merge task: each band's ordinal→bucket table, each bucket's global
+// group-rank range, and the per-band row ordinals carried over from the
+// summaries. Nothing here is a rendered key: group identity travels as
+// small ints, with 64-bit hashes plus boxed exemplar tuples (one per
+// distinct key, not per row) resolving identity across bands — hash
+// collisions between distinct keys are broken by exemplar verification.
 type groupPlan struct {
-	bucket   map[string]int
-	starts   []int // starts[b] is the global rank of bucket b's first group
-	rendered [][]string
+	starts   []int     // starts[b] is the global rank of bucket b's first group
+	buckets  [][]int   // per band: band-ordinal → bucket
+	ordinals [][]int32 // per band: row → band-ordinal
 }
 
-// groupByShuffle lowers GROUPBY to a key shuffle. Routing hashes on the
-// rendered group key, but bucket assignment follows each key's GLOBAL
-// first-appearance rank (computed by the plan phase from cheap per-band key
-// summaries): bucket b owns the contiguous rank range [starts[b],
-// starts[b+1]), so concatenating the merged buckets in order reproduces the
-// ordered-dataframe groupby exactly — same group order, same positional row
-// labels — while every output band stays an independent future.
+// groupByShuffle lowers GROUPBY to a key shuffle. Routing hashes the typed
+// key columns (vector.HashRows — no per-row rendering), but bucket
+// assignment follows each key's GLOBAL first-appearance rank (computed by
+// the plan phase from cheap per-band key summaries): bucket b owns the
+// contiguous rank range [starts[b], starts[b+1]), so concatenating the
+// merged buckets in order reproduces the ordered-dataframe groupby exactly
+// — same group order, same positional row labels — while every output band
+// stays an independent future.
 func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 	spec.Sorted = false // hashing per bucket; sortedness is a single-node optimization
 	nb := e.bands
@@ -59,53 +57,68 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 		Name:    "groupby",
 		Buckets: nb,
 		Summarize: func(_ int, band *core.DataFrame) (any, error) {
-			rendered, err := algebra.GroupRowKeys(band, keys)
-			if err != nil {
-				return nil, err
-			}
-			seen := make(map[string]bool)
-			var distinct []string
-			for _, k := range rendered {
-				if !seen[k] {
-					seen[k] = true
-					distinct = append(distinct, k)
-				}
-			}
-			return &groupSummary{keys: rendered, distinct: distinct}, nil
+			return algebra.SummarizeGroupKeys(band, keys)
 		},
 		Plan: func(summaries []any, _ []*partition.Frame) (any, error) {
 			// Folding the band orders in band order reproduces the
 			// single-node scan's first-appearance order, which is what
 			// keeps the shuffled result identical to the gather
-			// implementation.
-			p := &groupPlan{bucket: make(map[string]int), rendered: make([][]string, len(summaries))}
-			var order []string
-			for r, s := range summaries {
-				sum := s.(*groupSummary)
-				p.rendered[r] = sum.keys
-				for _, k := range sum.distinct {
-					if _, ok := p.bucket[k]; !ok {
-						p.bucket[k] = -1 // rank-ranged below
-						order = append(order, k)
-					}
-				}
+			// implementation. Global group ids are assigned in that fold
+			// order, so a key's id IS its first-appearance rank.
+			p := &groupPlan{
+				buckets:  make([][]int, len(summaries)),
+				ordinals: make([][]int32, len(summaries)),
 			}
-			p.starts = bandCuts(len(order), nb)
+			var exemplars [][]types.Value     // global id → key tuple
+			index := make(map[uint64][]int32) // hash → global ids
+			bandGlobal := make([][]int32, len(summaries))
+			for r, s := range summaries {
+				sum := s.(*algebra.GroupKeySummary)
+				p.ordinals[r] = sum.Ordinals
+				ids := make([]int32, len(sum.Hashes))
+				for d, h := range sum.Hashes {
+					gid := int32(-1)
+					for _, cand := range index[h] {
+						if algebra.KeyTuplesEqual(exemplars[cand], sum.Exemplars[d]) {
+							gid = cand
+							break
+						}
+					}
+					if gid < 0 {
+						gid = int32(len(exemplars))
+						exemplars = append(exemplars, sum.Exemplars[d])
+						index[h] = append(index[h], gid)
+					}
+					ids[d] = gid
+				}
+				bandGlobal[r] = ids
+			}
+			p.starts = bandCuts(len(exemplars), nb)
+			// Global rank → bucket, then per band: band-ordinal → bucket.
+			rankBucket := make([]int, len(exemplars))
 			b := 0
-			for rank, k := range order {
+			for rank := range rankBucket {
 				for rank >= p.starts[b+1] {
 					b++
 				}
-				p.bucket[k] = b
+				rankBucket[rank] = b
+			}
+			for r, ids := range bandGlobal {
+				bb := make([]int, len(ids))
+				for d, gid := range ids {
+					bb[d] = rankBucket[gid]
+				}
+				p.buckets[r] = bb
 			}
 			return p, nil
 		},
 		Partition: func(band int, df *core.DataFrame, plan any) ([]any, error) {
 			p := plan.(*groupPlan)
-			rendered := p.rendered[band]
-			assign := make([]int, len(rendered))
-			for i, k := range rendered {
-				assign[i] = p.bucket[k]
+			ords := p.ordinals[band]
+			bucketOf := p.buckets[band]
+			assign := make([]int, len(ords))
+			for i, d := range ords {
+				assign[i] = bucketOf[d]
 			}
 			views, err := partition.SplitRows(df, assign, nb)
 			if err != nil {

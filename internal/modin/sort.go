@@ -55,7 +55,8 @@ func sortKeyVecs(df *core.DataFrame, node *algebra.Sort) ([]vector.Vector, []boo
 	return keys, desc, nil
 }
 
-// keyTuple materializes row i's comparison key.
+// keyTuple materializes row i's comparison key (only for the small plan
+// samples; the per-row paths compare typed vectors directly).
 func keyTuple(keys []vector.Vector, i int) []types.Value {
 	out := make([]types.Value, len(keys))
 	for k := range keys {
@@ -68,6 +69,22 @@ func keyTuple(keys []vector.Vector, i int) []types.Value {
 func compareTuples(a, b []types.Value, desc []bool) int {
 	for k := range a {
 		c := a[k].Compare(b[k])
+		if desc[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// compareRowBound orders row i of the typed key vectors against a boxed
+// bound tuple, through the mixed comparison kernel — the per-row half never
+// boxes.
+func compareRowBound(keys []vector.Vector, i int, bound []types.Value, desc []bool) int {
+	for k := range keys {
+		c := vector.CompareRowValue(keys[k], i, bound[k])
 		if desc[k] {
 			c = -c
 		}
@@ -147,7 +164,7 @@ func (e *Engine) sortShuffle(node *algebra.Sort) *physical.Shuffle {
 				if b < len(p.bounds) {
 					bound := p.bounds[b]
 					hi = lo + sort.Search(n-lo, func(i int) bool {
-						return compareTuples(keyTuple(keys, lo+i), bound, desc) > 0
+						return compareRowBound(keys, lo+i, bound, desc) > 0
 					})
 				}
 				pieces[b] = sorted.SliceRows(lo, hi)
@@ -189,11 +206,12 @@ func mergeSortedRuns(runs []*core.DataFrame, node *algebra.Sort) (*core.DataFram
 	if err != nil {
 		return nil, err
 	}
-	// less orders global positions over the concatenated runs; ties resolve
-	// to the earlier position, which is the earlier run.
+	// less orders global positions over the concatenated runs through the
+	// typed comparison kernels; ties resolve to the earlier position, which
+	// is the earlier run.
 	less := func(a, b int) bool {
 		for k := range keys {
-			c := keys[k].Value(a).Compare(keys[k].Value(b))
+			c := vector.CompareRows(keys[k], a, keys[k], b)
 			if desc[k] {
 				c = -c
 			}

@@ -36,6 +36,12 @@ func Induce(v vector.Vector) types.Domain {
 		}
 		return InduceStrings(data)
 	}
+	// All-null columns induce Object without attempting a single parse; the
+	// null count reads straight off the vector's mask (vector.NullCount's
+	// direct path), not a per-entry interface scan.
+	if obj.NullCount() == obj.Len() {
+		return types.Object
+	}
 	return InduceStrings(obj.RawData())
 }
 

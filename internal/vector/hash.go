@@ -1,0 +1,352 @@
+package vector
+
+import (
+	"math"
+
+	"repro/internal/types"
+)
+
+// This file holds the bulk hash and equality kernels beneath the hash-keyed
+// operators (GROUPBY, JOIN, DROP-DUPLICATES, DIFFERENCE, shuffle routing).
+// Row identity used to be a rendered string key per row; these kernels
+// replace it with a 64-bit hash computed directly over the typed storage
+// slices, with equality verification on hash collisions.
+//
+// Hashes are canonical across domains exactly where types.Value.Key is:
+// nulls of every domain share one hash, Int/Bool/integral-Float values of
+// equal magnitude share one hash, and Object/Category share the string
+// hash. The matching verification predicate is KeyEqual (and its typed
+// forms EqualRows/EqualRowValue): KeyEqual(a, b) implies equal hashes, so
+// a hash-plus-verify table reproduces the rendered-key grouping semantics.
+// KeyEqual is types.Value.Equal except that cross-representation numeric
+// comparison is exact rather than in float64 space — see intFloatKeyEqual.
+
+// Mixing constants (splitmix64 finalizer).
+const (
+	mixA = 0xbf58476d1ce4e5b9
+	mixB = 0x94d049bb133111eb
+)
+
+// Per-kind tags keep e.g. Datetime(5ns) distinct from Int(5), mirroring the
+// "t:" vs "i:" prefixes of types.Value.Key.
+const (
+	tagNull uint64 = 0x9ae16a3b2f90404f
+	tagInt  uint64 = 0xc2b2ae3d27d4eb4f
+	tagFlt  uint64 = 0x165667b19e3779f9
+	tagTime uint64 = 0x27d4eb2f165667c5
+	tagStr  uint64 = 0x85ebca77c2b2ae63
+)
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= mixA
+	x ^= x >> 27
+	x *= mixB
+	x ^= x >> 31
+	return x
+}
+
+func hashWord(seed, tag, x uint64) uint64 {
+	return mix64(seed ^ tag ^ mix64(x))
+}
+
+// hashString is FNV-1a folded with the seed and string tag; deterministic
+// across processes so shuffle plans can compare hashes from any task.
+func hashString(seed uint64, s string) uint64 {
+	h := uint64(14695981039346656037) ^ seed ^ tagStr
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// intRepresentable reports whether the float is integral and inside the
+// int64 range, i.e. int64(f) is exact and well-defined.
+func intRepresentable(f float64) bool {
+	return f == math.Trunc(f) && f >= -9.223372036854776e18 && f < 9.223372036854776e18
+}
+
+// hashFloat canonicalizes int64-representable integral floats to the Int
+// hash so cross-domain equal values (5 and 5.0) collide on purpose, as
+// Value.Key does; everything else hashes its bit pattern.
+func hashFloat(seed uint64, f float64) uint64 {
+	if intRepresentable(f) {
+		return hashWord(seed, tagInt, uint64(int64(f)))
+	}
+	return hashWord(seed, tagFlt, math.Float64bits(f))
+}
+
+// intFloatKeyEqual is the exact cross-representation numeric key equality
+// matching hashFloat's canonicalization: an int64 equals a float64 only
+// when the float is integral and converts to the same int64. (Boxed
+// Value.Equal compares in float64 space, which conflates distinct integers
+// above 2^53 with their float neighbors — under that relation equal keys
+// could hash apart, making group/join results depend on whether the hash
+// probe or the verifier saw the pair first.)
+func intFloatKeyEqual(i int64, f float64) bool {
+	return intRepresentable(f) && int64(f) == i
+}
+
+// KeyEqual reports whether two boxed values are the same grouping key:
+// types.Value.Equal, except cross-representation numeric comparisons use
+// the exact intFloatKeyEqual canonicalization, so KeyEqual(a, b) implies
+// HashValue(a) == HashValue(b). It is the one verification predicate
+// behind every hash-probe in the grouping, join and dedup kernels.
+func KeyEqual(a, b types.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	da, db := a.Domain(), b.Domain()
+	if da != db && da.Numeric() && db.Numeric() {
+		if da == types.Float && db != types.Float {
+			return intFloatKeyEqual(numericInt(b), a.Float())
+		}
+		if db == types.Float && da != types.Float {
+			return intFloatKeyEqual(numericInt(a), b.Float())
+		}
+	}
+	return a.Equal(b)
+}
+
+// numericInt reads an Int or Bool value as int64.
+func numericInt(v types.Value) int64 {
+	if v.Domain() == types.Bool {
+		if v.Bool() {
+			return 1
+		}
+		return 0
+	}
+	return v.Int()
+}
+
+func hashBool(seed uint64, b bool) uint64 {
+	if b {
+		return hashWord(seed, tagInt, 1)
+	}
+	return hashWord(seed, tagInt, 0)
+}
+
+// HashValue hashes one boxed value under the canonicalization above. It is
+// the scalar companion of Hash, used for group exemplars and plan-side
+// verification.
+func HashValue(v types.Value, seed uint64) uint64 {
+	if v.IsNull() {
+		return hashWord(seed, tagNull, 0)
+	}
+	switch v.Domain() {
+	case types.Int:
+		return hashWord(seed, tagInt, uint64(v.Int()))
+	case types.Float:
+		return hashFloat(seed, v.Float())
+	case types.Bool:
+		return hashBool(seed, v.Bool())
+	case types.Datetime:
+		return hashWord(seed, tagTime, uint64(v.Int()))
+	case types.Object, types.Category:
+		return hashString(seed, v.Str())
+	default:
+		return hashString(seed, v.Key())
+	}
+}
+
+// Hash writes the canonical hash of every entry of v into dst (which must
+// have length v.Len()), null-aware and without constructing types.Value. The
+// typed vectors hash their storage slices directly; Dict vectors hash each
+// dictionary entry once and route codes through the precomputed table.
+func Hash(v Vector, seed uint64, dst []uint64) {
+	nullH := hashWord(seed, tagNull, 0)
+	switch c := v.(type) {
+	case *Int:
+		for i, x := range c.data {
+			if c.nulls != nil && c.nulls[i] {
+				dst[i] = nullH
+			} else {
+				dst[i] = hashWord(seed, tagInt, uint64(x))
+			}
+		}
+	case *Float:
+		for i, x := range c.data {
+			if (c.nulls != nil && c.nulls[i]) || math.IsNaN(x) {
+				// Unmasked NaN reads as null, like Float.Value.
+				dst[i] = nullH
+			} else {
+				dst[i] = hashFloat(seed, x)
+			}
+		}
+	case *Bool:
+		for i, x := range c.data {
+			if c.nulls != nil && c.nulls[i] {
+				dst[i] = nullH
+			} else {
+				dst[i] = hashBool(seed, x)
+			}
+		}
+	case *Datetime:
+		for i, x := range c.data {
+			if c.nulls != nil && c.nulls[i] {
+				dst[i] = nullH
+			} else {
+				dst[i] = hashWord(seed, tagTime, uint64(x))
+			}
+		}
+	case *Object:
+		for i, s := range c.data {
+			if c.nulls != nil && c.nulls[i] {
+				dst[i] = nullH
+			} else {
+				dst[i] = hashString(seed, s)
+			}
+		}
+	case *Dict:
+		table := make([]uint64, len(c.dict))
+		for k, s := range c.dict {
+			table[k] = hashString(seed, s)
+		}
+		for i, code := range c.codes {
+			if c.nulls != nil && c.nulls[i] {
+				dst[i] = nullH
+			} else {
+				dst[i] = table[code]
+			}
+		}
+	default:
+		for i := 0; i < v.Len(); i++ {
+			dst[i] = HashValue(v.Value(i), seed)
+		}
+	}
+}
+
+// HashRows combines the column hashes of cols into one row hash per entry:
+// the multi-key analog of Hash, replacing the rendered composite row key.
+// dst must have the columns' shared length; zero columns hash every row to
+// the same constant (the whole-frame group). The combination is
+// order-sensitive, so ("a","b") and ("b","a") key rows differently.
+func HashRows(cols []Vector, seed uint64, dst []uint64) {
+	if len(cols) == 0 {
+		base := mix64(seed ^ tagNull)
+		for i := range dst {
+			dst[i] = base
+		}
+		return
+	}
+	Hash(cols[0], seed, dst)
+	if len(cols) == 1 {
+		return
+	}
+	tmp := make([]uint64, len(dst))
+	for _, c := range cols[1:] {
+		Hash(c, seed, tmp)
+		for i := range dst {
+			dst[i] = mix64(dst[i]*mixA ^ tmp[i])
+		}
+	}
+}
+
+// HashRowValues is HashRows for one boxed key tuple: it produces the same
+// hash a row with these column values gets, letting plan-side code compare
+// exemplar tuples against storage-side row hashes.
+func HashRowValues(vals []types.Value, seed uint64) uint64 {
+	if len(vals) == 0 {
+		return mix64(seed ^ tagNull)
+	}
+	h := HashValue(vals[0], seed)
+	for _, v := range vals[1:] {
+		h = mix64(h*mixA ^ HashValue(v, seed))
+	}
+	return h
+}
+
+// EqualRows reports whether entry i of a and entry j of b are the same group
+// key, under the equivalence of types.Value.Equal (nulls equal each other,
+// numerics compare across domains, Object and Category compare by content).
+// Same-representation pairs compare on the storage slices without boxing.
+func EqualRows(a Vector, i int, b Vector, j int) bool {
+	an, bn := a.IsNull(i), b.IsNull(j)
+	if an || bn {
+		return an && bn
+	}
+	switch ca := a.(type) {
+	case *Int:
+		switch cb := b.(type) {
+		case *Int:
+			return ca.data[i] == cb.data[j]
+		case *Float:
+			return intFloatKeyEqual(ca.data[i], cb.data[j])
+		}
+	case *Float:
+		switch cb := b.(type) {
+		case *Float:
+			return ca.data[i] == cb.data[j]
+		case *Int:
+			return intFloatKeyEqual(cb.data[j], ca.data[i])
+		}
+	case *Bool:
+		if cb, ok := b.(*Bool); ok {
+			return ca.data[i] == cb.data[j]
+		}
+	case *Datetime:
+		if cb, ok := b.(*Datetime); ok {
+			return ca.data[i] == cb.data[j]
+		}
+	case *Object:
+		switch cb := b.(type) {
+		case *Object:
+			return ca.data[i] == cb.data[j]
+		case *Dict:
+			return ca.data[i] == cb.dict[cb.codes[j]]
+		}
+	case *Dict:
+		switch cb := b.(type) {
+		case *Dict:
+			return ca.dict[ca.codes[i]] == cb.dict[cb.codes[j]]
+		case *Object:
+			return ca.dict[ca.codes[i]] == cb.data[j]
+		}
+	}
+	return KeyEqual(a.Value(i), b.Value(j))
+}
+
+// EqualRowValue reports whether entry i of v equals the boxed value val
+// under the same equivalence as EqualRows. It is the verification step of
+// hash-table probes whose entries keep boxed exemplars.
+func EqualRowValue(v Vector, i int, val types.Value) bool {
+	vn := v.IsNull(i)
+	if vn || val.IsNull() {
+		return vn && val.IsNull()
+	}
+	switch c := v.(type) {
+	case *Int:
+		switch val.Domain() {
+		case types.Int:
+			return c.data[i] == val.Int()
+		case types.Float:
+			return intFloatKeyEqual(c.data[i], val.Float())
+		}
+	case *Float:
+		switch val.Domain() {
+		case types.Float:
+			return c.data[i] == val.Float()
+		case types.Int:
+			return intFloatKeyEqual(val.Int(), c.data[i])
+		}
+	case *Bool:
+		if val.Domain() == types.Bool {
+			return c.data[i] == val.Bool()
+		}
+	case *Datetime:
+		if val.Domain() == types.Datetime {
+			return c.data[i] == val.Int()
+		}
+	case *Object:
+		if d := val.Domain(); d == types.Object || d == types.Category {
+			return c.data[i] == val.Str()
+		}
+	case *Dict:
+		if d := val.Domain(); d == types.Object || d == types.Category {
+			return c.dict[c.codes[i]] == val.Str()
+		}
+	}
+	return KeyEqual(v.Value(i), val)
+}

@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"math"
 	"time"
 
 	"repro/internal/types"
@@ -135,8 +136,13 @@ func (v *Float) Len() int { return len(v.data) }
 // Domain returns types.Float.
 func (v *Float) Domain() types.Domain { return types.Float }
 
-// IsNull reports whether entry i is null.
-func (v *Float) IsNull(i int) bool { return v.nulls != nil && v.nulls[i] }
+// IsNull reports whether entry i is null. A NaN payload reads as null even
+// without a mask bit, matching Value's canonicalization (types.FloatValue
+// maps NaN to the Float null) so IsNull(i) always agrees with
+// Value(i).IsNull().
+func (v *Float) IsNull(i int) bool {
+	return (v.nulls != nil && v.nulls[i]) || math.IsNaN(v.data[i])
+}
 
 // Value returns entry i.
 func (v *Float) Value(i int) types.Value {
@@ -346,3 +352,35 @@ func (v *Dict) Take(idx []int) Vector {
 	}
 	return &Dict{codes: codes, dict: v.dict, nulls: takeNulls(v.nulls, idx)}
 }
+
+// NullCount returns the number of null entries, scanning only the null
+// mask (zero when the vector has none).
+func (v *Object) NullCount() int { return countMask(v.nulls) }
+
+// NullCount returns the number of null entries, scanning only the null
+// mask (zero when the vector has none).
+func (v *Int) NullCount() int { return countMask(v.nulls) }
+
+// NullCount returns the number of null entries directly from storage
+// (mask bits plus unmasked NaN payloads, which read as null).
+func (v *Float) NullCount() int {
+	n := 0
+	for i, x := range v.data {
+		if (v.nulls != nil && v.nulls[i]) || math.IsNaN(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// NullCount returns the number of null entries, scanning only the null
+// mask (zero when the vector has none).
+func (v *Bool) NullCount() int { return countMask(v.nulls) }
+
+// NullCount returns the number of null entries, scanning only the null
+// mask (zero when the vector has none).
+func (v *Datetime) NullCount() int { return countMask(v.nulls) }
+
+// NullCount returns the number of null entries, scanning only the null
+// mask (zero when the vector has none).
+func (v *Dict) NullCount() int { return countMask(v.nulls) }

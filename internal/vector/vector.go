@@ -36,11 +36,31 @@ type Vector interface {
 	Take(idx []int) Vector
 }
 
-// NullCount returns the number of null entries in v.
+// nullCounter is implemented by vectors that can report their null count
+// directly from storage (O(1) for null-free vectors, one mask scan
+// otherwise) instead of an interface call per entry.
+type nullCounter interface{ NullCount() int }
+
+// NullCount returns the number of null entries in v, using the vector's
+// direct count when available.
 func NullCount(v Vector) int {
+	if c, ok := v.(nullCounter); ok {
+		return c.NullCount()
+	}
 	n := 0
 	for i := 0; i < v.Len(); i++ {
 		if v.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// countMask counts set entries of a null mask (nil masks count zero).
+func countMask(nulls []bool) int {
+	n := 0
+	for _, b := range nulls {
+		if b {
 			n++
 		}
 	}
