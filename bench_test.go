@@ -232,6 +232,59 @@ func BenchmarkPipelinedFirstBandLatencySort(b *testing.B) {
 	})
 }
 
+// --- Lazy query builder vs eager method chain ------------------------------
+
+// BenchmarkLazyChainVsEager runs the same filter→map→select→groupby
+// pipeline over the 50k-row taxi frame two ways: the eager method chain
+// (one optimize+compile+schedule+gather round trip per method call, with
+// the intermediate re-partitioned between steps) and the lazy builder (one
+// optimized plan, one compile→schedule for the whole chain, filter and map
+// fused into one task per band feeding the groupby shuffle directly). The
+// lazy path must hold strictly fewer allocs/op — it is gated next to the
+// Pipelined* benchmarks in CI.
+func BenchmarkLazyChainVsEager(b *testing.B) {
+	aggs := []df.AggSpec{
+		{Col: "total_amount", Agg: "sum", As: "revenue"},
+		{Col: "fare_amount", Agg: "mean", As: "avg_fare"},
+	}
+	cols := []string{"vendor_id", "total_amount", "fare_amount"}
+	data := df.FromFrame(benchTaxi)
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			step, err := data.Where(df.NotNull("passenger_count"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			step, err = step.FillNA(df.Float(0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			step, err = step.Select(cols...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := step.GroupBy("vendor_id").Agg(aggs...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := data.Lazy().
+				Where(df.NotNull("passenger_count")).
+				FillNA(df.Float(0)).
+				Select(cols...).
+				GroupBy("vendor_id").Agg(aggs...).
+				Collect()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Figure 8: pivot plan comparison --------------------------------------
 
 func BenchmarkFigure8PivotPlans(b *testing.B) {

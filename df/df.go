@@ -4,9 +4,14 @@
 // executes on a pluggable engine — the single-threaded baseline (pandas'
 // execution profile) or the partition-parallel MODIN engine.
 //
-// The API is eager, like pandas: each call materializes its result. The
-// lazy and opportunistic regimes of Section 6 are available through the
-// Session type.
+// The method surface is eager, like pandas: each call materializes its
+// result. Every method is one-step sugar over the lazy Query builder
+// ((*DataFrame).Lazy and the ScanCSV* sources), which accumulates a
+// multi-operator plan, runs the optimizer's rewrite rules, and executes one
+// compile→schedule pass per Collect — so chains written lazily fuse
+// end-to-end instead of materializing at each step. The interactive
+// evaluation regimes of Section 6 are available through the Session type,
+// which accepts Query plans directly.
 package df
 
 import (
@@ -124,13 +129,11 @@ func (d *DataFrame) Frame() *core.DataFrame { return d.frame }
 // algebra plans directly.
 func FromFrame(frame *core.DataFrame) *DataFrame { return wrap(frame, modin.New()) }
 
-// run executes a single-node plan over this frame on the bound engine.
+// run executes a one-operator plan over this frame: eager sugar over the
+// lazy builder, so every method — eager or chained — constructs nodes and
+// collects through the same Query path.
 func (d *DataFrame) run(build func(algebra.Node) algebra.Node) (*DataFrame, error) {
-	out, err := d.engine.Execute(build(&algebra.Source{DF: d.frame}))
-	if err != nil {
-		return nil, err
-	}
-	return wrap(out, d.engine), nil
+	return d.Lazy().apply(build).Collect()
 }
 
 // Shape returns (rows, columns).

@@ -1,59 +1,46 @@
 package df
 
-import (
-	"fmt"
-
-	"repro/internal/algebra"
-	"repro/internal/expr"
-)
-
 // GroupBy starts a grouped aggregation, pandas-style:
 //
 //	out, err := d.GroupBy("dept").Sum("salary")
 //
 // Unlike SQL, GROUPBY admits independent use; with AsIndex the grouping
 // values are elevated to the row labels via an implicit TOLABELS, matching
-// pandas' default.
+// pandas' default. GroupedFrame is the eager face of the lazy
+// Query.GroupBy builder: each aggregate verb builds the same GROUPBY node
+// and collects immediately.
 func (d *DataFrame) GroupBy(keys ...string) *GroupedFrame {
-	return &GroupedFrame{df: d, keys: keys}
+	return &GroupedFrame{inner: d.Lazy().GroupBy(keys...)}
 }
 
 // GroupedFrame is a pending grouped aggregation.
 type GroupedFrame struct {
-	df      *DataFrame
-	keys    []string
-	asIndex bool
-	sorted  bool
+	inner *QueryGroupBy
 }
 
 // AsIndex elevates the group keys to row labels (pandas groupby default).
+// Like the pre-builder API it mutates the receiver (statement style), and
+// returns it for chaining.
 func (g *GroupedFrame) AsIndex() *GroupedFrame {
-	g.asIndex = true
+	g.inner = g.inner.AsIndex()
 	return g
 }
 
 // Sorted declares the input already ordered by the keys, switching the
-// engine to a streaming group-by (the Figure 8(b) rewrite).
+// engine to a streaming group-by (the Figure 8(b) rewrite). Mutates the
+// receiver and returns it for chaining.
 func (g *GroupedFrame) Sorted() *GroupedFrame {
-	g.sorted = true
+	g.inner = g.inner.Sorted()
 	return g
 }
 
 // Agg computes named aggregates over named columns; each spec is
 // (column, aggregate, output name).
 func (g *GroupedFrame) Agg(specs ...AggSpec) (*DataFrame, error) {
-	aggs := make([]expr.AggSpec, len(specs))
-	for i, s := range specs {
-		kind, ok := expr.ParseAgg(s.Agg)
-		if !ok {
-			return nil, fmt.Errorf("df: unknown aggregate %q", s.Agg)
-		}
-		aggs[i] = expr.AggSpec{Col: s.Col, Agg: kind, As: s.As}
-	}
-	return g.run(aggs)
+	return g.inner.Agg(specs...).Collect()
 }
 
-// AggSpec names one aggregate in GroupedFrame.Agg.
+// AggSpec names one aggregate in GroupedFrame.Agg and QueryGroupBy.Agg.
 type AggSpec struct {
 	// Col is the aggregated column.
 	Col string
@@ -67,41 +54,30 @@ type AggSpec struct {
 
 // Count counts non-null values of col per group.
 func (g *GroupedFrame) Count(col string) (*DataFrame, error) {
-	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggCount, As: col + "_count"}})
+	return g.inner.Count(col).Collect()
 }
 
 // Size counts rows per group, nulls included.
 func (g *GroupedFrame) Size() (*DataFrame, error) {
-	return g.run([]expr.AggSpec{{Agg: expr.AggSize, As: "size"}})
+	return g.inner.Size().Collect()
 }
 
 // Sum sums col per group.
 func (g *GroupedFrame) Sum(col string) (*DataFrame, error) {
-	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggSum, As: col + "_sum"}})
+	return g.inner.Sum(col).Collect()
 }
 
 // Mean averages col per group.
 func (g *GroupedFrame) Mean(col string) (*DataFrame, error) {
-	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggMean, As: col + "_mean"}})
+	return g.inner.Mean(col).Collect()
 }
 
 // Min takes the per-group minimum of col.
 func (g *GroupedFrame) Min(col string) (*DataFrame, error) {
-	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggMin, As: col + "_min"}})
+	return g.inner.Min(col).Collect()
 }
 
 // Max takes the per-group maximum of col.
 func (g *GroupedFrame) Max(col string) (*DataFrame, error) {
-	return g.run([]expr.AggSpec{{Col: col, Agg: expr.AggMax, As: col + "_max"}})
-}
-
-func (g *GroupedFrame) run(aggs []expr.AggSpec) (*DataFrame, error) {
-	return g.df.run(func(in algebra.Node) algebra.Node {
-		return &algebra.GroupBy{Input: in, Spec: expr.GroupBySpec{
-			Keys:     g.keys,
-			Aggs:     aggs,
-			AsLabels: g.asIndex,
-			Sorted:   g.sorted,
-		}}
-	})
+	return g.inner.Max(col).Collect()
 }

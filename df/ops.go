@@ -10,16 +10,16 @@ import (
 )
 
 // Table 2 of the paper maps pandas operators onto the algebra; the methods
-// in this file are those rewrites, executable.
+// in this file are those rewrites, executable. Each is one-step sugar over
+// the lazy Query builder (query.go) — the single code path for node
+// construction — collecting immediately to keep the pandas feel.
 
 // Filter implements boolean-predicate SELECTION, like df[df.col == x], with
 // an opaque Go predicate evaluated row at a time. When the condition is a
 // column comparison, prefer Where — it compiles to the typed filter kernels
 // and never materializes row views.
 func (d *DataFrame) Filter(desc string, pred func(Row) bool) (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Selection{Input: in, Pred: func(r expr.Row) bool { return pred(Row{r}) }, Desc: desc}
-	})
+	return d.Lazy().Filter(desc, pred).Collect()
 }
 
 // Cond is one column comparison of a structured filter; build with Eq, Ne,
@@ -70,13 +70,7 @@ func IsNull(col string) Cond {
 // conditions, compiled to the typed filter kernels (no per-row boxing).
 // Zero conditions keep every row.
 func (d *DataFrame) Where(conds ...Cond) (*DataFrame, error) {
-	w := &expr.Where{Terms: make([]expr.WhereTerm, len(conds))}
-	for i, c := range conds {
-		w.Terms[i] = c.term
-	}
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Selection{Input: in, Where: w, Pred: w.Predicate(), Desc: w.Describe()}
-	})
+	return d.Lazy().Where(conds...).Collect()
 }
 
 // Row is the row view handed to user predicates and row functions.
@@ -99,90 +93,45 @@ func (r Row) Label() Value { return r.inner.Label() }
 
 // Select implements PROJECTION: keep the named columns in order.
 func (d *DataFrame) Select(cols ...string) (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Projection{Input: in, Cols: cols}
-	})
+	return d.Lazy().Select(cols...).Collect()
 }
 
 // Drop removes the named columns, like pandas drop(columns=...).
 func (d *DataFrame) Drop(cols ...string) (*DataFrame, error) {
-	dropSet := make(map[string]bool, len(cols))
-	for _, c := range cols {
-		if d.frame.ColIndex(c) < 0 {
-			return nil, fmt.Errorf("df: drop of unknown column %q", c)
-		}
-		dropSet[c] = true
-	}
-	var keep []string
-	for _, name := range d.frame.ColNames() {
-		if !dropSet[name] {
-			keep = append(keep, name)
-		}
-	}
-	return d.Select(keep...)
+	return d.Lazy().Drop(cols...).Collect()
 }
 
 // Rename relabels columns per the mapping.
 func (d *DataFrame) Rename(mapping map[string]string) (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Rename{Input: in, Mapping: mapping}
-	})
+	return d.Lazy().Rename(mapping).Collect()
 }
 
 // Concat appends other below this frame: the ordered UNION, like
 // pandas.concat / append.
 func (d *DataFrame) Concat(other *DataFrame) (*DataFrame, error) {
-	out, err := d.engine.Execute(&algebra.Union{
-		Left:  &algebra.Source{DF: d.frame},
-		Right: &algebra.Source{DF: other.frame},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return wrap(out, d.engine), nil
+	return d.Lazy().Concat(other.Lazy()).Collect()
 }
 
 // Except returns rows not present in other: the ordered DIFFERENCE.
 func (d *DataFrame) Except(other *DataFrame) (*DataFrame, error) {
-	out, err := d.engine.Execute(&algebra.Difference{
-		Left:  &algebra.Source{DF: d.frame},
-		Right: &algebra.Source{DF: other.frame},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return wrap(out, d.engine), nil
+	return d.Lazy().Except(other.Lazy()).Collect()
 }
 
 // DropDuplicates removes duplicate rows (over the given columns; none means
 // all), keeping first occurrences.
 func (d *DataFrame) DropDuplicates(subset ...string) (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.DropDuplicates{Input: in, Subset: subset}
-	})
+	return d.Lazy().DropDuplicates(subset...).Collect()
 }
 
 // SortValues orders rows by the given columns ascending, like
 // pandas sort_values.
 func (d *DataFrame) SortValues(cols ...string) (*DataFrame, error) {
-	order := make(expr.SortOrder, len(cols))
-	for i, c := range cols {
-		order[i] = expr.SortKey{Col: c}
-	}
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Sort{Input: in, Order: order}
-	})
+	return d.Lazy().SortValues(cols...).Collect()
 }
 
 // SortValuesBy orders rows with explicit per-key direction.
 func (d *DataFrame) SortValuesBy(order []SortKey) (*DataFrame, error) {
-	o := make(expr.SortOrder, len(order))
-	for i, k := range order {
-		o[i] = expr.SortKey{Col: k.Col, Desc: k.Desc}
-	}
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Sort{Input: in, Order: o}
-	})
+	return d.Lazy().SortValuesBy(order).Collect()
 }
 
 // SortKey is one sort key with direction.
@@ -193,17 +142,13 @@ type SortKey struct {
 
 // SortIndex orders rows by the row labels, like pandas sort_index.
 func (d *DataFrame) SortIndex() (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Sort{Input: in, ByLabels: true}
-	})
+	return d.Lazy().SortIndex().Collect()
 }
 
 // T is the matrix-like TRANSPOSE (step C2 of Figure 1): rows become columns
 // and labels swap axes; the new schema is re-induced lazily.
 func (d *DataFrame) T() (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Transpose{Input: in}
-	})
+	return d.Lazy().T().Collect()
 }
 
 // TWithSchema transposes with a declared output schema, skipping induction
@@ -227,64 +172,29 @@ func (d *DataFrame) TWithSchema(domains []string) (*DataFrame, error) {
 // ApplyMap applies fn to every cell: the elementwise MAP (pandas applymap /
 // transform).
 func (d *DataFrame) ApplyMap(name string, fn func(Value) Value) (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Map{Input: in, Fn: expr.MapFn{Name: name, Elementwise: fn}}
-	})
+	return d.Lazy().ApplyMap(name, fn).Collect()
 }
 
 // Apply applies fn to every row, producing the named output columns: the
 // general MAP of the algebra (pandas apply(axis=1)).
 func (d *DataFrame) Apply(name string, outCols []string, fn func(Row) []Value) (*DataFrame, error) {
-	labels := make([]types.Value, len(outCols))
-	for i, c := range outCols {
-		labels[i] = types.String(c)
-	}
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Map{Input: in, Fn: expr.MapFn{
-			Name:    name,
-			OutCols: labels,
-			Fn:      func(r expr.Row) []types.Value { return fn(Row{r}) },
-		}}
-	})
+	return d.Lazy().Apply(name, outCols, fn).Collect()
 }
 
 // MapCol transforms one column with fn, leaving the rest unchanged (step C3
 // of Figure 1: products["Wireless Charging"].map(...)).
 func (d *DataFrame) MapCol(col string, name string, fn func(Value) Value) (*DataFrame, error) {
-	j := d.frame.ColIndex(col)
-	if j < 0 {
-		return nil, fmt.Errorf("df: no column %q", col)
-	}
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Map{Input: in, Fn: expr.MapFn{
-			Name: name,
-			Fn: func(r expr.Row) []types.Value {
-				out := make([]types.Value, r.NCols())
-				for k := 0; k < r.NCols(); k++ {
-					if k == j {
-						out[k] = fn(r.Value(k))
-					} else {
-						out[k] = r.Value(k)
-					}
-				}
-				return out
-			},
-		}}
-	})
+	return d.Lazy().MapCol(col, name, fn).Collect()
 }
 
 // IsNA replaces every cell with whether it is null (pandas isna/isnull).
 func (d *DataFrame) IsNA() (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Map{Input: in, Fn: algebra.IsNullFn()}
-	})
+	return d.Lazy().IsNA().Collect()
 }
 
 // FillNA replaces nulls with the given value (pandas fillna).
 func (d *DataFrame) FillNA(v Value) (*DataFrame, error) {
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Map{Input: in, Fn: algebra.FillNAFn(v)}
-	})
+	return d.Lazy().FillNA(v).Collect()
 }
 
 // DropNA removes rows containing any null (pandas dropna). With unique
@@ -292,39 +202,7 @@ func (d *DataFrame) FillNA(v Value) (*DataFrame, error) {
 // over every column (the kernel path); duplicated labels fall back to the
 // positional row predicate, which Where's by-name terms cannot express.
 func (d *DataFrame) DropNA() (*DataFrame, error) {
-	names := d.frame.ColNames()
-	unique := make(map[string]bool, len(names))
-	dups := false
-	for _, n := range names {
-		if unique[n] {
-			dups = true
-			break
-		}
-		unique[n] = true
-	}
-	if !dups {
-		w := &expr.Where{Terms: make([]expr.WhereTerm, len(names))}
-		for i, n := range names {
-			w.Terms[i] = expr.WhereTerm{Col: n, Op: vector.CmpNe, Operand: types.Null()}
-		}
-		return d.run(func(in algebra.Node) algebra.Node {
-			return &algebra.Selection{Input: in, Where: w, Pred: w.Predicate(), Desc: "no nulls"}
-		})
-	}
-	return d.run(func(in algebra.Node) algebra.Node {
-		return &algebra.Selection{
-			Input: in,
-			Desc:  "no nulls",
-			Pred: func(r expr.Row) bool {
-				for j := 0; j < r.NCols(); j++ {
-					if r.Value(j).IsNull() {
-						return false
-					}
-				}
-				return true
-			},
-		}
-	})
+	return d.Lazy().DropNA().Collect()
 }
 
 // SetIndex implements TOLABELS: promote a data column to the row labels
@@ -346,51 +224,24 @@ func (d *DataFrame) ResetIndex(name string) (*DataFrame, error) {
 // Merge equi-joins on the named columns with inner semantics (pandas
 // merge(on=...)).
 func (d *DataFrame) Merge(other *DataFrame, on ...string) (*DataFrame, error) {
-	return d.merge(other, expr.JoinInner, on, false)
+	return d.Lazy().Merge(other.Lazy(), on...).Collect()
 }
 
 // MergeKind equi-joins with explicit join kind: "inner", "left", "right",
 // "outer".
 func (d *DataFrame) MergeKind(other *DataFrame, kind string, on ...string) (*DataFrame, error) {
-	var k expr.JoinKind
-	switch kind {
-	case "inner":
-		k = expr.JoinInner
-	case "left":
-		k = expr.JoinLeft
-	case "right":
-		k = expr.JoinRight
-	case "outer":
-		k = expr.JoinOuter
-	default:
-		return nil, fmt.Errorf("df: unknown join kind %q", kind)
-	}
-	return d.merge(other, k, on, false)
+	return d.Lazy().MergeKind(other.Lazy(), kind, on...).Collect()
 }
 
 // MergeOnIndex joins on the row labels, as in step A2 of Figure 1
 // (merge(left_index=True, right_index=True)).
 func (d *DataFrame) MergeOnIndex(other *DataFrame) (*DataFrame, error) {
-	return d.merge(other, expr.JoinInner, nil, true)
+	return d.Lazy().MergeOnIndex(other.Lazy()).Collect()
 }
 
 // CrossJoin returns the ordered cross product.
 func (d *DataFrame) CrossJoin(other *DataFrame) (*DataFrame, error) {
-	return d.merge(other, expr.JoinCross, nil, false)
-}
-
-func (d *DataFrame) merge(other *DataFrame, kind expr.JoinKind, on []string, onLabels bool) (*DataFrame, error) {
-	out, err := d.engine.Execute(&algebra.Join{
-		Left:     &algebra.Source{DF: d.frame},
-		Right:    &algebra.Source{DF: other.frame},
-		Kind:     kind,
-		On:       on,
-		OnLabels: onLabels,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return wrap(out, d.engine), nil
+	return d.Lazy().CrossJoin(other.Lazy()).Collect()
 }
 
 // GetDummies one-hot encodes every non-numeric column (pandas get_dummies;

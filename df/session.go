@@ -15,26 +15,80 @@ type Session struct {
 	inner *session.Session
 }
 
-// NewSession starts a session on the engine under the named mode: "eager",
-// "lazy" or "opportunistic".
-func NewSession(engine Engine, mode string) (*Session, error) {
-	var m session.Mode
+// Mode selects a session's evaluation regime; use the ModeEager, ModeLazy
+// and ModeOpportunistic constants.
+type Mode = session.Mode
+
+const (
+	// ModeEager evaluates every statement fully before returning control:
+	// the pandas behaviour.
+	ModeEager = session.Eager
+	// ModeLazy defers all computation until a result is requested.
+	ModeLazy = session.Lazy
+	// ModeOpportunistic returns control immediately and evaluates in the
+	// background during think time.
+	ModeOpportunistic = session.Opportunistic
+)
+
+// UnknownModeError is the sentinel error type reported for an unrecognized
+// session-mode name; match it with errors.As.
+type UnknownModeError struct {
+	// Mode is the unrecognized name.
+	Mode string
+}
+
+// Error renders the failure.
+func (e *UnknownModeError) Error() string {
+	return fmt.Sprintf("df: unknown session mode %q", e.Mode)
+}
+
+// ParseMode resolves a mode name ("eager", "lazy", "opportunistic") to its
+// typed constant, reporting *UnknownModeError otherwise.
+func ParseMode(mode string) (Mode, error) {
 	switch mode {
 	case "eager":
-		m = session.Eager
+		return ModeEager, nil
 	case "lazy":
-		m = session.Lazy
+		return ModeLazy, nil
 	case "opportunistic":
-		m = session.Opportunistic
-	default:
-		return nil, fmt.Errorf("df: unknown session mode %q", mode)
+		return ModeOpportunistic, nil
 	}
-	return &Session{inner: session.New(engine, m, nil)}, nil
+	return 0, &UnknownModeError{Mode: mode}
+}
+
+// NewSessionMode starts a session on the engine under the typed mode.
+func NewSessionMode(engine Engine, mode Mode) *Session {
+	return &Session{inner: session.New(engine, mode, nil)}
+}
+
+// NewSession starts a session on the engine under the named mode: "eager",
+// "lazy" or "opportunistic". Unknown names report *UnknownModeError.
+//
+// Deprecated: use NewSessionMode with the typed ModeEager, ModeLazy or
+// ModeOpportunistic constants; the string form is kept as a shim.
+func NewSession(engine Engine, mode string) (*Session, error) {
+	m, err := ParseMode(mode)
+	if err != nil {
+		return nil, err
+	}
+	return NewSessionMode(engine, m), nil
 }
 
 // Bind introduces a dataframe into the session.
 func (s *Session) Bind(name string, d *DataFrame) *Handle {
-	return &Handle{inner: s.inner.Bind(name, d.frame)}
+	return &Handle{s: s, inner: s.inner.Bind(name, d.frame)}
+}
+
+// Query issues a lazy builder plan as one session statement: the plan is
+// run through the optimizer's rewrite rules first, then evaluated under the
+// session's regime — immediately (eager), on request (lazy), or in the
+// background (opportunistic). Sticky builder errors surface here.
+func (s *Session) Query(name string, q *Query) (*Handle, error) {
+	plan, err := q.optimized()
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{s: s, inner: s.inner.Statement(name, plan)}, nil
 }
 
 // ThinkTime models the user pausing: background work drains.
@@ -50,6 +104,7 @@ func (s *Session) Stats() (statements, full, partial, reuse, background int64) {
 
 // Handle is a statement's result: an eventually-computed dataframe.
 type Handle struct {
+	s     *Session
 	inner *session.Handle
 }
 
@@ -57,7 +112,15 @@ type Handle struct {
 // function receives the current logical plan and returns the extended one;
 // plan nodes come from the algebra surfaced via the method helpers below.
 func (h *Handle) Apply(name string, build func(algebra.Node) algebra.Node) *Handle {
-	return &Handle{inner: h.inner.Apply(name, build)}
+	return &Handle{s: h.s, inner: h.inner.Apply(name, build)}
+}
+
+// Lazy returns the handle's plan as a Query on the session's engine, so a
+// statement can continue through the fluent builder:
+//
+//	next, err := s.Query("narrow", h.Lazy().Select("a", "b").Head(10))
+func (h *Handle) Lazy() *Query {
+	return &Query{plan: h.inner.Plan(), engine: h.s.inner.Engine()}
 }
 
 // Collect materializes the full result.

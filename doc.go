@@ -5,10 +5,20 @@
 // paper's evaluation. The public API lives in repro/df; the root package
 // only anchors the module-level benchmark suite (bench_test.go).
 //
-// Execution architecture: logical plans (internal/algebra) are either
-// evaluated bottom-up by the single-threaded baseline (internal/eager) or
-// compiled into a physical stage DAG (internal/physical) by the MODIN
-// engine (internal/modin) — embarrassingly-parallel operator chains fuse
+// Execution architecture: the public surface (repro/df) builds logical
+// plans through one code path — the lazy Query builder ((*DataFrame).Lazy,
+// ScanCSV*), of which the eager methods are one-step sugar. A terminal verb
+// (Collect/CollectAsync/Explain/Count/First) runs the accumulated plan
+// through the optimizer's rewrite rules (internal/optimizer: MAP fusion,
+// projection pushdown below Map/Selection/Sort/Rename, transpose and
+// induction placement, sorted-groupby, limit-sort→TOPK) exactly once, then
+// hands the optimized plan to an engine:
+//
+//	df.Query ──optimizer.Optimize──▶ algebra.Node ──compile──▶ physical DAG ──schedule──▶ exec.Pool
+//
+// Logical plans (internal/algebra) are either evaluated bottom-up by the
+// single-threaded baseline (internal/eager) or compiled into a physical
+// stage DAG (internal/physical) by the MODIN engine (internal/modin) — embarrassingly-parallel operator chains fuse
 // into one task per partition band; the hot repartition points (GROUPBY,
 // SORT, inner/left JOIN) lower to two-phase shuffles
 // (summarize→plan→partition→merge) emitting one independent future per

@@ -21,11 +21,8 @@ func main() {
 	frame := algebra.InduceFrame(workload.Taxi(workload.DefaultTaxiOptions(300_000)))
 	data := df.FromFrame(frame)
 
-	for _, mode := range []string{"eager", "lazy", "opportunistic"} {
-		s, err := df.NewSession(df.NewModinEngine(), mode)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, mode := range []df.Mode{df.ModeEager, df.ModeLazy, df.ModeOpportunistic} {
+		s := df.NewSessionMode(df.NewModinEngine(), mode)
 		sessionStart := time.Now()
 
 		// Statement 1: bind the data.
@@ -74,7 +71,7 @@ func main() {
 			mode, issue, headLatency, collectLatency, time.Since(sessionStart))
 		fmt.Printf("  statements=%d full-evals=%d partial-evals=%d reuse-hits=%d background=%d\n",
 			statements, full, partial, reuse, background)
-		if mode == "opportunistic" {
+		if mode == df.ModeOpportunistic {
 			fmt.Println("  head preview served during think time:")
 			fmt.Println(head)
 			fmt.Println("  aggregate:")

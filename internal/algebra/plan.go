@@ -350,6 +350,110 @@ func CountNodes(n Node) int {
 	return count
 }
 
+// OutputColumns infers the plan's output column labels without executing
+// it; nil means the labels cannot be determined statically (transposes,
+// joins, and row UDFs with undeclared outputs — every other operator is
+// derivable). The query builder uses this to resolve column-set operations
+// early, and the optimizer to prove label-sensitive rewrites sound.
+func OutputColumns(n Node) []string {
+	switch node := n.(type) {
+	case *Source:
+		return node.DF.ColNames()
+	case *Projection:
+		return node.Cols
+	case *Rename:
+		in := OutputColumns(node.Input)
+		if in == nil {
+			return nil
+		}
+		out := make([]string, len(in))
+		for i, name := range in {
+			if to, ok := node.Mapping[name]; ok {
+				out[i] = to
+			} else {
+				out[i] = name
+			}
+		}
+		return out
+	case *Selection:
+		return OutputColumns(node.Input)
+	case *Sort:
+		return OutputColumns(node.Input)
+	case *DropDuplicates:
+		return OutputColumns(node.Input)
+	case *Limit:
+		return OutputColumns(node.Input)
+	case *TopK:
+		return OutputColumns(node.Input)
+	case *Induce:
+		return OutputColumns(node.Input)
+	case *Window:
+		return OutputColumns(node.Input)
+	case *Union:
+		// UnionFrames aligns by label: left's columns in order, then
+		// right-only labels appended at first appearance.
+		left := OutputColumns(node.Left)
+		right := OutputColumns(node.Right)
+		if left == nil || right == nil {
+			return nil
+		}
+		seen := make(map[string]bool, len(left))
+		for _, name := range left {
+			seen[name] = true
+		}
+		out := append([]string(nil), left...)
+		for _, name := range right {
+			if !seen[name] {
+				out = append(out, name)
+				seen[name] = true
+			}
+		}
+		return out
+	case *Difference:
+		return OutputColumns(node.Left)
+	case *Map:
+		if node.Fn.OutCols == nil {
+			return OutputColumns(node.Input)
+		}
+		out := make([]string, len(node.Fn.OutCols))
+		for i, label := range node.Fn.OutCols {
+			out[i] = label.String()
+		}
+		return out
+	case *GroupBy:
+		var out []string
+		if !node.Spec.AsLabels {
+			out = append(out, node.Spec.Keys...)
+		}
+		for _, a := range node.Spec.Aggs {
+			out = append(out, a.OutName())
+		}
+		return out
+	case *ToLabels:
+		in := OutputColumns(node.Input)
+		if in == nil {
+			return nil
+		}
+		out := make([]string, 0, len(in))
+		removed := false
+		for _, name := range in {
+			if !removed && name == node.Col {
+				removed = true
+				continue
+			}
+			out = append(out, name)
+		}
+		return out
+	case *FromLabels:
+		in := OutputColumns(node.Input)
+		if in == nil {
+			return nil
+		}
+		return append([]string{node.Label}, in...)
+	}
+	return nil
+}
+
 // Engine executes logical plans. The baseline (internal/eager) and MODIN
 // (internal/modin) engines implement it; the query layer and public API are
 // engine-agnostic.

@@ -41,6 +41,17 @@ func New() *Engine { return &Engine{} }
 // Name identifies the engine.
 func (e *Engine) Name() string { return "pandas-baseline" }
 
+// wrapNode annotates a kernel failure with the failing operator's
+// description, so a chained plan's error names where in the chain it arose
+// instead of surfacing a bare kernel message. Child errors pass through
+// already annotated, so each failure carries exactly one operator prefix.
+func wrapNode(n algebra.Node, out *core.DataFrame, err error) (*core.DataFrame, error) {
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", n.Describe(), err)
+	}
+	return out, nil
+}
+
 // Execute evaluates the plan bottom-up, materializing every intermediate.
 func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 	switch node := n.(type) {
@@ -53,7 +64,8 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 			return nil, err
 		}
 		if node.Where != nil {
-			return algebra.SelectWhere(in, node.Where)
+			out, err := algebra.SelectWhere(in, node.Where)
+			return wrapNode(node, out, err)
 		}
 		return algebra.SelectRows(in, node.Pred), nil
 
@@ -62,21 +74,24 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 		if err != nil {
 			return nil, err
 		}
-		return algebra.Project(in, node.Cols)
+		out, err := algebra.Project(in, node.Cols)
+		return wrapNode(node, out, err)
 
 	case *algebra.Union:
 		left, right, err := e.executeBinary(node.Left, node.Right)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.UnionFrames(left, right)
+		out, err := algebra.UnionFrames(left, right)
+		return wrapNode(node, out, err)
 
 	case *algebra.Difference:
 		left, right, err := e.executeBinary(node.Left, node.Right)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.DifferenceFrames(left, right)
+		out, err := algebra.DifferenceFrames(left, right)
+		return wrapNode(node, out, err)
 
 	case *algebra.Join:
 		left, right, err := e.executeBinary(node.Left, node.Right)
@@ -88,42 +103,48 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 				return nil, err
 			}
 		}
-		return algebra.JoinFrames(left, right, node.Kind, node.On, node.OnLabels)
+		out, err := algebra.JoinFrames(left, right, node.Kind, node.On, node.OnLabels)
+		return wrapNode(node, out, err)
 
 	case *algebra.DropDuplicates:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.DropDuplicatesFrame(in, node.Subset)
+		out, err := algebra.DropDuplicatesFrame(in, node.Subset)
+		return wrapNode(node, out, err)
 
 	case *algebra.GroupBy:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.GroupByFrame(in, node.Spec)
+		out, err := algebra.GroupByFrame(in, node.Spec)
+		return wrapNode(node, out, err)
 
 	case *algebra.Sort:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.SortFrame(in, node.Order, node.ByLabels)
+		out, err := algebra.SortFrame(in, node.Order, node.ByLabels)
+		return wrapNode(node, out, err)
 
 	case *algebra.Rename:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.RenameFrame(in, node.Mapping)
+		out, err := algebra.RenameFrame(in, node.Mapping)
+		return wrapNode(node, out, err)
 
 	case *algebra.Window:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.WindowFrame(in, node.Spec)
+		out, err := algebra.WindowFrame(in, node.Spec)
+		return wrapNode(node, out, err)
 
 	case *algebra.Transpose:
 		in, err := e.Execute(node.Input)
@@ -133,28 +154,32 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 		if err := e.checkBudget(in.NRows(), in.NCols(), true); err != nil {
 			return nil, fmt.Errorf("transpose of %dx%d: %w", in.NRows(), in.NCols(), err)
 		}
-		return algebra.TransposeFrame(in, node.Schema)
+		out, err := algebra.TransposeFrame(in, node.Schema)
+		return wrapNode(node, out, err)
 
 	case *algebra.Map:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.MapFrame(in, node.Fn)
+		out, err := algebra.MapFrame(in, node.Fn)
+		return wrapNode(node, out, err)
 
 	case *algebra.ToLabels:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.ToLabelsFrame(in, node.Col)
+		out, err := algebra.ToLabelsFrame(in, node.Col)
+		return wrapNode(node, out, err)
 
 	case *algebra.FromLabels:
 		in, err := e.Execute(node.Input)
 		if err != nil {
 			return nil, err
 		}
-		return algebra.FromLabelsFrame(in, node.Label)
+		out, err := algebra.FromLabelsFrame(in, node.Label)
+		return wrapNode(node, out, err)
 
 	case *algebra.Induce:
 		in, err := e.Execute(node.Input)
@@ -168,7 +193,8 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 		if err != nil {
 			return nil, err
 		}
-		return algebra.TopKFrame(in, node.Order, node.N)
+		out, err := algebra.TopKFrame(in, node.Order, node.N)
+		return wrapNode(node, out, err)
 
 	case *algebra.Limit:
 		in, err := e.Execute(node.Input)

@@ -71,13 +71,29 @@ func (c *compiler) compile(n algebra.Node) (*physical.Node, error) {
 	return p, nil
 }
 
-// fuse appends a kernel to the compiled input, extending the input's fused
-// stage in place when it is a fused stage with a single consumer, and
-// opening a new fused stage otherwise.
-func (c *compiler) fuse(input algebra.Node, k physical.Kernel) (*physical.Node, error) {
+// describeErr wraps a kernel or exchange failure with the logical
+// operator's description, so a deep chain's error names the operator that
+// failed (the physical layer only adds the kernel's short name).
+func describeErr(desc string, err error) error {
+	return fmt.Errorf("%s: %w", desc, err)
+}
+
+// fuse appends a kernel implementing node n to the compiled input,
+// extending the input's fused stage in place when it is a fused stage with
+// a single consumer, and opening a new fused stage otherwise. The kernel's
+// failures are annotated with n's description.
+func (c *compiler) fuse(n algebra.Node, input algebra.Node, k physical.Kernel) (*physical.Node, error) {
 	in, err := c.compile(input)
 	if err != nil {
 		return nil, err
+	}
+	desc, fn := n.Describe(), k.Fn
+	k.Fn = func(b *core.DataFrame) (*core.DataFrame, error) {
+		out, err := fn(b)
+		if err != nil {
+			return nil, describeErr(desc, err)
+		}
+		return out, nil
 	}
 	if len(in.Kernels) > 0 && c.uses[input] == 1 {
 		return in.Fuse(k), nil
@@ -85,8 +101,9 @@ func (c *compiler) fuse(input algebra.Node, k physical.Kernel) (*physical.Node, 
 	return physical.NewFused(in, k), nil
 }
 
-// exchange compiles the inputs and wraps run as a barrier stage.
-func (c *compiler) exchange(name string, run func([]*partition.Frame) (*partition.Frame, error), inputs ...algebra.Node) (*physical.Node, error) {
+// exchange compiles the inputs and wraps run as a barrier stage
+// implementing node n; failures are annotated with n's description.
+func (c *compiler) exchange(n algebra.Node, name string, run func([]*partition.Frame) (*partition.Frame, error), inputs ...algebra.Node) (*physical.Node, error) {
 	compiled := make([]*physical.Node, len(inputs))
 	for i, in := range inputs {
 		p, err := c.compile(in)
@@ -95,12 +112,21 @@ func (c *compiler) exchange(name string, run func([]*partition.Frame) (*partitio
 		}
 		compiled[i] = p
 	}
-	return physical.NewExchange(name, run, compiled...), nil
+	desc := n.Describe()
+	wrapped := func(in []*partition.Frame) (*partition.Frame, error) {
+		out, err := run(in)
+		if err != nil {
+			return nil, describeErr(desc, err)
+		}
+		return out, nil
+	}
+	return physical.NewExchange(name, wrapped, compiled...), nil
 }
 
 // shuffleStage compiles the shuffled input (and whole-frame side inputs)
-// and wraps sh as a two-phase shuffle stage.
-func (c *compiler) shuffleStage(sh *physical.Shuffle, input algebra.Node, sides ...algebra.Node) (*physical.Node, error) {
+// and wraps sh as a two-phase shuffle stage implementing node n; every
+// phase hook's failure is annotated with n's description.
+func (c *compiler) shuffleStage(n algebra.Node, sh *physical.Shuffle, input algebra.Node, sides ...algebra.Node) (*physical.Node, error) {
 	in, err := c.compile(input)
 	if err != nil {
 		return nil, err
@@ -113,14 +139,67 @@ func (c *compiler) shuffleStage(sh *physical.Shuffle, input algebra.Node, sides 
 		}
 		compiled[i] = p
 	}
-	return physical.NewShuffle(sh, in, compiled...), nil
+	return physical.NewShuffle(describeShuffle(n.Describe(), sh), in, compiled...), nil
+}
+
+// describeShuffle clones the shuffle with each phase hook annotating its
+// failures with the logical operator's description (the physical layer
+// adds only the stage's short name and phase).
+func describeShuffle(desc string, sh *physical.Shuffle) *physical.Shuffle {
+	wrapped := *sh
+	if fn := sh.Summarize; fn != nil {
+		wrapped.Summarize = func(band int, df *core.DataFrame) (any, error) {
+			v, err := fn(band, df)
+			if err != nil {
+				return nil, describeErr(desc, err)
+			}
+			return v, nil
+		}
+	}
+	if fn := sh.Plan; fn != nil {
+		wrapped.Plan = func(summaries []any, sides []*partition.Frame) (any, error) {
+			v, err := fn(summaries, sides)
+			if err != nil {
+				return nil, describeErr(desc, err)
+			}
+			return v, nil
+		}
+	}
+	if fn := sh.PrefixPlan; fn != nil {
+		wrapped.PrefixPlan = func(prefix []any) (any, error) {
+			v, err := fn(prefix)
+			if err != nil {
+				return nil, describeErr(desc, err)
+			}
+			return v, nil
+		}
+	}
+	if fn := sh.Partition; fn != nil {
+		wrapped.Partition = func(band int, df *core.DataFrame, plan any) ([]any, error) {
+			v, err := fn(band, df, plan)
+			if err != nil {
+				return nil, describeErr(desc, err)
+			}
+			return v, nil
+		}
+	}
+	if fn := sh.Merge; fn != nil {
+		wrapped.Merge = func(bucket int, pieces []any, plan any) (*core.DataFrame, error) {
+			out, err := fn(bucket, pieces, plan)
+			if err != nil {
+				return nil, describeErr(desc, err)
+			}
+			return out, nil
+		}
+	}
+	return &wrapped
 }
 
 // wholeFrame adapts a gather-then-kernel operator (one that must see the
 // full dataframe) into an exchange, re-partitioning its result.
-func (c *compiler) wholeFrame(name string, fn func(*core.DataFrame) (*core.DataFrame, error), input algebra.Node) (*physical.Node, error) {
+func (c *compiler) wholeFrame(n algebra.Node, name string, fn func(*core.DataFrame) (*core.DataFrame, error), input algebra.Node) (*physical.Node, error) {
 	e := c.e
-	return c.exchange(name, func(in []*partition.Frame) (*partition.Frame, error) {
+	return c.exchange(n, name, func(in []*partition.Frame) (*partition.Frame, error) {
 		df, err := gather(in[0])
 		if err != nil {
 			return nil, err
@@ -142,7 +221,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 	case *algebra.Selection:
 		if node.Where != nil {
 			where := node.Where
-			return c.fuse(node.Input, physical.Kernel{
+			return c.fuse(node, node.Input, physical.Kernel{
 				Name: "selection",
 				Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
 					return algebra.SelectWhere(b, where)
@@ -150,7 +229,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 			})
 		}
 		pred := node.Pred
-		return c.fuse(node.Input, physical.Kernel{
+		return c.fuse(node, node.Input, physical.Kernel{
 			Name: "selection",
 			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
 				return algebra.SelectRows(b, pred), nil
@@ -159,7 +238,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 
 	case *algebra.Projection:
 		cols := node.Cols
-		return c.fuse(node.Input, physical.Kernel{
+		return c.fuse(node, node.Input, physical.Kernel{
 			Name: "projection",
 			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
 				return algebra.Project(b, cols)
@@ -168,7 +247,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 
 	case *algebra.Map:
 		fn := node.Fn
-		return c.fuse(node.Input, physical.Kernel{
+		return c.fuse(node, node.Input, physical.Kernel{
 			Name: "map(" + fn.Name + ")",
 			// Elementwise MAPs are partitioning-agnostic and may run per
 			// block; row UDFs need full-width bands.
@@ -180,7 +259,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 
 	case *algebra.Rename:
 		mapping := node.Mapping
-		return c.fuse(node.Input, physical.Kernel{
+		return c.fuse(node, node.Input, physical.Kernel{
 			Name: "rename",
 			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
 				return algebra.RenameFrame(b, mapping)
@@ -189,7 +268,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 
 	case *algebra.ToLabels:
 		col := node.Col
-		return c.fuse(node.Input, physical.Kernel{
+		return c.fuse(node, node.Input, physical.Kernel{
 			Name: "tolabels",
 			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
 				return algebra.ToLabelsFrame(b, col)
@@ -201,7 +280,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		// most |k| rows, so the final exchange touches k×bands rows instead
 		// of the full input.
 		order, k := node.Order, node.N
-		partial, err := c.fuse(node.Input, physical.Kernel{
+		partial, err := c.fuse(node, node.Input, physical.Kernel{
 			Name: "topk-partial",
 			Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
 				return algebra.TopKFrame(b, order, k)
@@ -217,26 +296,26 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 			}
 			out, err := algebra.TopKFrame(df, order, k)
 			if err != nil {
-				return nil, err
+				return nil, describeErr(node.Describe(), err)
 			}
 			return e.rePartition(out), nil
 		}, partial), nil
 
 	case *algebra.GroupBy:
-		return c.shuffleStage(e.groupByShuffle(node.Spec), node.Input)
+		return c.shuffleStage(node, e.groupByShuffle(node.Spec), node.Input)
 
 	case *algebra.Window:
 		spec := node.Spec
-		return c.exchange("window", func(in []*partition.Frame) (*partition.Frame, error) {
+		return c.exchange(node, "window", func(in []*partition.Frame) (*partition.Frame, error) {
 			return e.executeWindow(spec, in[0])
 		}, node.Input)
 
 	case *algebra.Sort:
-		return c.shuffleStage(e.sortShuffle(node), node.Input)
+		return c.shuffleStage(node, e.sortShuffle(node), node.Input)
 
 	case *algebra.Transpose:
 		schema := node.Schema
-		return c.exchange("transpose", func(in []*partition.Frame) (*partition.Frame, error) {
+		return c.exchange(node, "transpose", func(in []*partition.Frame) (*partition.Frame, error) {
 			return e.executeTranspose(schema, in[0])
 		}, node.Input)
 
@@ -245,7 +324,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 			// Anchored broadcast probe: left bands pass through in order,
 			// the right side is built once and broadcast; band b's join
 			// lands independently of the other bands.
-			probe, err := c.shuffleStage(e.joinProbeShuffle(node), node.Left, node.Right)
+			probe, err := c.shuffleStage(node, e.joinProbeShuffle(node), node.Left, node.Right)
 			if err != nil {
 				return nil, err
 			}
@@ -256,14 +335,14 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 			// sequence; the renumber pass is itself an anchored shuffle
 			// (only band counts cross bands), so the join's output bands
 			// stay independent futures.
-			return physical.NewShuffle(e.renumberShuffle(), probe), nil
+			return physical.NewShuffle(describeShuffle(node.Describe(), e.renumberShuffle()), probe), nil
 		}
-		return c.exchange("join", func(in []*partition.Frame) (*partition.Frame, error) {
+		return c.exchange(node, "join", func(in []*partition.Frame) (*partition.Frame, error) {
 			return e.executeJoinGather(node, in[0], in[1])
 		}, node.Left, node.Right)
 
 	case *algebra.Union:
-		return c.exchange("union", func(in []*partition.Frame) (*partition.Frame, error) {
+		return c.exchange(node, "union", func(in []*partition.Frame) (*partition.Frame, error) {
 			left, err := gather(in[0])
 			if err != nil {
 				return nil, err
@@ -280,7 +359,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		}, node.Left, node.Right)
 
 	case *algebra.Difference:
-		return c.exchange("difference", func(in []*partition.Frame) (*partition.Frame, error) {
+		return c.exchange(node, "difference", func(in []*partition.Frame) (*partition.Frame, error) {
 			left, err := gather(in[0])
 			if err != nil {
 				return nil, err
@@ -300,20 +379,20 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		// FROMLABELS resets row labels to global positional notation,
 		// which spans partitions; run on the gathered frame.
 		label := node.Label
-		return c.wholeFrame("fromlabels", func(df *core.DataFrame) (*core.DataFrame, error) {
+		return c.wholeFrame(node, "fromlabels", func(df *core.DataFrame) (*core.DataFrame, error) {
 			return algebra.FromLabelsFrame(df, label)
 		}, node.Input)
 
 	case *algebra.DropDuplicates:
 		subset := node.Subset
-		return c.wholeFrame("dropduplicates", func(df *core.DataFrame) (*core.DataFrame, error) {
+		return c.wholeFrame(node, "dropduplicates", func(df *core.DataFrame) (*core.DataFrame, error) {
 			return algebra.DropDuplicatesFrame(df, subset)
 		}, node.Input)
 
 	case *algebra.Induce:
 		// Induction over blocks would mis-type columns that only full
 		// data determines; gather first.
-		return c.wholeFrame("induce", func(df *core.DataFrame) (*core.DataFrame, error) {
+		return c.wholeFrame(node, "induce", func(df *core.DataFrame) (*core.DataFrame, error) {
 			return algebra.InduceFrame(df), nil
 		}, node.Input)
 
@@ -321,7 +400,7 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		// Prefix/suffix views only need the boundary partitions
 		// (Section 6.1.2): untouched bands are never gathered.
 		k := node.N
-		return c.exchange("limit", func(in []*partition.Frame) (*partition.Frame, error) {
+		return c.exchange(node, "limit", func(in []*partition.Frame) (*partition.Frame, error) {
 			return e.limitPartitioned(in[0], k)
 		}, node.Input)
 

@@ -46,6 +46,10 @@ func Default() []Rule {
 		CollapseInduce{},
 		DeferInduce{},
 		PushProjectionThroughMap{},
+		PushProjectionThroughSelection{},
+		PushProjectionThroughSort{},
+		PushProjectionThroughRename{},
+		CollapseProjections{},
 		SortedGroupBy{},
 		LimitSortToTopK{},
 	}
@@ -319,6 +323,176 @@ func (PushProjectionThroughMap) Apply(n algebra.Node) (algebra.Node, bool) {
 	}
 	inner := &algebra.Projection{Input: m.Input, Cols: p.Cols}
 	return &algebra.Map{Input: inner, Fn: m.Fn}, true
+}
+
+// PushProjectionThroughSelection moves PROJECTION below a structured
+// SELECTION whose predicate only reads projected columns:
+// PROJECT(SELECT_w(x)) → SELECT_w(PROJECT(x)). The selection then filters
+// narrow rows instead of full-width ones. Opaque predicates may read any
+// column (including by position), so only Where-bearing selections qualify,
+// and every Where term's column must survive the projection.
+type PushProjectionThroughSelection struct{}
+
+// Name identifies the rule.
+func (PushProjectionThroughSelection) Name() string { return "push-projection-through-selection" }
+
+// Apply rewrites PROJECT(SELECT_w(x)) → SELECT_w(PROJECT(x)).
+func (PushProjectionThroughSelection) Apply(n algebra.Node) (algebra.Node, bool) {
+	p, ok := n.(*algebra.Projection)
+	if !ok {
+		return n, false
+	}
+	sel, ok := p.Input.(*algebra.Selection)
+	if !ok || sel.Where == nil {
+		return n, false
+	}
+	kept := make(map[string]bool, len(p.Cols))
+	for _, c := range p.Cols {
+		kept[c] = true
+	}
+	for _, term := range sel.Where.Terms {
+		if !kept[term.Col] {
+			return n, false
+		}
+	}
+	c := *sel
+	c.Input = &algebra.Projection{Input: sel.Input, Cols: p.Cols}
+	return &c, true
+}
+
+// PushProjectionThroughSort moves PROJECTION below a SORT whose keys all
+// survive the projection: PROJECT(SORT(x, keys)) → SORT(PROJECT(x), keys).
+// Projection preserves row order, so sorting narrow rows is equivalent.
+type PushProjectionThroughSort struct{}
+
+// Name identifies the rule.
+func (PushProjectionThroughSort) Name() string { return "push-projection-through-sort" }
+
+// Apply rewrites PROJECT(SORT(x, keys)) → SORT(PROJECT(x), keys).
+func (PushProjectionThroughSort) Apply(n algebra.Node) (algebra.Node, bool) {
+	p, ok := n.(*algebra.Projection)
+	if !ok {
+		return n, false
+	}
+	s, ok := p.Input.(*algebra.Sort)
+	if !ok || s.ByLabels {
+		return n, false
+	}
+	kept := make(map[string]bool, len(p.Cols))
+	for _, c := range p.Cols {
+		kept[c] = true
+	}
+	for _, key := range s.Order {
+		if !kept[key.Col] {
+			return n, false
+		}
+	}
+	c := *s
+	c.Input = &algebra.Projection{Input: s.Input, Cols: p.Cols}
+	return &c, true
+}
+
+// PushProjectionThroughRename moves PROJECTION below RENAME, translating
+// the projected labels back to their pre-rename names:
+// PROJECT(RENAME(x, m)) → RENAME'(PROJECT'(x)). The rename then touches
+// only surviving columns. The rule declines when the mapping collapses two
+// sources onto one target (inversion is ambiguous), when a projected label
+// was renamed *away* (the projection must keep erroring), or when the
+// statically-inferred post-rename labels are unknown or contain duplicates
+// (by-name projection resolves to the FIRST occurrence, which inversion
+// cannot reproduce — e.g. renaming v→k beside an existing k). Mapping
+// entries whose targets the projection drops are discarded unvalidated: a
+// rename of a nonexistent column that the query never reads stops being an
+// error, like a resolved catalog would treat it.
+type PushProjectionThroughRename struct{}
+
+// Name identifies the rule.
+func (PushProjectionThroughRename) Name() string { return "push-projection-through-rename" }
+
+// Apply rewrites PROJECT(RENAME(x, m)) → RENAME'(PROJECT'(x)).
+func (PushProjectionThroughRename) Apply(n algebra.Node) (algebra.Node, bool) {
+	p, ok := n.(*algebra.Projection)
+	if !ok {
+		return n, false
+	}
+	r, ok := p.Input.(*algebra.Rename)
+	if !ok {
+		return n, false
+	}
+	// Inversion is only faithful when every post-rename label is unique:
+	// with duplicates, the projection picks the first occurrence, which may
+	// be an untouched column shadowed by a rename target.
+	post := algebra.OutputColumns(r)
+	if post == nil {
+		return n, false
+	}
+	seen := make(map[string]bool, len(post))
+	for _, name := range post {
+		if seen[name] {
+			return n, false
+		}
+		seen[name] = true
+	}
+	inverse := make(map[string]string, len(r.Mapping))
+	for from, to := range r.Mapping {
+		if _, dup := inverse[to]; dup {
+			return n, false
+		}
+		inverse[to] = from
+	}
+	sources := make([]string, len(p.Cols))
+	narrowed := make(map[string]string)
+	for i, col := range p.Cols {
+		from, renamed := inverse[col]
+		if !renamed {
+			if _, away := r.Mapping[col]; away {
+				// col was renamed to something else: projecting it above
+				// the rename fails, so the plan must keep failing.
+				return n, false
+			}
+			from = col
+		}
+		sources[i] = from
+		if from != col {
+			narrowed[from] = col
+		}
+	}
+	inner := &algebra.Projection{Input: r.Input, Cols: sources}
+	if len(narrowed) == 0 {
+		return inner, true
+	}
+	return &algebra.Rename{Input: inner, Mapping: narrowed}, true
+}
+
+// CollapseProjections merges stacked projections into the outer one:
+// PROJECT_a(PROJECT_b(x)) → PROJECT_a(x), sound when every outer column is
+// produced by the inner projection (otherwise the inner projection's error
+// must be preserved).
+type CollapseProjections struct{}
+
+// Name identifies the rule.
+func (CollapseProjections) Name() string { return "collapse-projections" }
+
+// Apply rewrites PROJECT_a(PROJECT_b(x)) → PROJECT_a(x) when a ⊆ b.
+func (CollapseProjections) Apply(n algebra.Node) (algebra.Node, bool) {
+	outer, ok := n.(*algebra.Projection)
+	if !ok {
+		return n, false
+	}
+	inner, ok := outer.Input.(*algebra.Projection)
+	if !ok {
+		return n, false
+	}
+	produced := make(map[string]bool, len(inner.Cols))
+	for _, c := range inner.Cols {
+		produced[c] = true
+	}
+	for _, c := range outer.Cols {
+		if !produced[c] {
+			return n, false
+		}
+	}
+	return &algebra.Projection{Input: inner.Input, Cols: outer.Cols}, true
 }
 
 // SortedGroupBy marks a GROUPBY whose input is explicitly sorted by a

@@ -133,6 +133,143 @@ func TestPushProjectionThroughMap(t *testing.T) {
 	}
 }
 
+func TestPushProjectionThroughSelection(t *testing.T) {
+	w := expr.WhereNotNull("v")
+	plan := &algebra.Projection{
+		Input: &algebra.Selection{Input: source(t), Where: w, Pred: w.Predicate(), Desc: "v notnull"},
+		Cols:  []string{"v"},
+	}
+	runBoth(t, plan, "push-projection-through-selection")
+	opt, _ := Optimize(plan, Default())
+	if _, ok := opt.(*algebra.Selection); !ok {
+		t.Errorf("selection should be outermost:\n%s", algebra.Render(opt))
+	}
+
+	// A predicate reading a dropped column blocks the push.
+	wk := expr.WhereNotNull("k")
+	blocked := &algebra.Projection{
+		Input: &algebra.Selection{Input: source(t), Where: wk, Pred: wk.Predicate(), Desc: "k notnull"},
+		Cols:  []string{"v"},
+	}
+	opt2, fired := Optimize(blocked, Default())
+	for _, f := range fired {
+		if f == "push-projection-through-selection" {
+			t.Errorf("predicate over dropped column must block the push:\n%s", algebra.Render(opt2))
+		}
+	}
+
+	// Opaque predicates may read anything: never pushed.
+	opaque := &algebra.Projection{
+		Input: &algebra.Selection{Input: source(t), Pred: expr.ColNotNull("v"), Desc: "opaque"},
+		Cols:  []string{"v"},
+	}
+	if _, fired := Optimize(opaque, Default()); len(fired) != 0 {
+		t.Errorf("opaque selection must not move, fired = %v", fired)
+	}
+}
+
+func TestPushProjectionThroughSort(t *testing.T) {
+	plan := &algebra.Projection{
+		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "v", Desc: true}}},
+		Cols:  []string{"v"},
+	}
+	runBoth(t, plan, "push-projection-through-sort")
+	opt, _ := Optimize(plan, Default())
+	if _, ok := opt.(*algebra.Sort); !ok {
+		t.Errorf("sort should be outermost:\n%s", algebra.Render(opt))
+	}
+
+	// Sorting by a dropped key blocks the push.
+	blocked := &algebra.Projection{
+		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "k"}}},
+		Cols:  []string{"v"},
+	}
+	if _, fired := Optimize(blocked, Default()); len(fired) != 0 {
+		t.Errorf("sort key outside the projection must block, fired = %v", fired)
+	}
+
+	// Label sorts do not consume data columns but establish order from
+	// metadata; the push is still sound only for data-column sorts here.
+	byLabels := &algebra.Projection{
+		Input: &algebra.Sort{Input: source(t), ByLabels: true},
+		Cols:  []string{"v"},
+	}
+	if _, fired := Optimize(byLabels, Default()); len(fired) != 0 {
+		t.Errorf("label sorts must not move, fired = %v", fired)
+	}
+}
+
+func TestPushProjectionThroughRename(t *testing.T) {
+	plan := &algebra.Projection{
+		Input: &algebra.Rename{Input: source(t), Mapping: map[string]string{"v": "value", "k": "key"}},
+		Cols:  []string{"value"},
+	}
+	runBoth(t, plan, "push-projection-through-rename")
+	opt, _ := Optimize(plan, Default())
+	r, ok := opt.(*algebra.Rename)
+	if !ok {
+		t.Fatalf("rename should be outermost:\n%s", algebra.Render(opt))
+	}
+	if len(r.Mapping) != 1 || r.Mapping["v"] != "value" {
+		t.Errorf("rename should narrow to the surviving column, got %v", r.Mapping)
+	}
+
+	// Identity-surviving projection: the rename disappears entirely.
+	ident := &algebra.Projection{
+		Input: &algebra.Rename{Input: source(t), Mapping: map[string]string{"k": "key"}},
+		Cols:  []string{"v"},
+	}
+	runBoth(t, ident, "push-projection-through-rename")
+	opt2, _ := Optimize(ident, Default())
+	if _, ok := opt2.(*algebra.Projection); !ok {
+		t.Errorf("no surviving rename expected:\n%s", algebra.Render(opt2))
+	}
+
+	// Projecting a renamed-away label must keep erroring: no push.
+	away := &algebra.Projection{
+		Input: &algebra.Rename{Input: source(t), Mapping: map[string]string{"v": "value"}},
+		Cols:  []string{"v"},
+	}
+	if _, fired := Optimize(away, Default()); len(fired) != 0 {
+		t.Errorf("renamed-away projection must not move, fired = %v", fired)
+	}
+
+	// A rename target shadowing an existing label creates duplicate
+	// post-rename labels: the projection resolves to the FIRST occurrence
+	// (the untouched k), which inversion cannot reproduce — the rule must
+	// decline, and the optimized plan must return identical data.
+	shadow := &algebra.Projection{
+		Input: &algebra.Rename{Input: source(t), Mapping: map[string]string{"v": "k"}},
+		Cols:  []string{"k"},
+	}
+	runBoth(t, shadow)
+	if _, fired := Optimize(shadow, Default()); len(fired) != 0 {
+		t.Errorf("shadowing rename must not move, fired = %v", fired)
+	}
+}
+
+func TestCollapseProjections(t *testing.T) {
+	plan := &algebra.Projection{
+		Input: &algebra.Projection{Input: source(t), Cols: []string{"k", "v"}},
+		Cols:  []string{"v"},
+	}
+	runBoth(t, plan, "collapse-projections")
+	opt, _ := Optimize(plan, Default())
+	if algebra.CountNodes(opt) != 2 {
+		t.Errorf("stacked projections should collapse:\n%s", algebra.Render(opt))
+	}
+
+	// The outer projection referencing a column the inner dropped must keep
+	// failing, so the collapse declines.
+	blocked := &algebra.Projection{
+		Input: &algebra.Projection{Input: source(t), Cols: []string{"v"}},
+		Cols:  []string{"k"},
+	}
+	if _, fired := Optimize(blocked, Default()); len(fired) != 0 {
+		t.Errorf("collapse must preserve the inner projection's error, fired = %v", fired)
+	}
+}
+
 func TestSortedGroupBy(t *testing.T) {
 	plan := &algebra.GroupBy{
 		Input: &algebra.Sort{Input: source(t), Order: expr.SortOrder{{Col: "k"}}},

@@ -409,6 +409,10 @@ func cloneWithChildren(n algebra.Node, kids []algebra.Node) algebra.Node {
 		c := *node
 		c.Input = kids[0]
 		return &c
+	case *algebra.TopK:
+		c := *node
+		c.Input = kids[0]
+		return &c
 	case *algebra.Source:
 		return node
 	}
