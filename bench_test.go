@@ -726,6 +726,124 @@ func BenchmarkVectorizedFilter(b *testing.B) {
 	})
 }
 
+// --- Stats-driven physical planning ----------------------------------------
+
+// shuffledJoinFrames builds natively-typed join inputs big enough that the
+// planner's build-side estimate crosses the broadcast limit: the shuffled
+// strategy builds each right row into exactly one bucket table, while the
+// broadcast plan rebuilds the full right-side table once per probe band.
+func shuffledJoinFrames(probeRows, buildRows, keys int) (left, right *core.DataFrame) {
+	lk := make([]int64, probeRows)
+	lv := make([]float64, probeRows)
+	for i := range lk {
+		lk[i] = int64((i * 2654435761) % keys)
+		lv[i] = float64(i%97) + 0.5
+	}
+	rk := make([]int64, buildRows)
+	rv := make([]int64, buildRows)
+	for i := range rk {
+		rk[i] = int64((i * 40503) % keys)
+		rv[i] = int64(i)
+	}
+	left, err := core.Build(
+		[]vector.Vector{vector.NewInt(lk, nil), vector.NewFloat(lv, nil)},
+		vector.Range(0, probeRows),
+		[]types.Value{types.String("k"), types.String("lv")}, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	right, err = core.Build(
+		[]vector.Vector{vector.NewInt(rk, nil), vector.NewInt(rv, nil)},
+		vector.Range(0, buildRows),
+		[]types.Value{types.String("k"), types.String("rv")}, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	return left, right
+}
+
+// BenchmarkShuffledJoin contrasts the two physical join strategies on the
+// same large-build inner join. The "shuffle" arm is what the stats-driven
+// planner picks (build estimate above the broadcast limit); "broadcast" is
+// the zero-stats fallback plan. The shuffle arm's recorded baseline must
+// stay ≥1.5× faster — both arms are gated in CI.
+func BenchmarkShuffledJoin(b *testing.B) {
+	left, right := shuffledJoinFrames(60_000, 400_000, 250_000)
+	plan := &algebra.Join{
+		Left:  &algebra.Source{DF: left},
+		Right: &algebra.Source{DF: right},
+		Kind:  expr.JoinInner,
+		On:    []string{"k"},
+	}
+	b.Run("shuffle", func(b *testing.B) {
+		e := modin.New(modin.WithBands(4))
+		runPlan(b, e, plan)
+	})
+	b.Run("broadcast", func(b *testing.B) {
+		e := modin.New(modin.WithBands(4), modin.WithoutStats())
+		runPlan(b, e, plan)
+	})
+}
+
+// BenchmarkDictGroupBy contrasts group-by aggregation over a dictionary-
+// coded key: the dict arm indexes typed accumulator arrays by category code
+// (no hash probes, no boxed accumulators); the hash arm is the generic
+// path. The dict arm's recorded allocs/op baseline must stay ≥5× lower.
+func BenchmarkDictGroupBy(b *testing.B) {
+	rows, cats := 300_000, 2_000
+	dict := make([]string, cats)
+	for c := range dict {
+		dict[c] = fmt.Sprintf("cat-%04d", c)
+	}
+	codes := make([]int32, rows)
+	vals := make([]float64, rows)
+	var nulls []bool
+	for i := range codes {
+		codes[i] = int32((i * 7919) % cats)
+		vals[i] = float64(i%101) + 0.25
+		if i%53 == 0 {
+			if nulls == nil {
+				nulls = make([]bool, rows)
+			}
+			nulls[i] = true
+		}
+	}
+	frame, err := core.Build(
+		[]vector.Vector{vector.NewDict(codes, dict, nil), vector.NewFloat(vals, nulls)},
+		vector.Range(0, rows),
+		[]types.Value{types.String("k"), types.String("v")}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := expr.GroupBySpec{
+		Keys: []string{"k"},
+		Aggs: []expr.AggSpec{
+			{Col: "v", Agg: expr.AggSum, As: "total"},
+			{Col: "v", Agg: expr.AggMean, As: "avg"},
+			{Col: "v", Agg: expr.AggMin, As: "lo"},
+			{Col: "v", Agg: expr.AggCount, As: "n"},
+		},
+	}
+	b.Run("dict", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.GroupByFrame(frame, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		restore := algebra.SetDictGroupForTesting(false)
+		defer restore()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := algebra.GroupByFrame(frame, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkHashGroupByKeys contrasts group-key identity computation: the
 // boxed path renders every row's key tuple to a string (the pre-kernel
 // routing representation — one rendered string and 1-2 allocations per

@@ -9,11 +9,15 @@
 // parse keeps the FASTEST ns/op (and, when the run used -benchmem, the
 // LOWEST allocs/op) across repeated counts of each benchmark (robust to
 // scheduling noise) and strips the trailing GOMAXPROCS suffix so results
-// compare across machines with different core counts. compare exits
-// non-zero when any benchmark selected by -match slowed down by more than
-// the time threshold ratio, or allocated more than the alloc threshold
-// ratio over baseline (alloc gating applies only where both files carry
-// allocation counts).
+// compare across machines with different core counts; -keep-cpu retains
+// the suffix so a `-cpu 1,4` run records one entry per parallelism level.
+// compare exits non-zero when any benchmark selected by -match slowed
+// down by more than the time threshold ratio, or allocated more than the
+// alloc threshold ratio over baseline (alloc gating applies only where
+// both files carry allocation counts). -require lists comma-separated
+// regexps that must each match at least one current benchmark name, so a
+// renamed or silently-skipped benchmark fails the gate even when the
+// baseline predates it.
 package main
 
 import (
@@ -66,17 +70,18 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  benchdiff parse [-o out.json]                      (bench output on stdin)
-  benchdiff compare -baseline a.json -current b.json [-threshold 1.25] [-match regexp]`)
+  benchdiff parse [-o out.json] [-keep-cpu]          (bench output on stdin)
+  benchdiff compare -baseline a.json -current b.json [-threshold 1.25] [-match regexp] [-require re,re]`)
 	os.Exit(2)
 }
 
 func runParse(args []string) {
 	fs := flag.NewFlagSet("parse", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default stdout)")
+	keepCPU := fs.Bool("keep-cpu", false, "keep the -N GOMAXPROCS suffix (one entry per -cpu level)")
 	fs.Parse(args)
 
-	results, err := parseBench(os.Stdin)
+	results, err := parseBench(os.Stdin, *keepCPU)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,7 +105,7 @@ func runParse(args []string) {
 
 // parseBench scans `go test -bench` output, aggregating repeated counts of
 // one benchmark to the fastest observation.
-func parseBench(r io.Reader) ([]Result, error) {
+func parseBench(r io.Reader, keepCPU bool) ([]Result, error) {
 	best := make(map[string]*Result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -109,7 +114,10 @@ func parseBench(r io.Reader) ([]Result, error) {
 		if m == nil {
 			continue
 		}
-		name := cpuSuffix.ReplaceAllString(m[1], "")
+		name := m[1]
+		if !keepCPU {
+			name = cpuSuffix.ReplaceAllString(name, "")
+		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			continue
@@ -154,6 +162,7 @@ func runCompare(args []string) {
 	threshold := fs.Float64("threshold", 1.25, "fail when current/baseline ns/op exceeds this ratio")
 	allocThreshold := fs.Float64("alloc-threshold", 1.25, "fail when current/baseline allocs/op exceeds this ratio (where both record allocations)")
 	match := fs.String("match", ".", "regexp selecting which benchmarks gate the comparison")
+	require := fs.String("require", "", "comma-separated regexps that must each match a current benchmark")
 	fs.Parse(args)
 	if *baselinePath == "" || *currentPath == "" {
 		usage()
@@ -161,6 +170,16 @@ func runCompare(args []string) {
 	re, err := regexp.Compile(*match)
 	if err != nil {
 		fatal(fmt.Errorf("bad -match: %w", err))
+	}
+	var required []*regexp.Regexp
+	if *require != "" {
+		for _, pat := range strings.Split(*require, ",") {
+			rq, err := regexp.Compile(pat)
+			if err != nil {
+				fatal(fmt.Errorf("bad -require %q: %w", pat, err))
+			}
+			required = append(required, rq)
+		}
 	}
 	baseline, err := loadFile(*baselinePath)
 	if err != nil {
@@ -211,6 +230,21 @@ func runCompare(args []string) {
 		fmt.Printf("%-60s %14s %14s %7.2fx %10s%s\n", b.Name, fmtNs(b.NsPerOp), fmtNs(cur.NsPerOp), ratio, allocCol, marker)
 	}
 	fmt.Printf("\ncompared %d benchmark(s), %d missing, time threshold %.2fx, alloc threshold %.2fx\n", compared, missing, *threshold, *allocThreshold)
+	// Presence gate: each -require pattern must match at least one CURRENT
+	// benchmark. This catches a new benchmark that never ran (crash, rename,
+	// bad -bench filter) even when the baseline predates it.
+	for _, rq := range required {
+		found := false
+		for name := range current {
+			if rq.MatchString(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("required benchmark %q missing from current results", rq))
+		}
+	}
 	if compared == 0 {
 		fatal(fmt.Errorf("no benchmarks matched %q in both files", *match))
 	}

@@ -14,7 +14,7 @@ BenchmarkPipelinedFusedChainOnly/modin-8   3   6000000 ns/op   12 B/op   1 alloc
 BenchmarkOther-8                           1   1234.5 ns/op
 PASS
 `
-	results, err := parseBench(strings.NewReader(out))
+	results, err := parseBench(strings.NewReader(out), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestParseBenchKeepsLowestAllocs(t *testing.T) {
 	out := `BenchmarkX-8   3   5000 ns/op   128 B/op   7 allocs/op
 BenchmarkX-8   3   6000 ns/op   96 B/op   5 allocs/op
 `
-	results, err := parseBench(strings.NewReader(out))
+	results, err := parseBench(strings.NewReader(out), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +61,35 @@ BenchmarkX-8   3   6000 ns/op   96 B/op   5 allocs/op
 }
 
 func TestParseBenchIgnoresNonBenchLines(t *testing.T) {
-	results, err := parseBench(strings.NewReader("PASS\nok repro 1.2s\n"))
+	results, err := parseBench(strings.NewReader("PASS\nok repro 1.2s\n"), false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != 0 {
 		t.Errorf("parsed %d benchmarks from noise", len(results))
+	}
+}
+
+func TestParseBenchKeepCPUSuffix(t *testing.T) {
+	out := `BenchmarkShuffledJoin/shuffle     3   5000 ns/op
+BenchmarkShuffledJoin/shuffle-4   3   7000 ns/op
+`
+	results, err := parseBench(strings.NewReader(out), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("keep-cpu must record one entry per -cpu level, got %d", len(results))
+	}
+	if results[0].Name != "BenchmarkShuffledJoin/shuffle" || results[1].Name != "BenchmarkShuffledJoin/shuffle-4" {
+		t.Errorf("names = %q, %q", results[0].Name, results[1].Name)
+	}
+	// Without keep-cpu the same input folds to one entry (fastest wins).
+	folded, err := parseBench(strings.NewReader(out), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded) != 1 || folded[0].NsPerOp != 5000 {
+		t.Errorf("folded = %+v, want one entry at 5000 ns/op", folded)
 	}
 }

@@ -492,13 +492,27 @@ func (q *Query) CollectAsync() *Future {
 	return &Future{inner: fut, engine: q.engine}
 }
 
+// physicalDescriber matches engines (MODIN) that expose their physical
+// strategy decisions — broadcast vs key-shuffled joins, dictionary vs hash
+// groupby — for a logical plan.
+type physicalDescriber interface {
+	DescribePhysical(algebra.Node) string
+}
+
 // Explain renders the plan before and after optimization, naming the
-// rewrite rules that fired.
+// rewrite rules that fired; on engines with a physical planner it appends
+// the statistics-driven strategy chosen for each repartition point.
 func (q *Query) Explain() string {
 	if q.err != nil {
 		return "error: " + q.err.Error() + "\n"
 	}
-	return optimizer.Explain(q.plan, optimizer.Default())
+	out := optimizer.Explain(q.plan, optimizer.Default())
+	if d, ok := q.engine.(physicalDescriber); ok {
+		if plan, err := q.optimized(); err == nil {
+			out += "physical strategy:\n" + d.DescribePhysical(plan)
+		}
+	}
+	return out
 }
 
 // Count returns the result's row count. Operators that cannot change the

@@ -83,6 +83,8 @@ MAP(inc∘dbl)
     PROJECTION(a, b)
       SOURCE(df, 4x3)
 rules fired: map-fusion, push-projection-through-map, push-projection-through-selection
+physical strategy:
+(no repartition points)
 `
 	if got != want {
 		t.Errorf("explain drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
@@ -121,6 +123,8 @@ GROUPBY(keys=[a], aggs=[sum(b)])
       PROJECTION(a, b)
         SOURCE(df, 4x3)
 rules fired: push-projection-through-selection, sorted-groupby
+physical strategy:
+GROUPBY strategy=hash-shuffle (groups≈1)
 `
 	if got != want {
 		t.Errorf("explain drifted:\n--- got ---\n%s--- want ---\n%s", got, want)

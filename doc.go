@@ -15,6 +15,9 @@
 // hands the optimized plan to an engine:
 //
 //	df.Query ──optimizer.Optimize──▶ algebra.Node ──compile──▶ physical DAG ──schedule──▶ exec.Pool
+//	                                       ▲
+//	            internal/stats sketches ───┘ (per-column stats steer the compile step's
+//	                                          broadcast-vs-shuffle and cut decisions)
 //
 // Logical plans (internal/algebra) are either evaluated bottom-up by the
 // single-threaded baseline (internal/eager) or compiled into a physical
@@ -41,6 +44,20 @@
 // transparent fallback wherever only a predicate is understood — the
 // kernels change nothing about ordered-dataframe semantics (group
 // first-appearance order, stable sort ties, nested join order).
+//
+// Statistics-driven strategy: the MODIN engine collects per-column
+// statistics (counts, nulls, min/max, HyperLogLog distinct sketches —
+// internal/sketch, internal/stats) bulk-wise from typed storage at scan
+// boundaries, memoized per base frame and mergeable across partitions.
+// optimizer.Estimator reads them through the SourceStats interface, and
+// the compile step uses the estimates to pick physical strategies: joins
+// whose build side exceeds the broadcast limit become key-shuffled hash
+// joins, dictionary-coded group keys aggregate directly on int32 codes
+// with typed accumulators, and skewed groupby shuffles weigh their cuts
+// by per-key row volume (isolating Zipf-head keys in their own buckets).
+// Query.Explain appends the chosen strategies with the estimates that
+// drove them; modin.WithoutStats() restores the zero-stats plans
+// (broadcast joins, even cuts) exactly.
 //
 // Scheduler instrumentation: each run's physical.Scheduler exposes Stats
 // counters — FusedTasks/FusedStages for fused chains,

@@ -1,0 +1,248 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// dictFrame builds a frame with a natively dictionary-coded key column plus
+// Int and Float aggregate columns (with nulls sprinkled through all three).
+func dictFrame(t *testing.T, rows, cats int) *core.DataFrame {
+	t.Helper()
+	dict := make([]string, cats)
+	for c := range dict {
+		dict[c] = "cat-" + string(rune('a'+c%26)) + "-" + string(rune('0'+c%10))
+	}
+	codes := make([]int32, rows)
+	var knulls []bool
+	iv := make([]int64, rows)
+	var inulls []bool
+	fv := make([]float64, rows)
+	var fnulls []bool
+	for i := 0; i < rows; i++ {
+		codes[i] = int32((i * i) % cats)
+		iv[i] = int64(i%13 - 6)
+		fv[i] = float64(i%7) + 0.25
+		if i%17 == 0 {
+			if knulls == nil {
+				knulls = make([]bool, rows)
+			}
+			knulls[i] = true
+		}
+		if i%5 == 0 {
+			if inulls == nil {
+				inulls = make([]bool, rows)
+			}
+			inulls[i] = true
+		}
+		if i%9 == 0 {
+			if fnulls == nil {
+				fnulls = make([]bool, rows)
+			}
+			fnulls[i] = true
+		}
+	}
+	df, err := core.Build(
+		[]vector.Vector{
+			vector.NewDict(codes, dict, knulls),
+			vector.NewInt(iv, inulls),
+			vector.NewFloat(fv, fnulls),
+		},
+		vector.Range(0, rows),
+		[]types.Value{types.String("k"), types.String("iv"), types.String("fv")},
+		nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df
+}
+
+func fullAggSpec(asLabels bool) expr.GroupBySpec {
+	return expr.GroupBySpec{
+		Keys:     []string{"k"},
+		AsLabels: asLabels,
+		Aggs: []expr.AggSpec{
+			{Col: "iv", Agg: expr.AggCount, As: "n"},
+			{Agg: expr.AggSize, As: "sz"},
+			{Col: "iv", Agg: expr.AggSum, As: "isum"},
+			{Col: "fv", Agg: expr.AggSum, As: "fsum"},
+			{Col: "iv", Agg: expr.AggMean, As: "imean"},
+			{Col: "iv", Agg: expr.AggMin, As: "imin"},
+			{Col: "fv", Agg: expr.AggMax, As: "fmax"},
+		},
+	}
+}
+
+// TestDictGroupMatchesHashPath requires the dictionary code path to
+// reproduce the hash path bit-for-bit across every supported agg kind,
+// with and without AsLabels, including null keys and null agg values.
+func TestDictGroupMatchesHashPath(t *testing.T) {
+	df := dictFrame(t, 500, 23)
+	for _, asLabels := range []bool{false, true} {
+		spec := fullAggSpec(asLabels)
+		dict, ok, err := DictGroupFrames([]*core.DataFrame{df}, spec)
+		if err != nil {
+			t.Fatalf("dict path: %v", err)
+		}
+		if !ok {
+			t.Fatal("dict path must apply to a Dict-keyed frame")
+		}
+		restore := SetDictGroupForTesting(false)
+		hash, err := GroupByFrame(df, spec)
+		restore()
+		if err != nil {
+			t.Fatalf("hash path: %v", err)
+		}
+		if !hash.Equal(dict) {
+			t.Fatalf("asLabels=%v: paths disagree:\nhash:\n%s\ndict:\n%s", asLabels, hash, dict)
+		}
+	}
+}
+
+// TestDictGroupMultiFrame covers the shuffle-merge use: several frames
+// (views over slices of one dict-coded frame) fold into one grouped result
+// identical to grouping the stacked frame.
+func TestDictGroupMultiFrame(t *testing.T) {
+	df := dictFrame(t, 600, 17)
+	pieces := []*core.DataFrame{
+		df.SliceRows(0, 200), df.SliceRows(200, 250), df.SliceRows(250, 600),
+	}
+	spec := fullAggSpec(false)
+	got, ok, err := DictGroupFrames(pieces, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("dict path must apply to shared-dict slices")
+	}
+	restore := SetDictGroupForTesting(false)
+	want, err := GroupByFrame(df, spec)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("multi-frame dict groupby disagrees:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestDictGroupMeanOfEmptyGroup pins the empty-group semantics: a category
+// whose every row has a null agg value yields null mean/min/max, zero sum,
+// zero count, nonzero size.
+func TestDictGroupMeanOfEmptyGroup(t *testing.T) {
+	df, err := core.Build(
+		[]vector.Vector{
+			vector.NewDict([]int32{0, 1, 0, 1}, []string{"x", "y"}, nil),
+			vector.NewInt([]int64{1, 0, 3, 0}, []bool{false, true, false, true}),
+		},
+		vector.Range(0, 4),
+		[]types.Value{types.String("k"), types.String("v")},
+		nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := expr.GroupBySpec{Keys: []string{"k"}, Aggs: []expr.AggSpec{
+		{Col: "v", Agg: expr.AggMean, As: "m"},
+		{Col: "v", Agg: expr.AggMin, As: "lo"},
+		{Col: "v", Agg: expr.AggSum, As: "s"},
+		{Col: "v", Agg: expr.AggCount, As: "n"},
+		{Agg: expr.AggSize, As: "sz"},
+	}}
+	out, ok, err := DictGroupFrames([]*core.DataFrame{df}, spec)
+	if err != nil || !ok {
+		t.Fatalf("dict path: ok=%v err=%v", ok, err)
+	}
+	// Row 1 is category "y": all agg values null.
+	if !out.Value(1, out.ColIndex("m")).IsNull() || !out.Value(1, out.ColIndex("lo")).IsNull() {
+		t.Errorf("empty group must have null mean/min:\n%s", out)
+	}
+	if out.Value(1, out.ColIndex("s")).Float() != 0 || out.Value(1, out.ColIndex("n")).Int() != 0 {
+		t.Errorf("empty group must have sum=0 count=0:\n%s", out)
+	}
+	if out.Value(1, out.ColIndex("sz")).Int() != 2 {
+		t.Errorf("size counts null rows:\n%s", out)
+	}
+	if math.IsNaN(out.Value(0, out.ColIndex("m")).Float()) {
+		t.Errorf("non-empty group mean must be real:\n%s", out)
+	}
+}
+
+// TestDictGroupFallbacks verifies each eligibility gate reports !ok (no
+// error) so callers fall back to the hash path.
+func TestDictGroupFallbacks(t *testing.T) {
+	dictDF := dictFrame(t, 100, 7)
+	objDF := core.MustFromRecords([]string{"k", "iv"}, [][]any{{"a", 1}, {"b", 2}})
+	sum := expr.GroupBySpec{Keys: []string{"k"}, Aggs: []expr.AggSpec{{Col: "iv", Agg: expr.AggSum, As: "s"}}}
+	cases := []struct {
+		name   string
+		frames []*core.DataFrame
+		spec   expr.GroupBySpec
+	}{
+		{"non-dict key", []*core.DataFrame{objDF}, sum},
+		{"two keys", []*core.DataFrame{dictDF}, expr.GroupBySpec{Keys: []string{"k", "iv"},
+			Aggs: []expr.AggSpec{{Col: "fv", Agg: expr.AggSum, As: "s"}}}},
+		{"unsupported agg", []*core.DataFrame{dictDF}, expr.GroupBySpec{Keys: []string{"k"},
+			Aggs: []expr.AggSpec{{Col: "iv", Agg: expr.AggVar, As: "v"}}}},
+		{"ordinal sum", []*core.DataFrame{dictDF}, expr.GroupBySpec{Keys: []string{"k"},
+			Aggs: []expr.AggSpec{{Agg: expr.AggSum, As: "s"}}}},
+		{"sorted", []*core.DataFrame{dictDF}, expr.GroupBySpec{Keys: []string{"k"}, Sorted: true,
+			Aggs: []expr.AggSpec{{Col: "iv", Agg: expr.AggSum, As: "s"}}}},
+		{"mixed dicts", []*core.DataFrame{dictDF, dictFrame(t, 50, 7)}, sum},
+	}
+	for _, tc := range cases {
+		if _, ok, err := DictGroupFrames(tc.frames, tc.spec); ok || err != nil {
+			t.Errorf("%s: ok=%v err=%v, want fallback", tc.name, ok, err)
+		}
+	}
+}
+
+// TestJoinTableMatchesJoinFrames requires the typed open-addressing probe
+// to reproduce JoinFrames exactly for inner and left joins with duplicate
+// and null keys.
+func TestJoinTableMatchesJoinFrames(t *testing.T) {
+	n := 300
+	lrec := make([][]any, n)
+	for i := range lrec {
+		var k any = i % 11
+		if i%23 == 0 {
+			k = nil
+		}
+		lrec[i] = []any{k, i}
+	}
+	rrec := make([][]any, n/2)
+	for i := range rrec {
+		var k any = i % 13
+		if i%19 == 0 {
+			k = nil
+		}
+		rrec[i] = []any{k, i * 2}
+	}
+	left := core.MustFromRecords([]string{"k", "x"}, lrec)
+	right := core.MustFromRecords([]string{"k", "y"}, rrec)
+	for _, kind := range []expr.JoinKind{expr.JoinInner, expr.JoinLeft} {
+		want, err := JoinFrames(left, right, kind, []string{"k"}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := BuildJoinTable(right, []string{"k"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		li, ri, err := table.Probe(left, []string{"k"}, kind, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AssembleJoin(left, table.Right(), []string{"k"}, false, li, ri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("kind %v: join table disagrees with JoinFrames:\nwant:\n%s\ngot:\n%s", kind, want, got)
+		}
+	}
+}

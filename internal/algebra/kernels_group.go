@@ -50,6 +50,23 @@ func rowHashes(cols []vector.Vector, n int) []uint64 {
 	return dst
 }
 
+// RowKeyHashes bulk-hashes df's rows over the named key columns under the
+// process-wide row-hash seed (and test mask). Shuffle stages use it to route
+// rows: two rows with equal key tuples hash identically on any partition, so
+// hash-mod bucket assignment is consistent across bands and across the build
+// and probe sides of a key-shuffled join.
+func RowKeyHashes(df *core.DataFrame, cols []string) ([]uint64, error) {
+	ks := make([]vector.Vector, len(cols))
+	for k, name := range cols {
+		j := df.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: key column %q missing", name)
+		}
+		ks[k] = df.TypedCol(j)
+	}
+	return rowHashes(ks, df.NRows()), nil
+}
+
 // hashValues hashes one boxed key tuple under the same seed and mask.
 func hashValues(vals []types.Value) uint64 {
 	return vector.HashRowValues(vals, rowHashSeed) & rowHashMask
@@ -392,6 +409,9 @@ func (g *GroupPartial) Finalize() (*core.DataFrame, error) {
 func GroupByFrame(df *core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, error) {
 	if spec.Sorted {
 		return groupBySorted(df, spec)
+	}
+	if out, ok, err := DictGroupFrames([]*core.DataFrame{df}, spec); ok || err != nil {
+		return out, err
 	}
 	g := NewGroupPartial(spec)
 	if err := g.AddFrame(df); err != nil {

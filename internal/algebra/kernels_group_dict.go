@@ -1,0 +1,366 @@
+package algebra
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Dictionary-aware GROUPBY: when the single key column is Dict-typed and
+// every input frame shares one category table, group identity IS the int32
+// code — no hashing, no boxed exemplars, no collision probes. Aggregates
+// accumulate into flat per-group slices (float64 sums, int64 counts, typed
+// min/max), and the output key column reuses the shared dictionary, so the
+// whole aggregation allocates O(groups + aggs), not O(rows). Results are
+// bit-identical to the GroupPartial hash path: groups emit in
+// first-appearance order and each aggregate reproduces Accumulator.Result's
+// exact typing (SUM always Float, MEAN null on empty, MIN/MAX keeping the
+// column's domain).
+
+// dictGroupEnabled gates the code path; tests flip it to compare against the
+// hash path on identical inputs.
+var dictGroupEnabled = true
+
+// SetDictGroupForTesting enables or disables the dictionary grouping fast
+// path and returns the restore function. Not for production use.
+func SetDictGroupForTesting(on bool) (restore func()) {
+	old := dictGroupEnabled
+	dictGroupEnabled = on
+	return func() { dictGroupEnabled = old }
+}
+
+// dictAggPlan is the per-frame typed access plan for one aggregate column.
+type dictAggPlan struct {
+	kind    expr.AggKind
+	isFloat bool // aggregate column storage type; false = int64
+	hasCol  bool
+	fdata   []float64
+	idata   []int64
+	nulls   []bool
+	idx     []int
+}
+
+// dictGroupState accumulates one aggregate across all groups.
+type dictGroupState struct {
+	kind    expr.AggKind
+	isFloat bool
+	hasCol  bool
+	counts  []int64   // non-null values seen
+	sums    []float64 // sum / mean
+	minI    []int64
+	maxI    []int64
+	minF    []float64
+	maxF    []float64
+}
+
+func (s *dictGroupState) grow() {
+	s.counts = append(s.counts, 0)
+	switch s.kind {
+	case expr.AggSum, expr.AggMean:
+		s.sums = append(s.sums, 0)
+	case expr.AggMin, expr.AggMax:
+		if s.isFloat {
+			s.minF = append(s.minF, 0)
+			s.maxF = append(s.maxF, 0)
+		} else {
+			s.minI = append(s.minI, 0)
+			s.maxI = append(s.maxI, 0)
+		}
+	}
+}
+
+// dictGroupSupported reports whether every aggregate kind has a typed
+// accumulation path.
+// DictGroupSupported reports whether the spec's SHAPE admits the dictionary
+// fast path (single unsorted key, decomposable agg kinds). The per-frame
+// storage checks still happen inside DictGroupFrames; planners use this for
+// strategy description only.
+func DictGroupSupported(spec expr.GroupBySpec) bool {
+	return dictGroupSupported(spec) && dictGroupEnabled
+}
+
+func dictGroupSupported(spec expr.GroupBySpec) bool {
+	if spec.Sorted || len(spec.Keys) != 1 {
+		return false
+	}
+	for _, a := range spec.Aggs {
+		switch a.Agg {
+		case expr.AggCount, expr.AggSize, expr.AggSum, expr.AggMean, expr.AggMin, expr.AggMax:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DictGroupFrames runs GROUPBY over the concatenation of frames when the
+// dictionary fast path applies, reporting ok=false (and no error) when it
+// does not — the caller falls back to the hash path. Eligibility: a single
+// Dict-typed key column whose category table is shared (same backing array)
+// across all frames, and Int- or Float-typed aggregate columns under
+// COUNT/SIZE/SUM/MEAN/MIN/MAX.
+func DictGroupFrames(frames []*core.DataFrame, spec expr.GroupBySpec) (*core.DataFrame, bool, error) {
+	if !dictGroupEnabled || !dictGroupSupported(spec) {
+		return nil, false, nil
+	}
+	live := frames[:0:0]
+	for _, f := range frames {
+		if f.NRows() > 0 {
+			live = append(live, f)
+		}
+	}
+	if len(live) == 0 {
+		if len(frames) == 0 {
+			return nil, false, nil
+		}
+		live = frames[:1]
+	}
+
+	// Validate the typed access plans for every frame up front; any miss
+	// bails to the hash path before state is built.
+	var dict []string
+	plans := make([][]dictAggPlan, len(live))
+	keyCodes := make([][]int32, len(live))
+	keyNulls := make([][]bool, len(live))
+	keyIdx := make([][]int, len(live))
+	for fi, f := range live {
+		j := f.ColIndex(spec.Keys[0])
+		if j < 0 {
+			return nil, false, nil
+		}
+		codes, d, nulls, idx, ok := vector.DictData(f.TypedCol(j))
+		if !ok {
+			return nil, false, nil
+		}
+		if fi == 0 {
+			dict = d
+		} else if !vector.SameDict(dict, d) {
+			return nil, false, nil
+		}
+		keyCodes[fi], keyNulls[fi], keyIdx[fi] = codes, nulls, idx
+		plans[fi] = make([]dictAggPlan, len(spec.Aggs))
+		for k, a := range spec.Aggs {
+			p := &plans[fi][k]
+			p.kind = a.Agg
+			if a.Col == "" {
+				// Whole-row aggregates: only the counting kinds read
+				// nothing but the row itself (SUM/MIN/MAX of row ordinals
+				// would need the hash path's exact ordinal feed).
+				if a.Agg != expr.AggCount && a.Agg != expr.AggSize {
+					return nil, false, nil
+				}
+				continue
+			}
+			p.hasCol = true
+			cj := f.ColIndex(a.Col)
+			if cj < 0 {
+				return nil, false, nil
+			}
+			col := f.TypedCol(cj)
+			if data, nulls, idx, ok := vector.IntData(col); ok {
+				p.idata, p.nulls, p.idx = data, nulls, idx
+			} else if data, nulls, idx, ok := vector.FloatData(col); ok {
+				p.isFloat = true
+				p.fdata, p.nulls, p.idx = data, nulls, idx
+			} else {
+				return nil, false, nil
+			}
+			if fi > 0 && (plans[0][k].hasCol != p.hasCol || plans[0][k].isFloat != p.isFloat) {
+				return nil, false, nil
+			}
+		}
+	}
+
+	// Group discovery on raw codes: rank maps code → group slot, with one
+	// extra slot for the null key.
+	ncode := int32(len(dict))
+	rank := make([]int32, len(dict)+1)
+	for i := range rank {
+		rank[i] = -1
+	}
+	var order []int32 // group slot → code, first-appearance
+	var sizes []int64
+	states := make([]*dictGroupState, len(spec.Aggs))
+	for k, a := range spec.Aggs {
+		states[k] = &dictGroupState{kind: a.Agg, isFloat: plans[0][k].isFloat, hasCol: plans[0][k].hasCol}
+	}
+
+	for fi := range live {
+		codes, knulls, kidx := keyCodes[fi], keyNulls[fi], keyIdx[fi]
+		n := live[fi].NRows()
+		fplans := plans[fi]
+		for i := 0; i < n; i++ {
+			j := i
+			if kidx != nil {
+				j = kidx[i]
+			}
+			code := ncode
+			if j >= 0 && (knulls == nil || !knulls[j]) {
+				code = codes[j]
+			}
+			g := rank[code]
+			if g < 0 {
+				g = int32(len(order))
+				rank[code] = g
+				order = append(order, code)
+				sizes = append(sizes, 0)
+				for _, s := range states {
+					s.grow()
+				}
+			}
+			sizes[g]++
+			for k := range fplans {
+				accumulateDictAgg(states[k], &fplans[k], g, i)
+			}
+		}
+	}
+
+	out, err := finalizeDictGroup(spec, dict, order, ncode, sizes, states)
+	return out, err == nil, err
+}
+
+// accumulateDictAgg folds row i of the frame into group g of state s,
+// reproducing Accumulator.Add exactly: null cells (and NaN floats) only
+// count toward SIZE; MIN/MAX keep the first value on ties.
+func accumulateDictAgg(s *dictGroupState, p *dictAggPlan, g int32, i int) {
+	if !p.hasCol {
+		// Whole-row aggregates feed the row ordinal, which is never null.
+		s.counts[g]++
+		return
+	}
+	j := i
+	if p.idx != nil {
+		j = p.idx[i]
+		if j < 0 {
+			return
+		}
+	}
+	if p.nulls != nil && p.nulls[j] {
+		return
+	}
+	if p.isFloat {
+		x := p.fdata[j]
+		if math.IsNaN(x) {
+			return
+		}
+		first := s.counts[g] == 0
+		s.counts[g]++
+		switch s.kind {
+		case expr.AggSum, expr.AggMean:
+			s.sums[g] += x
+		case expr.AggMin:
+			if first || x < s.minF[g] {
+				s.minF[g] = x
+			}
+		case expr.AggMax:
+			if first || s.maxF[g] < x {
+				s.maxF[g] = x
+			}
+		}
+		return
+	}
+	x := p.idata[j]
+	first := s.counts[g] == 0
+	s.counts[g]++
+	switch s.kind {
+	case expr.AggSum, expr.AggMean:
+		s.sums[g] += float64(x)
+	case expr.AggMin:
+		if first || x < s.minI[g] {
+			s.minI[g] = x
+		}
+	case expr.AggMax:
+		if first || s.maxI[g] < x {
+			s.maxI[g] = x
+		}
+	}
+}
+
+// finalizeDictGroup materializes the grouped frame in the same shape as
+// GroupPartial.Finalize: key column (or key row labels when AsLabels), then
+// one typed column per aggregate.
+func finalizeDictGroup(spec expr.GroupBySpec, dict []string, order []int32, ncode int32, sizes []int64, states []*dictGroupState) (*core.DataFrame, error) {
+	n := len(order)
+	outCodes := make([]int32, n)
+	var outNulls []bool
+	for i, code := range order {
+		if code == ncode {
+			if outNulls == nil {
+				outNulls = make([]bool, n)
+			}
+			outNulls[i] = true
+		} else {
+			outCodes[i] = code
+		}
+	}
+	keyVec := vector.NewDict(outCodes, dict, outNulls)
+
+	var cols []vector.Vector
+	var labels []types.Value
+	if !spec.AsLabels {
+		cols = append(cols, keyVec)
+		labels = append(labels, types.String(spec.Keys[0]))
+	}
+	for k, a := range spec.Aggs {
+		cols = append(cols, buildDictAggColumn(states[k], sizes))
+		labels = append(labels, types.String(a.OutName()))
+	}
+	var rowLab vector.Vector
+	if spec.AsLabels {
+		rowLab = keyVec
+	}
+	return core.Build(cols, rowLab, labels, nil, nil)
+}
+
+// buildDictAggColumn types each aggregate column exactly as buildColumn
+// types the boxed Accumulator results: COUNT/SIZE → Int, SUM/MEAN → Float
+// (MEAN null on empty groups), MIN/MAX → the aggregate column's own type
+// with nulls for empty groups.
+func buildDictAggColumn(s *dictGroupState, sizes []int64) vector.Vector {
+	n := len(s.counts)
+	switch s.kind {
+	case expr.AggCount:
+		return vector.NewInt(s.counts, nil)
+	case expr.AggSize:
+		out := make([]int64, n)
+		copy(out, sizes)
+		return vector.NewInt(out, nil)
+	case expr.AggSum:
+		return vector.NewFloat(s.sums, nil)
+	case expr.AggMean:
+		out := make([]float64, n)
+		for g, c := range s.counts {
+			if c == 0 {
+				out[g] = math.NaN() // reads as null, like Accumulator's NullValue
+			} else {
+				out[g] = s.sums[g] / float64(c)
+			}
+		}
+		return vector.NewFloat(out, nil)
+	default: // AggMin / AggMax — the only kinds left after dictGroupSupported
+		var nulls []bool
+		for g, c := range s.counts {
+			if c == 0 {
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[g] = true
+			}
+		}
+		if s.isFloat {
+			data := s.minF
+			if s.kind == expr.AggMax {
+				data = s.maxF
+			}
+			return vector.NewFloat(data, nulls)
+		}
+		data := s.minI
+		if s.kind == expr.AggMax {
+			data = s.maxI
+		}
+		return vector.NewInt(data, nulls)
+	}
+}

@@ -1,0 +1,142 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// JoinTable is a typed open-addressing hash table over a build frame's join
+// keys: the probe kernel behind the key-shuffled hash join. Where JoinFrames
+// chains boxed joinGroup slices in a Go map, JoinTable keeps four flat int32
+// arrays (slot → entry, entry → anchor/first row, row → next row with the
+// same key), so a per-bucket build allocates O(rows) once and probes touch
+// cache-resident storage. Row chains preserve build-row order, so match
+// emission order is identical to JoinFrames.
+type JoinTable struct {
+	right     *core.DataFrame
+	keys      []vector.Vector
+	mask      uint64
+	slots     []int32 // open addressing: slot → entry index, -1 empty
+	entryHash []uint64
+	entryRow  []int32 // anchor row for collision verification
+	firstRow  []int32 // entry → first build row with this key
+	nextRow   []int32 // build row → next row with the same key, -1 ends
+}
+
+// BuildJoinTable indexes the build (right) side of a data join on the given
+// key columns. Null-keyed build rows are skipped: they can never match.
+func BuildJoinTable(right *core.DataFrame, on []string) (*JoinTable, error) {
+	keys := make([]vector.Vector, len(on))
+	for k, name := range on {
+		j := right.ColIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("algebra: join key %q missing from build input", name)
+		}
+		keys[k] = right.TypedCol(j)
+	}
+	n := right.NRows()
+	size := 16
+	for size < 2*n {
+		size <<= 1
+	}
+	t := &JoinTable{
+		right:   right,
+		keys:    keys,
+		mask:    uint64(size - 1),
+		slots:   make([]int32, size),
+		nextRow: make([]int32, n),
+	}
+	for i := range t.slots {
+		t.slots[i] = -1
+	}
+	hashes := rowHashes(keys, n)
+	lastRow := make([]int32, 0, n/2)
+	for i := 0; i < n; i++ {
+		t.nextRow[i] = -1
+		if anyNullAt(keys, i) {
+			continue
+		}
+		h := hashes[i]
+		s := h & t.mask
+		for {
+			e := t.slots[s]
+			if e < 0 {
+				t.slots[s] = int32(len(t.entryRow))
+				t.entryHash = append(t.entryHash, h)
+				t.entryRow = append(t.entryRow, int32(i))
+				t.firstRow = append(t.firstRow, int32(i))
+				lastRow = append(lastRow, int32(i))
+				break
+			}
+			if t.entryHash[e] == h && rowsEqualAt(keys, i, keys, int(t.entryRow[e])) {
+				t.nextRow[lastRow[e]] = int32(i)
+				lastRow[e] = int32(i)
+				break
+			}
+			s = (s + 1) & t.mask
+		}
+	}
+	return t, nil
+}
+
+// Right returns the build frame the table indexes.
+func (t *JoinTable) Right() *core.DataFrame { return t.right }
+
+// Probe matches every row of left against the table and appends the
+// (leftIdx, rightIdx) pairs in JoinFrames order: left rows in order, each
+// followed by its matching build rows in build order; for left joins an
+// unmatched probe row emits (i, -1). Only inner and left joins are
+// supported — the key-shuffled strategy never lowers other kinds.
+func (t *JoinTable) Probe(left *core.DataFrame, on []string, kind expr.JoinKind, leftIdx, rightIdx []int) ([]int, []int, error) {
+	if kind != expr.JoinInner && kind != expr.JoinLeft {
+		return nil, nil, fmt.Errorf("algebra: join table probe supports inner/left, got %s", kind)
+	}
+	keys := make([]vector.Vector, len(on))
+	for k, name := range on {
+		j := left.ColIndex(name)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("algebra: join key %q missing from probe input", name)
+		}
+		keys[k] = left.TypedCol(j)
+	}
+	n := left.NRows()
+	hashes := rowHashes(keys, n)
+	for i := 0; i < n; i++ {
+		matched := false
+		if !anyNullAt(keys, i) {
+			h := hashes[i]
+			s := h & t.mask
+			for {
+				e := t.slots[s]
+				if e < 0 {
+					break
+				}
+				if t.entryHash[e] == h && rowsEqualAt(keys, i, t.keys, int(t.entryRow[e])) {
+					for r := t.firstRow[e]; r >= 0; r = t.nextRow[r] {
+						leftIdx = append(leftIdx, i)
+						rightIdx = append(rightIdx, int(r))
+					}
+					matched = true
+					break
+				}
+				s = (s + 1) & t.mask
+			}
+		}
+		if !matched && kind == expr.JoinLeft {
+			leftIdx = append(leftIdx, i)
+			rightIdx = append(rightIdx, -1)
+		}
+	}
+	return leftIdx, rightIdx, nil
+}
+
+// AssembleJoin exposes the join materialization step for physical
+// strategies that compute match indices elsewhere: the key-shuffled join
+// probes per bucket and assembles each bucket's slice with the same
+// suffixing, key-coalescing and label rules as JoinFrames.
+func AssembleJoin(left, right *core.DataFrame, on []string, onLabels bool, leftIdx, rightIdx []int) (*core.DataFrame, error) {
+	return assembleJoin(left, right, on, onLabels, leftIdx, rightIdx)
+}

@@ -216,7 +216,11 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 	e := c.e
 	switch node := n.(type) {
 	case *algebra.Source:
-		return physical.NewSource(partition.New(node.DF, partition.Rows, e.bands)), nil
+		// Attach whatever statistics the planner collected for this base
+		// frame, so exchanges downstream can merge and re-expose them.
+		pf := partition.New(node.DF, partition.Rows, e.bands)
+		pf.SetStats(e.cachedStats(node.DF))
+		return physical.NewSource(pf), nil
 
 	case *algebra.Selection:
 		if node.Where != nil {
@@ -321,6 +325,24 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 
 	case *algebra.Join:
 		if node.Kind == expr.JoinInner || node.Kind == expr.JoinLeft {
+			if c.e.chooseJoinStrategy(node).shuffled {
+				// Key-shuffled hash join (join_shuffle.go): statistics say
+				// the build side is too large to broadcast, so both inputs
+				// shuffle by key hash, each bucket builds once and probes
+				// its slice, and a restore exchange re-establishes left
+				// input order.
+				left, err := c.compile(node.Left)
+				if err != nil {
+					return nil, err
+				}
+				right, err := c.compile(node.Right)
+				if err != nil {
+					return nil, err
+				}
+				built := physical.NewShuffle(describeShuffle(node.Describe(), e.joinBuildShuffle(node.On)), right)
+				probe := physical.NewShuffle(describeShuffle(node.Describe(), e.joinProbeShuffleKeyed(node)), left, built)
+				return e.joinRestoreExchange(node, probe), nil
+			}
 			// Anchored broadcast probe: left bands pass through in order,
 			// the right side is built once and broadcast; band b's join
 			// lands independently of the other bands.
@@ -355,7 +377,9 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 			if err != nil {
 				return nil, err
 			}
-			return e.rePartition(out), nil
+			// A union of two summarized frames is itself summarized: rows
+			// add, ranges widen, sketches union (partition.MergeStats).
+			return e.rePartition(out).SetStats(partition.MergeStats(in[0], in[1])), nil
 		}, node.Left, node.Right)
 
 	case *algebra.Difference:

@@ -15,6 +15,7 @@
 package modin
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/algebra"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/partition"
 	"repro/internal/physical"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -55,11 +57,25 @@ func (s *Stats) add(run *physical.Stats) {
 	s.ShuffleFallbacks.Add(run.ShuffleFallbacks.Load())
 }
 
+// defaultBroadcastLimit is the build-side row estimate above which an
+// inner/left equi-join switches from the broadcast probe to the key-shuffled
+// hash join. Below it, rebuilding a small hash table per band is cheaper
+// than routing both inputs and restoring the probe order.
+const defaultBroadcastLimit = 65536
+
 // Engine executes algebra plans in parallel over partitions.
 type Engine struct {
 	pool  *exec.Pool
 	bands int
 	stats Stats
+
+	// Statistics-driven physical planning (see stats.go): statsOn gates
+	// collection AND every stats-driven strategy, so a stats-less engine
+	// plans exactly as the pre-stats engine did.
+	statsOn        bool
+	broadcastLimit int
+	statsMu        sync.Mutex
+	statsCache     map[*core.DataFrame]*stats.Table
 }
 
 // Option configures the engine.
@@ -72,9 +88,24 @@ func WithPool(p *exec.Pool) Option { return func(e *Engine) { e.pool = p } }
 // pool's worker count).
 func WithBands(n int) Option { return func(e *Engine) { e.bands = n } }
 
+// WithoutStats disables statistics collection and every stats-driven
+// physical decision: joins always broadcast, shuffle buckets cut evenly —
+// exactly the zero-stats plans.
+func WithoutStats() Option { return func(e *Engine) { e.statsOn = false } }
+
+// WithBroadcastLimit overrides the build-side row estimate above which
+// inner/left equi-joins shuffle by key instead of broadcasting (default
+// 65536). Tests force it low to exercise the shuffled path on small data.
+func WithBroadcastLimit(n int) Option { return func(e *Engine) { e.broadcastLimit = n } }
+
 // New returns a MODIN engine backed by the shared default pool.
 func New(opts ...Option) *Engine {
-	e := &Engine{pool: exec.Default}
+	e := &Engine{
+		pool:           exec.Default,
+		statsOn:        true,
+		broadcastLimit: defaultBroadcastLimit,
+		statsCache:     make(map[*core.DataFrame]*stats.Table),
+	}
 	for _, o := range opts {
 		o(e)
 	}

@@ -1,0 +1,294 @@
+package modin
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/eager"
+	"repro/internal/expr"
+)
+
+// zipfKeys draws n keys from a Zipf distribution over [0, keys): heavy head
+// keys plus a long tail, the shape that breaks even-cut shuffle planning.
+func zipfKeys(n, keys int, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.3, 1, uint64(keys-1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64())
+	}
+	return out
+}
+
+// skewJoinFrames builds a probe side with Zipf-skewed keys (some null) and
+// a build side with duplicate keys, both large enough to cross the test
+// broadcast limit.
+func skewJoinFrames(t *testing.T, probeRows, buildRows, keys int) (left, right *core.DataFrame) {
+	t.Helper()
+	lk := zipfKeys(probeRows, keys, 1)
+	lrec := make([][]any, probeRows)
+	for i := range lrec {
+		var k any = int(lk[i])
+		if i%37 == 0 {
+			k = nil
+		}
+		lrec[i] = []any{i, k, float64(i%19) + 0.25}
+	}
+	rk := zipfKeys(buildRows, keys, 2)
+	rrec := make([][]any, buildRows)
+	for i := range rrec {
+		var k any = int(rk[i])
+		if i%41 == 0 {
+			k = nil
+		}
+		rrec[i] = []any{k, i * 3}
+	}
+	return core.MustFromRecords([]string{"id", "k", "lv"}, lrec),
+		core.MustFromRecords([]string{"k", "rv"}, rrec)
+}
+
+// TestShuffledJoinMatchesBroadcastAndEager drives Zipf-skewed inner and
+// left joins through the key-shuffled strategy and requires its output to
+// equal both the eager engine and the stats-disabled broadcast plan,
+// row-for-row and label-for-label.
+func TestShuffledJoinMatchesBroadcastAndEager(t *testing.T) {
+	left, right := skewJoinFrames(t, 700, 600, 40)
+	for _, kind := range []expr.JoinKind{expr.JoinInner, expr.JoinLeft} {
+		plan := &algebra.Join{
+			Left:  &algebra.Source{DF: left},
+			Right: &algebra.Source{DF: right},
+			Kind:  kind,
+			On:    []string{"k"},
+		}
+		e := New(WithBands(4), WithBroadcastLimit(100))
+		if !e.chooseJoinStrategy(plan).shuffled {
+			t.Fatalf("kind %v: expected the shuffled strategy to fire", kind)
+		}
+		shuffled, err := e.Execute(plan)
+		if err != nil {
+			t.Fatalf("kind %v shuffled: %v", kind, err)
+		}
+		broadcast, err := New(WithBands(4), WithoutStats()).Execute(plan)
+		if err != nil {
+			t.Fatalf("kind %v broadcast: %v", kind, err)
+		}
+		base, err := eager.New().Execute(plan)
+		if err != nil {
+			t.Fatalf("kind %v eager: %v", kind, err)
+		}
+		if !base.Equal(shuffled) {
+			t.Fatalf("kind %v: shuffled join disagrees with eager:\neager:\n%s\nshuffled:\n%s", kind, base, shuffled)
+		}
+		if !base.Equal(broadcast) {
+			t.Fatalf("kind %v: broadcast join disagrees with eager", kind)
+		}
+	}
+}
+
+// TestShuffledJoinCompositeKey covers multi-column join keys through the
+// shuffled path.
+func TestShuffledJoinCompositeKey(t *testing.T) {
+	rows := 500
+	lrec := make([][]any, rows)
+	for i := range lrec {
+		lrec[i] = []any{i % 7, []string{"a", "b", "c"}[i%3], i}
+	}
+	rrec := make([][]any, rows)
+	for i := range rrec {
+		rrec[i] = []any{i % 5, []string{"a", "b", "c", "d"}[i%4], i * 2}
+	}
+	plan := &algebra.Join{
+		Left:  &algebra.Source{DF: core.MustFromRecords([]string{"a", "b", "x"}, lrec)},
+		Right: &algebra.Source{DF: core.MustFromRecords([]string{"a", "b", "y"}, rrec)},
+		Kind:  expr.JoinInner,
+		On:    []string{"a", "b"},
+	}
+	e := New(WithBands(3), WithBroadcastLimit(50))
+	if !e.chooseJoinStrategy(plan).shuffled {
+		t.Fatal("expected the shuffled strategy to fire")
+	}
+	got, err := e.Execute(plan)
+	if err != nil {
+		t.Fatalf("shuffled: %v", err)
+	}
+	want, err := eager.New().Execute(plan)
+	if err != nil {
+		t.Fatalf("eager: %v", err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("composite-key shuffled join disagrees with eager:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestGroupBySkewZipf runs a Zipf-skewed groupby through the skew-aware
+// shuffle planning (weighted cuts + heavy-bucket parallel merges) and
+// requires exact agreement with the eager engine, with statistics on and
+// off.
+func TestGroupBySkewZipf(t *testing.T) {
+	rows := 4000
+	ks := zipfKeys(rows, 500, 3)
+	rec := make([][]any, rows)
+	for i := range rec {
+		var v any = i % 23
+		if i%13 == 0 {
+			v = nil
+		}
+		rec[i] = []any{int(ks[i]), v, float64(i%9) + 0.5}
+	}
+	df := core.MustFromRecords([]string{"k", "v", "s"}, rec)
+	plan := &algebra.GroupBy{
+		Input: &algebra.Source{DF: df},
+		Spec: expr.GroupBySpec{
+			Keys: []string{"k"},
+			Aggs: []expr.AggSpec{
+				{Col: "v", Agg: expr.AggCount, As: "n"},
+				{Col: "v", Agg: expr.AggSum, As: "total"},
+				{Col: "s", Agg: expr.AggMean, As: "avg"},
+				{Col: "v", Agg: expr.AggMin, As: "lo"},
+				{Col: "v", Agg: expr.AggMax, As: "hi"},
+			},
+		},
+	}
+	want, err := eager.New().Execute(plan)
+	if err != nil {
+		t.Fatalf("eager: %v", err)
+	}
+	for name, opts := range map[string][]Option{
+		"stats-on":  {WithBands(4)},
+		"stats-off": {WithBands(4), WithoutStats()},
+	} {
+		got, err := New(opts...).Execute(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !want.Equal(got) {
+			t.Fatalf("%s: skewed groupby disagrees with eager", name)
+		}
+	}
+}
+
+// TestWeightedCuts pins the volume-balanced cut behavior: a hot key is
+// isolated in its own bucket instead of dragging its even-count range.
+func TestWeightedCuts(t *testing.T) {
+	// Key 0 owns 90 of 100 rows; with 4 buckets it must sit alone.
+	counts := []int64{90, 2, 3, 2, 3}
+	cuts := weightedCuts(counts, 4)
+	if cuts[0] != 0 || cuts[1] != 1 {
+		t.Fatalf("hot key not isolated: cuts=%v", cuts)
+	}
+	if cuts[4] != len(counts) {
+		t.Fatalf("cuts must cover all groups: %v", cuts)
+	}
+	for i := 0; i < 4; i++ {
+		if cuts[i] > cuts[i+1] {
+			t.Fatalf("cuts not monotone: %v", cuts)
+		}
+	}
+	// Uniform counts degrade to roughly even ranges.
+	uniform := make([]int64, 12)
+	for i := range uniform {
+		uniform[i] = 5
+	}
+	cuts = weightedCuts(uniform, 4)
+	if cuts[4] != 12 {
+		t.Fatalf("uniform cuts must cover all groups: %v", cuts)
+	}
+}
+
+// TestChooseJoinStrategyFallbacks pins the zero-stats and small-build
+// fallbacks: every gate failure degrades to broadcast.
+func TestChooseJoinStrategyFallbacks(t *testing.T) {
+	left, right := skewJoinFrames(t, 300, 300, 20)
+	plan := &algebra.Join{
+		Left:  &algebra.Source{DF: left},
+		Right: &algebra.Source{DF: right},
+		Kind:  expr.JoinInner,
+		On:    []string{"k"},
+	}
+	if New(WithBands(4), WithoutStats(), WithBroadcastLimit(10)).chooseJoinStrategy(plan).shuffled {
+		t.Error("stats off must broadcast")
+	}
+	if New(WithBands(1), WithBroadcastLimit(10)).chooseJoinStrategy(plan).shuffled {
+		t.Error("single band must broadcast")
+	}
+	if New(WithBands(4)).chooseJoinStrategy(plan).shuffled {
+		t.Error("build under the default limit must broadcast")
+	}
+	lab := &algebra.Join{Left: plan.Left, Right: plan.Right, Kind: expr.JoinInner, OnLabels: true}
+	if New(WithBands(4), WithBroadcastLimit(10)).chooseJoinStrategy(lab).shuffled {
+		t.Error("label join must broadcast")
+	}
+	if c := New(WithBands(4), WithBroadcastLimit(10)).chooseJoinStrategy(plan); !c.shuffled || c.buildRows != 300 {
+		t.Errorf("expected shuffled with buildRows=300, got %+v", c)
+	}
+}
+
+// TestExplainPhysicalStrategy checks the strategy rendering: shuffled joins
+// report build-size and NDV estimates, dict-keyed groupbys report the code
+// path, and disabling stats reports the fallback.
+func TestExplainPhysicalStrategy(t *testing.T) {
+	rows := 2000
+	rec := make([][]any, rows)
+	for i := range rec {
+		rec[i] = []any{int(int64(i % 700)), i}
+	}
+	df := core.MustFromRecords([]string{"k", "v"}, rec)
+	join := &algebra.Join{
+		Left:  &algebra.Source{DF: df},
+		Right: &algebra.Source{DF: df},
+		Kind:  expr.JoinInner,
+		On:    []string{"k"},
+	}
+	e := New(WithBands(4), WithBroadcastLimit(1000))
+	out := e.DescribePhysical(join)
+	if !strings.Contains(out, "JOIN strategy=shuffle (build≈2k rows, ndv≈") {
+		t.Errorf("missing shuffle strategy line:\n%s", out)
+	}
+	off := New(WithBands(4), WithoutStats()).DescribePhysical(join)
+	if !strings.Contains(off, "JOIN strategy=broadcast") || !strings.Contains(off, "statistics: off") {
+		t.Errorf("missing broadcast fallback lines:\n%s", off)
+	}
+	gb := &algebra.GroupBy{
+		Input: &algebra.Source{DF: df},
+		Spec: expr.GroupBySpec{
+			Keys: []string{"k"},
+			Aggs: []expr.AggSpec{{Col: "v", Agg: expr.AggSum, As: "total"}},
+		},
+	}
+	if out := e.DescribePhysical(gb); !strings.Contains(out, "GROUPBY strategy=hash-shuffle (groups≈") {
+		t.Errorf("missing groupby strategy line:\n%s", out)
+	}
+}
+
+// TestKeyNDVSketchCache exercises the engine's SourceStats implementation:
+// sketches collect once per (frame, key), respect the row floor, and stay
+// within a few percent of the true distinct count.
+func TestKeyNDVSketchCache(t *testing.T) {
+	rows, keys := 5000, 1200
+	rec := make([][]any, rows)
+	for i := range rec {
+		rec[i] = []any{i % keys, i}
+	}
+	df := core.MustFromRecords([]string{"k", "v"}, rec)
+	e := New(WithBands(2))
+	ndv, ok := e.KeyNDV(df, []string{"k"})
+	if !ok {
+		t.Fatal("expected a sketch for a frame above the row floor")
+	}
+	if ndv < 0.9*float64(keys) || ndv > 1.1*float64(keys) {
+		t.Errorf("ndv = %v, want ≈%d", ndv, keys)
+	}
+	if ndv2, ok2 := e.KeyNDV(df, []string{"k"}); !ok2 || ndv2 != ndv {
+		t.Error("second lookup must serve the memoized sketch")
+	}
+	small := core.MustFromRecords([]string{"k"}, [][]any{{1}, {2}})
+	if _, ok := e.KeyNDV(small, []string{"k"}); ok {
+		t.Error("tiny frames must skip sketching")
+	}
+	if _, ok := New(WithoutStats()).KeyNDV(df, []string{"k"}); ok {
+		t.Error("stats-off engines must report no sketches")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/partition"
 	"repro/internal/physical"
@@ -28,6 +29,32 @@ func bandCuts(n, nb int) []int {
 	return out
 }
 
+// weightedCuts cuts the global group ranks into nb contiguous ranges of
+// roughly equal ROW volume rather than equal group count: each bucket takes
+// groups until it reaches its fair share of the remaining rows, so under
+// key skew a hot key fills a bucket (nearly) by itself instead of dragging
+// its whole even-count rank range into one overloaded merge.
+func weightedCuts(counts []int64, nb int) []int {
+	cuts := make([]int, nb+1)
+	var remaining int64
+	for _, c := range counts {
+		remaining += c
+	}
+	g := 0
+	for b := 0; b < nb; b++ {
+		cuts[b] = g
+		share := remaining / int64(nb-b)
+		var acc int64
+		for g < len(counts) && (acc == 0 || acc+counts[g] <= share) {
+			acc += counts[g]
+			g++
+		}
+		remaining -= acc
+	}
+	cuts[nb] = len(counts)
+	return cuts
+}
+
 // groupPlan is the routing state shared by every groupby partition and
 // merge task: each band's ordinal→bucket table, each bucket's global
 // group-rank range, and the per-band row ordinals carried over from the
@@ -39,6 +66,7 @@ type groupPlan struct {
 	starts   []int     // starts[b] is the global rank of bucket b's first group
 	buckets  [][]int   // per band: band-ordinal → bucket
 	ordinals [][]int32 // per band: row → band-ordinal
+	heavy    []bool    // per bucket: owns a key above the fair row share (nil when stats are off)
 }
 
 // groupByShuffle lowers GROUPBY to a key shuffle. Routing hashes the typed
@@ -93,7 +121,35 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 				}
 				bandGlobal[r] = ids
 			}
-			p.starts = bandCuts(len(exemplars), nb)
+			if e.statsOn {
+				// Skew-aware planning: the summaries already carry exact
+				// per-key row volumes (each band's ordinal table), so cut
+				// bucket ranges by row share instead of group count, and
+				// flag buckets owning a key above the fair per-band share —
+				// their merges split across parallel partial-merge tasks.
+				counts := make([]int64, len(exemplars))
+				var total int64
+				for r := range summaries {
+					ids := bandGlobal[r]
+					for _, d := range p.ordinals[r] {
+						counts[ids[d]]++
+						total++
+					}
+				}
+				p.starts = weightedCuts(counts, nb)
+				fair := total / int64(nb)
+				p.heavy = make([]bool, nb)
+				for b := 0; b < nb; b++ {
+					for g := p.starts[b]; g < p.starts[b+1]; g++ {
+						if counts[g] > fair {
+							p.heavy[b] = true
+							break
+						}
+					}
+				}
+			} else {
+				p.starts = bandCuts(len(exemplars), nb)
+			}
 			// Global rank → bucket, then per band: band-ordinal → bucket.
 			rankBucket := make([]int, len(exemplars))
 			b := 0
@@ -132,13 +188,11 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 		},
 		Merge: func(bucket int, pieces []any, plan any) (*core.DataFrame, error) {
 			p := plan.(*groupPlan)
-			g := algebra.NewGroupPartial(spec)
-			for _, piece := range pieces {
-				if err := g.AddFrame(piece.(*core.DataFrame)); err != nil {
-					return nil, err
-				}
+			frames := make([]*core.DataFrame, len(pieces))
+			for r, piece := range pieces {
+				frames[r] = piece.(*core.DataFrame)
 			}
-			out, err := g.Finalize()
+			out, err := e.mergeGroupPieces(frames, spec, p.heavy != nil && p.heavy[bucket])
 			if err != nil {
 				return nil, err
 			}
@@ -154,6 +208,54 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 			return out.WithRowLabels(vector.Range(int64(lo), out.NRows()))
 		},
 	}
+}
+
+// mergeGroupPieces folds one bucket's routed pieces into its grouped frame.
+// Dict-coded keys short-circuit to the typed code-indexed kernel
+// (algebra.DictGroupFrames — the pieces are views over band slices of one
+// shared category table, so the direct-code path applies). A bucket flagged
+// heavy splits its pieces into contiguous chunks, builds a group partial per
+// chunk in parallel, and recombines in chunk order — GroupPartial.Merge
+// appends the right side's new groups after the left's, so the chunked fold
+// reproduces the sequential first-appearance group order exactly.
+func (e *Engine) mergeGroupPieces(frames []*core.DataFrame, spec expr.GroupBySpec, heavy bool) (*core.DataFrame, error) {
+	if out, ok, err := algebra.DictGroupFrames(frames, spec); ok || err != nil {
+		return out, err
+	}
+	if heavy && len(frames) > 1 {
+		chunks := e.pool.Workers()
+		if chunks > len(frames) {
+			chunks = len(frames)
+		}
+		if chunks < 2 {
+			chunks = 2
+		}
+		cuts := bandCuts(len(frames), chunks)
+		partials, err := exec.MapParallel(e.pool, chunks, func(c int) (*algebra.GroupPartial, error) {
+			g := algebra.NewGroupPartial(spec)
+			for _, f := range frames[cuts[c]:cuts[c+1]] {
+				if err := g.AddFrame(f); err != nil {
+					return nil, err
+				}
+			}
+			return g, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		g := partials[0]
+		for _, o := range partials[1:] {
+			g.Merge(o)
+		}
+		return g.Finalize()
+	}
+	g := algebra.NewGroupPartial(spec)
+	for _, f := range frames {
+		if err := g.AddFrame(f); err != nil {
+			return nil, err
+		}
+	}
+	return g.Finalize()
 }
 
 // joinProbeShuffle lowers an inner/left join to an anchored shuffle: the

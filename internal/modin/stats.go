@@ -1,0 +1,82 @@
+package modin
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Statistics collection for physical planning. Sketches are collected
+// lazily, at the scan boundary of plans whose strategy decisions ask for
+// them: the first KeyNDV call for a (frame, key) pair runs one bulk typed
+// hash pass over the key columns (internal/stats) and memoizes the summary,
+// so repeated queries over a session's base frames plan from cached
+// sketches. Tables reached by the planner are also attached to the
+// compiled source frames (compile.go), so exchanges can merge them
+// downstream.
+
+const (
+	// statsRowFloor skips sketching tiny frames: any strategy decision on
+	// them is below the broadcast threshold anyway.
+	statsRowFloor = 1024
+	// statsCacheLimit bounds the per-engine memoization map; sessions
+	// cycling through many distinct frames reset rather than grow without
+	// bound.
+	statsCacheLimit = 64
+)
+
+// StatsEnabled reports whether statistics-driven planning is on.
+func (e *Engine) StatsEnabled() bool { return e.statsOn }
+
+// KeyNDV implements optimizer.SourceStats over the engine's sketch cache:
+// the estimated distinct count of df's row tuples over cols, collected on
+// first use. It reports false — sending the estimator to its zero-stats
+// constants — when stats are disabled, the frame is below the sketching
+// floor, or collection fails.
+func (e *Engine) KeyNDV(df *core.DataFrame, cols []string) (float64, bool) {
+	c := e.keyStats(df, cols)
+	if c == nil {
+		return 0, false
+	}
+	return c.DistinctEstimate(), true
+}
+
+// keyStats returns the memoized key summary, collecting it on first use.
+func (e *Engine) keyStats(df *core.DataFrame, cols []string) *stats.Col {
+	if !e.statsOn || len(cols) == 0 || df.NRows() < statsRowFloor {
+		return nil
+	}
+	name := stats.KeyName(cols)
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	t := e.statsCache[df]
+	if t == nil {
+		if len(e.statsCache) >= statsCacheLimit {
+			e.statsCache = make(map[*core.DataFrame]*stats.Table)
+		}
+		t = stats.New(int64(df.NRows()))
+		e.statsCache[df] = t
+	}
+	if c, ok := t.Cols[name]; ok {
+		return c
+	}
+	c, err := stats.CollectKey(df, cols, stats.DefaultPrecision)
+	if err != nil {
+		return nil
+	}
+	t.Cols[name] = c
+	return c
+}
+
+// cachedStats returns the statistics collected so far for df (a clone, so
+// carriers on partition frames cannot corrupt the cache), or nil.
+func (e *Engine) cachedStats(df *core.DataFrame) *stats.Table {
+	if !e.statsOn {
+		return nil
+	}
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if t := e.statsCache[df]; t != nil {
+		return t.Clone()
+	}
+	return nil
+}

@@ -46,7 +46,14 @@ func (h *HLL) Add(key string) {
 	f.Write([]byte(key))
 	// FNV's high bits avalanche poorly on short keys; finalize with
 	// splitmix64 so the register index (top bits) is well dispersed.
-	x := mix64(f.Sum64())
+	h.AddHash(mix64(f.Sum64()))
+}
+
+// AddHash observes one value by a pre-mixed 64-bit hash, e.g. a bulk row
+// hash from internal/vector. The hash must already be well dispersed; no
+// further mixing is applied, so the same value must always present the same
+// hash (true of the vector kernels, which are seed-deterministic).
+func (h *HLL) AddHash(x uint64) {
 	idx := x >> (64 - h.precision)
 	rest := x<<h.precision | 1<<(h.precision-1) // ensure termination
 	rank := uint8(bits.LeadingZeros64(rest)) + 1
@@ -60,6 +67,12 @@ func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// Clone returns an independent copy of the sketch (Merge mutates in place,
+// so shared summaries must clone before folding).
+func (h *HLL) Clone() *HLL {
+	return &HLL{precision: h.precision, registers: append([]uint8(nil), h.registers...)}
 }
 
 // Merge combines another sketch of the same precision (register-wise max):

@@ -110,6 +110,9 @@ func Concat(vs ...Vector) Vector {
 			dom = types.Object
 		}
 	}
+	if out, ok := concatTyped(vs, total); ok {
+		return out
+	}
 	b := NewBuilder(dom, total)
 	for _, v := range vs {
 		for i := 0; i < v.Len(); i++ {
@@ -117,6 +120,117 @@ func Concat(vs ...Vector) Vector {
 		}
 	}
 	return b.Build()
+}
+
+// concatTyped concatenates same-representation inputs by copying storage
+// slices — no boxing. It covers the homogeneous cases the shuffle merge and
+// gather paths produce (including Dict inputs sharing one category table);
+// anything mixed, viewed, or composite reports !ok and takes the builder
+// path.
+func concatTyped(vs []Vector, total int) (Vector, bool) {
+	switch vs[0].(type) {
+	case *Int:
+		data := make([]int64, 0, total)
+		var nulls []bool
+		for _, v := range vs {
+			c, ok := v.(*Int)
+			if !ok {
+				return nil, false
+			}
+			nulls = appendMask(nulls, c.nulls, len(data), c.Len())
+			data = append(data, c.data...)
+		}
+		return NewInt(data, padMask(nulls, total)), true
+	case *Float:
+		data := make([]float64, 0, total)
+		var nulls []bool
+		for _, v := range vs {
+			c, ok := v.(*Float)
+			if !ok {
+				return nil, false
+			}
+			nulls = appendMask(nulls, c.nulls, len(data), c.Len())
+			data = append(data, c.data...)
+		}
+		return NewFloat(data, padMask(nulls, total)), true
+	case *Bool:
+		data := make([]bool, 0, total)
+		var nulls []bool
+		for _, v := range vs {
+			c, ok := v.(*Bool)
+			if !ok {
+				return nil, false
+			}
+			nulls = appendMask(nulls, c.nulls, len(data), c.Len())
+			data = append(data, c.data...)
+		}
+		return NewBool(data, padMask(nulls, total)), true
+	case *Datetime:
+		data := make([]int64, 0, total)
+		var nulls []bool
+		for _, v := range vs {
+			c, ok := v.(*Datetime)
+			if !ok {
+				return nil, false
+			}
+			nulls = appendMask(nulls, c.nulls, len(data), c.Len())
+			data = append(data, c.data...)
+		}
+		return NewDatetime(data, padMask(nulls, total)), true
+	case *Object:
+		data := make([]string, 0, total)
+		var nulls []bool
+		for _, v := range vs {
+			c, ok := v.(*Object)
+			if !ok {
+				return nil, false
+			}
+			nulls = appendMask(nulls, c.nulls, len(data), c.Len())
+			data = append(data, c.data...)
+		}
+		return NewObject(data, padMask(nulls, total)), true
+	case *Dict:
+		first := vs[0].(*Dict)
+		codes := make([]int32, 0, total)
+		var nulls []bool
+		for _, v := range vs {
+			c, ok := v.(*Dict)
+			if !ok || !SameDict(first.dict, c.dict) {
+				return nil, false
+			}
+			nulls = appendMask(nulls, c.nulls, len(codes), c.Len())
+			codes = append(codes, c.codes...)
+		}
+		return NewDict(codes, first.dict, padMask(nulls, total)), true
+	}
+	return nil, false
+}
+
+// appendMask accumulates a concatenated null mask lazily: nil until the
+// first non-nil input mask, then padded to stay aligned with the data.
+func appendMask(acc, mask []bool, off, n int) []bool {
+	if mask == nil {
+		if acc != nil {
+			acc = append(acc, make([]bool, n)...)
+		}
+		return acc
+	}
+	if acc == nil {
+		acc = make([]bool, off, off+n)
+	}
+	return append(acc, mask...)
+}
+
+// padMask extends a partial mask to the full length (nil stays nil: no
+// nulls anywhere).
+func padMask(mask []bool, total int) []bool {
+	if mask == nil {
+		return nil
+	}
+	for len(mask) < total {
+		mask = append(mask, false)
+	}
+	return mask
 }
 
 // Equal reports whether two vectors have the same length, and pairwise-equal
