@@ -1,0 +1,326 @@
+// dfreplay replays a simulated multi-user notebook workload against the
+// dataframe server and reports latency percentiles and cache effectiveness.
+//
+// The trace is derived from the notebook-corpus call mix (internal/notebooks,
+// the Figure 7 ranking): sessions issue filter/head-heavy statement streams
+// with groupby, sort and column ops mixed in at corpus proportions, and —
+// as in real notebook fleets — many users run the same handful of query
+// shapes over the same shared datasets, which is exactly what the plan
+// cache exploits. Literals are drawn from a small per-shape set so repeats
+// occur across sessions without every query being identical.
+//
+// Default mode runs in process: the full trace twice (cache on, then cache
+// off on a fresh server) and writes the comparison to BENCH_REPLAY.json.
+// With -addr it drives a running dfserver over HTTP instead (CI smoke).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/df"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// shapeWeights mirrors the corpus call mix (internal/notebooks callMix),
+// collapsed onto the server's wire ops: loc→where, head/tail→limit,
+// mean/sum/max→groupby aggregates, groupby→size, sort_values→sort,
+// drop→drop.
+var shapes = []struct {
+	name   string
+	weight float64
+	make   func(r *rand.Rand) []server.OpSpec
+}{
+	{"filter-head", 92, func(r *rand.Rand) []server.OpSpec { // head after a loc filter
+		return []server.OpSpec{
+			whereTotal(r),
+			{Op: "head", N: 5 + r.Intn(3)*5},
+		}
+	}},
+	{"filter", 70, func(r *rand.Rand) []server.OpSpec { // bare loc
+		return []server.OpSpec{whereTotal(r)}
+	}},
+	{"mean", 58, func(r *rand.Rand) []server.OpSpec { // col mean via groupby
+		return []server.OpSpec{
+			{Op: "groupby", By: []string{"payment_type"},
+				Aggs: []server.AggSpec{{Col: "total_amount", Agg: "mean", As: "avg_total"}}},
+		}
+	}},
+	{"groupby-size", 52, func(r *rand.Rand) []server.OpSpec {
+		return []server.OpSpec{
+			{Op: "groupby", By: []string{"vendor_id"},
+				Aggs: []server.AggSpec{{Col: "", Agg: "size", As: "trips"}}},
+		}
+	}},
+	{"drop", 46, func(r *rand.Rand) []server.OpSpec {
+		return []server.OpSpec{
+			{Op: "drop", Cols: []string{"store_and_fwd_flag"}},
+			{Op: "head", N: 10},
+		}
+	}},
+	{"agg-sort", 38, func(r *rand.Rand) []server.OpSpec { // merge-like heavy shape
+		return []server.OpSpec{
+			whereTotal(r),
+			{Op: "groupby", By: []string{"vendor_id", "payment_type"},
+				Aggs: []server.AggSpec{{Col: "tip_amount", Agg: "mean", As: "avg_tip"}}},
+			{Op: "sort", Keys: []server.SortKeySpec{{Col: "avg_tip", Desc: true}}},
+		}
+	}},
+	{"sort-head", 20, func(r *rand.Rand) []server.OpSpec {
+		return []server.OpSpec{
+			{Op: "sort", Keys: []server.SortKeySpec{{Col: "trip_distance", Desc: true}}},
+			{Op: "head", N: 10},
+		}
+	}},
+	{"tail", 9, func(r *rand.Rand) []server.OpSpec {
+		return []server.OpSpec{{Op: "tail", N: 5}}
+	}},
+}
+
+// whereTotal draws the filter literal from a small set, so sessions repeat
+// each other's predicates at dashboard-like rates.
+func whereTotal(r *rand.Rand) server.OpSpec {
+	cutoffs := []string{"10", "20", "30", "40"}
+	return server.OpSpec{Op: "where", Col: "total_amount", Cmp: ">",
+		Value: json.RawMessage(cutoffs[r.Intn(len(cutoffs))])}
+}
+
+type traceQuery struct {
+	session int
+	tenant  string
+	spec    server.QuerySpec
+}
+
+// buildTrace pre-generates the full workload deterministically.
+func buildTrace(sessions, perSession, tenants int, seed int64) []traceQuery {
+	r := rand.New(rand.NewSource(seed))
+	total := 0.0
+	for _, s := range shapes {
+		total += s.weight
+	}
+	var trace []traceQuery
+	for s := 0; s < sessions; s++ {
+		tenant := fmt.Sprintf("team-%d", s%tenants)
+		for q := 0; q < perSession; q++ {
+			pick := r.Float64() * total
+			for _, shape := range shapes {
+				if pick < shape.weight {
+					trace = append(trace, traceQuery{
+						session: s,
+						tenant:  tenant,
+						spec:    server.QuerySpec{Name: shape.name, Dataset: "taxi", Ops: shape.make(r)},
+					})
+					break
+				}
+				pick -= shape.weight
+			}
+		}
+	}
+	return trace
+}
+
+type runStats struct {
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	Queries   int     `json:"queries"`
+	HitRate   float64 `json:"hit_rate"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// replay runs the trace against an in-process server with the given cache
+// setting, one goroutine per simulated concurrent user.
+func replay(trace []traceQuery, sessions, rows, budget, workers int, cacheOff bool) runStats {
+	s := server.New(server.Config{
+		CacheOff:          cacheOff,
+		TenantBudgetCells: budget,
+	})
+	defer s.Shutdown()
+	s.Start()
+	s.RegisterDataset("taxi", df.FromFrame(workload.Taxi(workload.DefaultTaxiOptions(rows))))
+
+	bynum := make(map[int]string, sessions)
+	for _, q := range trace {
+		if _, ok := bynum[q.session]; !ok {
+			bynum[q.session] = s.OpenSession(q.tenant, df.ModeEager)
+		}
+	}
+
+	latencies := make([]float64, len(trace))
+	start := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				q := trace[i]
+				t0 := time.Now()
+				if _, err := s.RunQuery(bynum[q.session], q.spec); err != nil {
+					log.Fatalf("replay query %d (%s): %v", i, q.spec.Name, err)
+				}
+				latencies[i] = float64(time.Since(t0).Microseconds())
+			}
+		}()
+	}
+	for i := range trace {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := s.Stats()
+	sort.Float64s(latencies)
+	return runStats{
+		P50Us:     percentile(latencies, 0.50),
+		P99Us:     percentile(latencies, 0.99),
+		Queries:   len(trace),
+		HitRate:   stats.Cache.HitRate(),
+		Hits:      stats.Cache.Hits,
+		Misses:    stats.Cache.Misses,
+		ElapsedMs: float64(elapsed.Milliseconds()),
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// smoke drives a running dfserver over HTTP: a short trace, then asserts
+// the server reports cache hits.
+func smoke(addr string, trace []traceQuery) error {
+	base := "http://" + addr
+	post := func(path string, body any, out any) error {
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			var e map[string]string
+			json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s: %d %s", path, resp.StatusCode, e["error"])
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+	if err := post("/datasets", map[string]any{"name": "taxi", "taxi_rows": 5000}, nil); err != nil {
+		return err
+	}
+	ids := make(map[int]string)
+	for _, q := range trace {
+		id, ok := ids[q.session]
+		if !ok {
+			var sess struct {
+				ID string `json:"id"`
+			}
+			if err := post("/sessions", map[string]string{"tenant": q.tenant, "mode": "eager"}, &sess); err != nil {
+				return err
+			}
+			id, ids[q.session] = sess.ID, sess.ID
+		}
+		var res server.QueryResult
+		if err := post("/sessions/"+id+"/query", q.spec, &res); err != nil {
+			return err
+		}
+	}
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats server.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	fmt.Printf("smoke: %d queries, %d cache hits (rate %.2f)\n",
+		stats.Queries, stats.Cache.Hits, stats.Cache.HitRate())
+	if stats.Cache.Hits == 0 {
+		return fmt.Errorf("smoke: no cache hits recorded")
+	}
+	return nil
+}
+
+func main() {
+	sessions := flag.Int("sessions", 1000, "simulated user sessions")
+	perSession := flag.Int("queries", 6, "queries per session")
+	tenants := flag.Int("tenants", 40, "tenant count (sessions spread round-robin)")
+	rows := flag.Int("rows", 20000, "taxi dataset rows")
+	budget := flag.Int("budget", 0, "per-tenant budget in cells (0: unlimited)")
+	workers := flag.Int("workers", 32, "concurrent replay workers")
+	seed := flag.Int64("seed", 1, "trace seed")
+	out := flag.String("out", "BENCH_REPLAY.json", "output JSON path")
+	check := flag.Bool("check", false, "exit nonzero unless hit rate > 0.5 and p50 speedup >= 2x")
+	addr := flag.String("addr", "", "smoke mode: drive a running dfserver at this address instead")
+	flag.Parse()
+
+	if *addr != "" {
+		trace := buildTrace(*sessions, *perSession, *tenants, *seed)
+		if err := smoke(*addr, trace); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	trace := buildTrace(*sessions, *perSession, *tenants, *seed)
+	fmt.Printf("replaying %d queries from %d sessions over %d tenants (%d workers)\n",
+		len(trace), *sessions, *tenants, *workers)
+
+	on := replay(trace, *sessions, *rows, *budget, *workers, false)
+	fmt.Printf("cache on : p50=%.0fµs p99=%.0fµs hit-rate=%.2f (%d hits / %d misses) wall=%.0fms\n",
+		on.P50Us, on.P99Us, on.HitRate, on.Hits, on.Misses, on.ElapsedMs)
+	off := replay(trace, *sessions, *rows, *budget, *workers, true)
+	fmt.Printf("cache off: p50=%.0fµs p99=%.0fµs wall=%.0fms\n", off.P50Us, off.P99Us, off.ElapsedMs)
+
+	speedup := 0.0
+	if on.P50Us > 0 {
+		speedup = off.P50Us / on.P50Us
+	}
+	fmt.Printf("p50 speedup: %.1fx\n", speedup)
+
+	report := map[string]any{
+		"bench":       "dfreplay",
+		"sessions":    *sessions,
+		"tenants":     *tenants,
+		"queries":     len(trace),
+		"rows":        *rows,
+		"cache_on":    on,
+		"cache_off":   off,
+		"p50_speedup": speedup,
+	}
+	buf, _ := json.MarshalIndent(report, "", "  ")
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *check {
+		if on.HitRate <= 0.5 {
+			log.Fatalf("check failed: hit rate %.2f <= 0.5", on.HitRate)
+		}
+		if speedup < 2 {
+			log.Fatalf("check failed: p50 speedup %.1fx < 2x", speedup)
+		}
+		fmt.Println("check passed: hit rate > 0.5, p50 speedup >= 2x")
+	}
+}

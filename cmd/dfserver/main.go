@@ -1,0 +1,44 @@
+// dfserver serves the multi-tenant dataframe API over HTTP: sessions,
+// datasets, cached queries, budgets. See internal/server for the protocol
+// and README's "Serving" section for a quickstart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/df"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8700", "listen address")
+	cacheCells := flag.Int("cache-cells", 4<<20, "plan cache result ceiling in cells (negative: unlimited)")
+	cacheOff := flag.Bool("cache-off", false, "disable the query-plan cache")
+	budget := flag.Int("budget", 0, "per-tenant memory budget in cells (0: unlimited)")
+	queueWait := flag.Duration("queue-wait", 2*time.Second, "max queue time for over-budget queries")
+	idleAfter := flag.Duration("idle-after", 50*time.Millisecond, "idle threshold for think-time draining")
+	taxiRows := flag.Int("taxi", 0, "preload a synthetic 'taxi' dataset with this many rows")
+	flag.Parse()
+
+	s := server.New(server.Config{
+		CacheMaxCells:     *cacheCells,
+		CacheOff:          *cacheOff,
+		TenantBudgetCells: *budget,
+		QueueWait:         *queueWait,
+		IdleAfter:         *idleAfter,
+	})
+	if *taxiRows > 0 {
+		s.RegisterDataset("taxi", df.FromFrame(workload.Taxi(workload.DefaultTaxiOptions(*taxiRows))))
+		fmt.Printf("dataset taxi: %d rows\n", *taxiRows)
+	}
+	s.Start()
+	defer s.Shutdown()
+
+	fmt.Printf("dfserver listening on %s (cache-off=%v budget=%d)\n", *addr, *cacheOff, *budget)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

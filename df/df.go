@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/eager"
 	"repro/internal/modin"
 	"repro/internal/schema"
@@ -227,7 +228,7 @@ func (d *DataFrame) Col(name string) (*DataFrame, error) {
 func (d *DataFrame) ColValues(name string) ([]Value, error) {
 	j := d.frame.ColIndex(name)
 	if j < 0 {
-		return nil, fmt.Errorf("df: no column %q", name)
+		return nil, fmt.Errorf("df: no %w %q", dferrors.ErrUnknownColumn, name)
 	}
 	return vector.Values(d.frame.TypedCol(j)), nil
 }

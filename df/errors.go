@@ -1,0 +1,33 @@
+package df
+
+import "repro/internal/dferrors"
+
+// Typed sentinel errors for the query/session surface. Every layer that
+// produces one of these failures wraps the sentinel, so callers — the
+// dfserver handlers in particular — classify errors with errors.Is instead
+// of string matching, while the human-readable, plan-annotated messages
+// (e.g. `algebra: projection of unknown column "nope"`) stay intact as the
+// wrapping text.
+var (
+	// ErrUnknownColumn: a projection, sort, group key, rename, drop or
+	// window referenced a column the frame does not have.
+	ErrUnknownColumn = dferrors.ErrUnknownColumn
+
+	// ErrUnknownAggregate: an aggregate name was not recognized.
+	ErrUnknownAggregate = dferrors.ErrUnknownAggregate
+
+	// ErrUnknownJoinKind: a join-kind name was not recognized.
+	ErrUnknownJoinKind = dferrors.ErrUnknownJoinKind
+
+	// ErrUnknownMode: a session-mode name was not recognized (see
+	// ParseMode; *UnknownModeError carries the offending name).
+	ErrUnknownMode = dferrors.ErrUnknownMode
+
+	// ErrSessionClosed: a statement or result request reached a closed
+	// session.
+	ErrSessionClosed = dferrors.ErrSessionClosed
+
+	// ErrBudgetExceeded: admission control rejected (or timed out queueing)
+	// a query that would push its tenant over the memory budget.
+	ErrBudgetExceeded = dferrors.ErrBudgetExceeded
+)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/algebra"
+	"repro/internal/dferrors"
 	"repro/internal/expr"
 	"repro/internal/schema"
 	"repro/internal/sketch"
@@ -27,7 +28,7 @@ func (d *DataFrame) AsType(col, domain string) (*DataFrame, error) {
 	}
 	j := d.frame.ColIndex(col)
 	if j < 0 {
-		return nil, fmt.Errorf("df: no column %q", col)
+		return nil, fmt.Errorf("df: no %w %q", dferrors.ErrUnknownColumn, col)
 	}
 	parsed := schema.Parse(d.frame.Col(j), dom)
 	frame, err := d.frame.WithColumn(j, parsed, dom)

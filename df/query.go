@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/modin"
@@ -163,7 +164,7 @@ func (q *Query) Drop(cols ...string) *Query {
 	}
 	for _, c := range cols {
 		if !found[c] {
-			return q.fail(fmt.Errorf("df: drop of unknown column %q", c))
+			return q.fail(fmt.Errorf("df: drop of %w %q", dferrors.ErrUnknownColumn, c))
 		}
 	}
 	return q.Select(keep...)
@@ -300,7 +301,7 @@ func (q *Query) MapCol(col string, name string, fn func(Value) Value) *Query {
 		}
 	}
 	if target < 0 {
-		return q.fail(fmt.Errorf("df: no column %q", col))
+		return q.fail(fmt.Errorf("df: no %w %q", dferrors.ErrUnknownColumn, col))
 	}
 	return q.with(&algebra.Map{Input: q.plan, Fn: expr.MapFn{
 		Name: name,
@@ -624,7 +625,7 @@ func parseAggSpecs(specs []AggSpec) ([]expr.AggSpec, error) {
 	for i, s := range specs {
 		kind, ok := expr.ParseAgg(s.Agg)
 		if !ok {
-			return nil, fmt.Errorf("df: unknown aggregate %q", s.Agg)
+			return nil, fmt.Errorf("df: %w %q", dferrors.ErrUnknownAggregate, s.Agg)
 		}
 		aggs[i] = expr.AggSpec{Col: s.Col, Agg: kind, As: s.As}
 	}
@@ -643,7 +644,7 @@ func parseJoinKind(kind string) (expr.JoinKind, error) {
 	case "outer":
 		return expr.JoinOuter, nil
 	}
-	return 0, fmt.Errorf("df: unknown join kind %q", kind)
+	return 0, fmt.Errorf("df: %w %q", dferrors.ErrUnknownJoinKind, kind)
 }
 
 func containsString(names []string, want string) bool {

@@ -454,7 +454,7 @@ func TestScanCSVSources(t *testing.T) {
 
 func TestTypedSessionModes(t *testing.T) {
 	for _, mode := range []Mode{ModeEager, ModeLazy, ModeOpportunistic} {
-		s := NewSessionMode(NewModinEngine(), mode)
+		s := NewSession(NewModinEngine(), mode)
 		h := s.Bind("t", queryFrame(t))
 		out, err := h.Collect()
 		if err != nil {
@@ -473,8 +473,8 @@ func TestTypedSessionModes(t *testing.T) {
 	if !errors.As(err, &unknown) || unknown.Mode != "psychic" {
 		t.Errorf("ParseMode should report *UnknownModeError, got %v", err)
 	}
-	if _, err := NewSession(NewModinEngine(), "psychic"); !errors.As(err, &unknown) {
-		t.Errorf("string shim should report *UnknownModeError, got %v", err)
+	if !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("ParseMode failure should match ErrUnknownMode, got %v", err)
 	}
 }
 
@@ -487,7 +487,7 @@ func TestSessionAcceptsQueryPlans(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range []Mode{ModeEager, ModeLazy, ModeOpportunistic} {
-		s := NewSessionMode(NewModinEngine(), mode)
+		s := NewSession(NewModinEngine(), mode)
 		h, err := s.Query("narrow", d.Lazy().Where(Gt("a", Int(5))).Select("a", "b"))
 		if err != nil {
 			t.Fatalf("mode %v: %v", mode, err)

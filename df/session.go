@@ -2,8 +2,10 @@ package df
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/dferrors"
 	"repro/internal/session"
 )
 
@@ -11,9 +13,35 @@ import (
 // (pandas-style), lazy, and opportunistic (background computation during
 // think time), with head/tail-prioritized inspection and reuse of
 // materialized intermediates.
+//
+// The session surface is deliberately minimal so a server can multiplex it
+// 1:1 over a network API (see SessionAPI): statements enter through Bind
+// (sources) and Query (typed builder plans), results leave through Handle's
+// Collect/Head/Tail, and lifecycle is Close. Everything else — modes,
+// budgets, spilling — is configuration.
 type Session struct {
 	inner *session.Session
 }
+
+// SessionAPI is the minimal multiplexable session surface: the subset of
+// *Session a multi-tenant server exposes 1:1 over the wire. Everything in
+// it is serializable — plans arrive as typed Query builders (no opaque
+// closures), results leave as materialized frames. *Session implements it;
+// code that should stay servable can take a SessionAPI to be sure it never
+// grows a dependency on process-local state.
+type SessionAPI interface {
+	// Bind introduces a dataframe into the session under a name.
+	Bind(name string, d *DataFrame) *Handle
+	// Query issues a lazy builder plan as one statement.
+	Query(name string, q *Query) (*Handle, error)
+	// ThinkTime drains background work, modelling a user pause.
+	ThinkTime()
+	// Close ends the session; subsequent statements fail with
+	// ErrSessionClosed.
+	Close() error
+}
+
+var _ SessionAPI = (*Session)(nil)
 
 // Mode selects a session's evaluation regime; use the ModeEager, ModeLazy
 // and ModeOpportunistic constants.
@@ -31,7 +59,8 @@ const (
 )
 
 // UnknownModeError is the sentinel error type reported for an unrecognized
-// session-mode name; match it with errors.As.
+// session-mode name; match the type with errors.As, or the condition with
+// errors.Is(err, ErrUnknownMode).
 type UnknownModeError struct {
 	// Mode is the unrecognized name.
 	Mode string
@@ -39,11 +68,16 @@ type UnknownModeError struct {
 
 // Error renders the failure.
 func (e *UnknownModeError) Error() string {
-	return fmt.Sprintf("df: unknown session mode %q", e.Mode)
+	return fmt.Sprintf("df: %v %q", dferrors.ErrUnknownMode, e.Mode)
 }
 
+// Unwrap ties the typed error to the ErrUnknownMode sentinel.
+func (e *UnknownModeError) Unwrap() error { return dferrors.ErrUnknownMode }
+
 // ParseMode resolves a mode name ("eager", "lazy", "opportunistic") to its
-// typed constant, reporting *UnknownModeError otherwise.
+// typed constant, reporting *UnknownModeError otherwise. It is the only
+// string entry point to modes: sessions themselves are constructed with the
+// typed constants.
 func ParseMode(mode string) (Mode, error) {
 	switch mode {
 	case "eager":
@@ -56,23 +90,42 @@ func ParseMode(mode string) (Mode, error) {
 	return 0, &UnknownModeError{Mode: mode}
 }
 
-// NewSessionMode starts a session on the engine under the typed mode.
-func NewSessionMode(engine Engine, mode Mode) *Session {
+// NewSession starts a session on the engine under the typed mode: one of
+// ModeEager, ModeLazy, ModeOpportunistic. String input (a config file, an
+// API request) goes through ParseMode first.
+func NewSession(engine Engine, mode Mode) *Session {
 	return &Session{inner: session.New(engine, mode, nil)}
 }
 
-// NewSession starts a session on the engine under the named mode: "eager",
-// "lazy" or "opportunistic". Unknown names report *UnknownModeError.
-//
-// Deprecated: use NewSessionMode with the typed ModeEager, ModeLazy or
-// ModeOpportunistic constants; the string form is kept as a shim.
-func NewSession(engine Engine, mode string) (*Session, error) {
-	m, err := ParseMode(mode)
-	if err != nil {
-		return nil, err
-	}
-	return NewSessionMode(engine, m), nil
+// Close ends the session: subsequent statements and result requests fail
+// with ErrSessionClosed, and materialized intermediates (including any
+// spilled to disk) are released. Closing twice is a no-op.
+func (s *Session) Close() error { return s.inner.Close() }
+
+// EnableSpillingBudget caps the session's in-memory materialized results at
+// maxCells cells (one cell per value): beyond the budget, the coldest
+// resolved results spill to a session-owned disk store and reload
+// transparently on reuse. Call before issuing statements.
+func (s *Session) EnableSpillingBudget(maxCells int) error {
+	return s.inner.EnableSpillingBudget(maxCells)
 }
+
+// MemoryCells reports the session's accountable memory in cells: resident
+// materialized results plus transient spill-store residency. Per-tenant
+// admission control sums this across sessions.
+func (s *Session) MemoryCells() int { return s.inner.MemoryCells() }
+
+// SpillToFit spills cold resolved results (oldest first) until at most
+// maxCells cells remain resident, reporting how many results moved to disk.
+func (s *Session) SpillToFit(maxCells int) int { return s.inner.SpillToFit(maxCells) }
+
+// PendingBackground counts in-flight background materializations — the
+// opportunistic DAGs a think-time scheduler drains for idle sessions.
+func (s *Session) PendingBackground() int { return s.inner.PendingBackground() }
+
+// LastActive returns the time of the session's last statement or
+// inspection (zero before any activity), for idle detection.
+func (s *Session) LastActive() time.Time { return s.inner.LastActive() }
 
 // Bind introduces a dataframe into the session.
 func (s *Session) Bind(name string, d *DataFrame) *Handle {
@@ -111,6 +164,11 @@ type Handle struct {
 // Apply issues a new statement composing on this handle's plan. The build
 // function receives the current logical plan and returns the extended one;
 // plan nodes come from the algebra surfaced via the method helpers below.
+//
+// Deprecated: Apply takes an opaque Go function, which a server cannot
+// multiplex (it cannot cross the wire, be fingerprinted for the plan cache,
+// or be admission-controlled by cost). Continue a statement through the
+// typed builder instead: s.Query(name, h.Lazy().Select(...).Where(...)).
 func (h *Handle) Apply(name string, build func(algebra.Node) algebra.Node) *Handle {
 	return &Handle{s: h.s, inner: h.inner.Apply(name, build)}
 }

@@ -1,6 +1,7 @@
 package df
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/algebra"
@@ -18,12 +19,13 @@ func sessionFilter(in algebra.Node) algebra.Node {
 }
 
 func TestSessionModes(t *testing.T) {
-	for _, mode := range []string{"eager", "lazy", "opportunistic"} {
-		t.Run(mode, func(t *testing.T) {
-			s, err := NewSession(NewModinEngine(), mode)
+	for _, name := range []string{"eager", "lazy", "opportunistic"} {
+		t.Run(name, func(t *testing.T) {
+			mode, err := ParseMode(name)
 			if err != nil {
 				t.Fatal(err)
 			}
+			s := NewSession(NewModinEngine(), mode)
 			h := s.Bind("people", sample(t)).Apply("eng", sessionFilter)
 			out, err := h.Collect()
 			if err != nil {
@@ -46,16 +48,13 @@ func TestSessionModes(t *testing.T) {
 			}
 		})
 	}
-	if _, err := NewSession(NewModinEngine(), "psychic"); err == nil {
-		t.Error("unknown mode should fail")
+	if _, err := ParseMode("psychic"); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("unknown mode should report ErrUnknownMode, got %v", err)
 	}
 }
 
 func TestSessionStatsAndPlan(t *testing.T) {
-	s, err := NewSession(NewBaselineEngine(), "lazy")
-	if err != nil {
-		t.Fatal(err)
-	}
+	s := NewSession(NewBaselineEngine(), ModeLazy)
 	h := s.Bind("people", sample(t)).Apply("eng", sessionFilter)
 	statements, full, partial, _, background := s.Stats()
 	if statements != 2 || full != 0 || background != 0 {
@@ -82,4 +81,52 @@ func TestSessionStatsAndPlan(t *testing.T) {
 	}
 	h.Wait() // no-op once ready
 	s.ThinkTime()
+}
+
+func TestSessionClose(t *testing.T) {
+	s := NewSession(NewModinEngine(), ModeLazy)
+	h := s.Bind("people", sample(t))
+	if _, err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close should be a no-op, got %v", err)
+	}
+	h2 := s.Bind("late", sample(t))
+	if _, err := h2.Collect(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("statement after close should report ErrSessionClosed, got %v", err)
+	}
+	if err := s.EnableSpillingBudget(100); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("EnableSpillingBudget after close should report ErrSessionClosed, got %v", err)
+	}
+}
+
+func TestSessionSpillBudget(t *testing.T) {
+	s := NewSession(NewModinEngine(), ModeEager)
+	if err := s.EnableSpillingBudget(1); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Bind("people", sample(t))
+	if _, err := h.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := s.Bind("more", sample(t))
+	if _, err := h2.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	// With a one-cell ceiling every resolved result beyond the newest must
+	// have spilled, yet both stay readable through transparent reload.
+	if got, err := h.Collect(); err != nil || got.Len() != sample(t).Len() {
+		t.Fatalf("reload after spill: %v (len %d)", err, got.Len())
+	}
+	if cells := s.MemoryCells(); cells <= 0 {
+		t.Errorf("MemoryCells = %d, want > 0", cells)
+	}
+	if s.LastActive().IsZero() {
+		t.Error("LastActive should be set after statements")
+	}
 }

@@ -32,6 +32,27 @@
 // session layer (internal/session) exploits this for the paper's
 // opportunistic evaluation regime.
 //
+// Serving: one step above the session sits the multi-tenant server
+// (internal/server, cmd/dfserver), which exposes the minimal session
+// surface (df.SessionAPI: Bind/Query/ThinkTime/Close) 1:1 over JSON/HTTP
+// and multiplexes many concurrent users over shared engines:
+//
+//	wire ops ──BuildQuery──▶ df.Query ──Optimize──▶ optimizer.Fingerprint ──▶ PlanCache
+//	                                                     │ hit: cached result │ miss: compile+run
+//	                         tenant admission (budget → spill → queue → ErrBudgetExceeded)
+//
+// Post-optimizer plans are canonicalized (names stripped, sources as
+// positional placeholders, literals kept) so fingerprint-equal queries from
+// different sessions share compiled physical DAGs and — when base-frame
+// versions match — materialized results; per-tenant cell budgets are
+// enforced by admission control backed by the session spill machinery
+// (internal/storage), and a think-time scheduler drains idle sessions'
+// opportunistic DAGs before admitting new heavy work. Failures classify
+// via the typed sentinels (df.ErrBudgetExceeded, df.ErrSessionClosed,
+// df.ErrUnknownColumn, ...) with errors.Is. cmd/dfreplay replays a
+// notebook-corpus-derived multi-user trace against the server and reports
+// p50/p99 latency and cache hit rate (BENCH_REPLAY.json).
+//
 // Vectorized kernels: the operator inner loops run on typed bulk kernels
 // (internal/vector) rather than boxing cells into types.Value or rendering
 // them to string keys. Row identity in GROUPBY, JOIN, DROP-DUPLICATES,

@@ -99,7 +99,7 @@ func main() {
 
 	// Builder plans thread through sessions: the opportunistic regime
 	// computes this statement in the background during think time.
-	s := df.NewSessionMode(df.NewModinEngine(), df.ModeOpportunistic)
+	s := df.NewSession(df.NewModinEngine(), df.ModeOpportunistic)
 	h, err := s.Query("by-vendor", q)
 	if err != nil {
 		log.Fatal(err)

@@ -22,7 +22,7 @@ func main() {
 	data := df.FromFrame(frame)
 
 	for _, mode := range []df.Mode{df.ModeEager, df.ModeLazy, df.ModeOpportunistic} {
-		s := df.NewSessionMode(df.NewModinEngine(), mode)
+		s := df.NewSession(df.NewModinEngine(), mode)
 		sessionStart := time.Now()
 
 		// Statement 1: bind the data.

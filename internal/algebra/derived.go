@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/expr"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -87,7 +88,7 @@ func NormalizeFloatsFn(doms []types.Domain) expr.MapFn {
 func DistinctValues(df *core.DataFrame, col string) ([]types.Value, error) {
 	j := df.ColIndex(col)
 	if j < 0 {
-		return nil, fmt.Errorf("algebra: distinct over unknown column %q", col)
+		return nil, fmt.Errorf("algebra: distinct over %w %q", dferrors.ErrUnknownColumn, col)
 	}
 	v := df.TypedCol(j)
 	seen := make(map[string]struct{})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/expr"
 	"repro/internal/schema"
 	"repro/internal/types"
@@ -160,7 +161,7 @@ func mapElementwise(df *core.DataFrame, fn expr.MapFn) (*core.DataFrame, error) 
 func ToLabelsFrame(df *core.DataFrame, col string) (*core.DataFrame, error) {
 	j := df.ColIndex(col)
 	if j < 0 {
-		return nil, fmt.Errorf("algebra: tolabels of unknown column %q", col)
+		return nil, fmt.Errorf("algebra: tolabels of %w %q", dferrors.ErrUnknownColumn, col)
 	}
 	labels := df.TypedCol(j)
 	out := df.DropColumn(j)
@@ -200,7 +201,7 @@ func WindowFrame(df *core.DataFrame, spec expr.WindowSpec) (*core.DataFrame, err
 	targetSet := make(map[string]bool, len(targets))
 	for _, t := range targets {
 		if df.ColIndex(t) < 0 {
-			return nil, fmt.Errorf("algebra: window over unknown column %q", t)
+			return nil, fmt.Errorf("algebra: window over %w %q", dferrors.ErrUnknownColumn, t)
 		}
 		targetSet[t] = true
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/expr"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -40,7 +41,7 @@ func Project(df *core.DataFrame, cols []string) (*core.DataFrame, error) {
 	for k, name := range cols {
 		j := df.ColIndex(name)
 		if j < 0 {
-			return nil, fmt.Errorf("algebra: projection of unknown column %q", name)
+			return nil, fmt.Errorf("algebra: projection of %w %q", dferrors.ErrUnknownColumn, name)
 		}
 		idx[k] = j
 	}
@@ -208,7 +209,7 @@ func DropDuplicatesFrame(df *core.DataFrame, subset []string) (*core.DataFrame, 
 		for k, name := range subset {
 			j := df.ColIndex(name)
 			if j < 0 {
-				return nil, fmt.Errorf("algebra: drop-duplicates on unknown column %q", name)
+				return nil, fmt.Errorf("algebra: drop-duplicates on %w %q", dferrors.ErrUnknownColumn, name)
 			}
 			cols[k] = df.TypedCol(j)
 		}
@@ -247,7 +248,7 @@ func RenameFrame(df *core.DataFrame, mapping map[string]string) (*core.DataFrame
 	if found < len(mapping) {
 		for from := range mapping {
 			if df.ColIndex(from) < 0 {
-				return nil, fmt.Errorf("algebra: rename of unknown column %q", from)
+				return nil, fmt.Errorf("algebra: rename of %w %q", dferrors.ErrUnknownColumn, from)
 			}
 		}
 	}
@@ -274,7 +275,7 @@ func SortFrame(df *core.DataFrame, order expr.SortOrder, byLabels bool) (*core.D
 	for k, o := range order {
 		j := df.ColIndex(o.Col)
 		if j < 0 {
-			return nil, fmt.Errorf("algebra: sort on unknown column %q", o.Col)
+			return nil, fmt.Errorf("algebra: sort on %w %q", dferrors.ErrUnknownColumn, o.Col)
 		}
 		keys[k] = df.TypedCol(j)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/expr"
 	"repro/internal/vector"
 )
@@ -72,7 +73,7 @@ func TopKFrame(df *core.DataFrame, order expr.SortOrder, n int) (*core.DataFrame
 	for i, o := range order {
 		j := df.ColIndex(o.Col)
 		if j < 0 {
-			return nil, fmt.Errorf("algebra: topk on unknown column %q", o.Col)
+			return nil, fmt.Errorf("algebra: topk on %w %q", dferrors.ErrUnknownColumn, o.Col)
 		}
 		keys[i] = df.TypedCol(j)
 	}

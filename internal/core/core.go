@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dferrors"
 	"repro/internal/schema"
 	"repro/internal/types"
 	"repro/internal/vector"
@@ -157,7 +158,7 @@ func (df *DataFrame) ColIndex(name string) int {
 func (df *DataFrame) ColByName(name string) (vector.Vector, error) {
 	j := df.ColIndex(name)
 	if j < 0 {
-		return nil, fmt.Errorf("core: no column %q", name)
+		return nil, fmt.Errorf("core: no %w %q", dferrors.ErrUnknownColumn, name)
 	}
 	return df.cols[j], nil
 }

@@ -1,0 +1,33 @@
+// Package dferrors holds the typed sentinel errors of the query/session
+// surface. They live below both the public df package and the internal
+// engine layers so that the layer *producing* a failure can wrap the
+// sentinel (fmt.Errorf("...%w...", ErrUnknownColumn)) while the public API
+// re-exports the same values (df.ErrUnknownColumn) — callers and the server
+// map failures to behaviour with errors.Is instead of string matching, and
+// the existing Describe()-annotated messages stay intact as the wrapping
+// text.
+package dferrors
+
+import "errors"
+
+var (
+	// ErrUnknownColumn reports a reference to a column the frame does not
+	// have: projections, sorts, group keys, renames, drops, window inputs.
+	ErrUnknownColumn = errors.New("unknown column")
+
+	// ErrUnknownAggregate reports an unrecognized aggregate name.
+	ErrUnknownAggregate = errors.New("unknown aggregate")
+
+	// ErrUnknownJoinKind reports an unrecognized join-kind name.
+	ErrUnknownJoinKind = errors.New("unknown join kind")
+
+	// ErrUnknownMode reports an unrecognized session-mode name.
+	ErrUnknownMode = errors.New("unknown session mode")
+
+	// ErrSessionClosed reports a statement issued against a closed session.
+	ErrSessionClosed = errors.New("session closed")
+
+	// ErrBudgetExceeded reports a query rejected (or timed out queueing) by
+	// a tenant's memory-budget admission control.
+	ErrBudgetExceeded = errors.New("tenant memory budget exceeded")
+)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/partition"
 	"repro/internal/physical"
 	"repro/internal/types"
@@ -47,7 +48,7 @@ func sortKeyVecs(df *core.DataFrame, node *algebra.Sort) ([]vector.Vector, []boo
 	for k, o := range node.Order {
 		j := df.ColIndex(o.Col)
 		if j < 0 {
-			return nil, nil, fmt.Errorf("modin: sort on unknown column %q", o.Col)
+			return nil, nil, fmt.Errorf("modin: sort on %w %q", dferrors.ErrUnknownColumn, o.Col)
 		}
 		keys[k] = df.TypedCol(j)
 		desc[k] = o.Desc

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/df"
+)
+
+// The wire form of a query: a dataset name plus a chain of operator specs
+// applied in order. Every op is a typed, serializable plan step — by
+// construction a wire query can never carry an opaque closure, which is
+// what keeps server queries fingerprintable and cacheable.
+//
+//	{"dataset": "taxi", "ops": [
+//	  {"op": "where", "col": "total_amount", "cmp": ">", "value": 20},
+//	  {"op": "groupby", "keys": ["vendor_id"],
+//	   "aggs": [{"col": "total_amount", "agg": "mean", "as": "avg"}]},
+//	  {"op": "sort", "keys": [{"col": "avg", "desc": true}]},
+//	  {"op": "head", "n": 5}
+//	]}
+
+// OpSpec is one operator of a wire query. Fields are a union across ops;
+// each op reads only its own.
+type OpSpec struct {
+	Op string `json:"op"`
+
+	Cols    []string          `json:"cols,omitempty"`    // select, drop, dropdup
+	Col     string            `json:"col,omitempty"`     // where
+	Cmp     string            `json:"cmp,omitempty"`     // where: == != < <= > >=
+	Value   json.RawMessage   `json:"value,omitempty"`   // where: JSON literal
+	Keys    []SortKeySpec     `json:"keys,omitempty"`    // sort
+	By      []string          `json:"by,omitempty"`      // groupby keys
+	Aggs    []AggSpec         `json:"aggs,omitempty"`    // groupby
+	Mapping map[string]string `json:"mapping,omitempty"` // rename
+	N       int               `json:"n,omitempty"`       // head, tail
+}
+
+// SortKeySpec is one sort key.
+type SortKeySpec struct {
+	Col  string `json:"col"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// AggSpec is one aggregate of a groupby.
+type AggSpec struct {
+	Col string `json:"col"`
+	Agg string `json:"agg"`
+	As  string `json:"as,omitempty"`
+}
+
+// QuerySpec is the wire query.
+type QuerySpec struct {
+	// Name labels the statement; optional, cosmetic only (names are
+	// canonicalized out of plan fingerprints).
+	Name string `json:"name,omitempty"`
+	// Dataset is the bound base frame the plan starts from.
+	Dataset string `json:"dataset"`
+	// Ops are applied in order.
+	Ops []OpSpec `json:"ops"`
+}
+
+// BuildQuery translates the wire ops into a builder query over the base
+// frame. Errors report the offending op by index.
+func BuildQuery(base *df.DataFrame, ops []OpSpec) (*df.Query, error) {
+	q := base.Lazy()
+	for i, op := range ops {
+		next, err := applyOp(q, op)
+		if err != nil {
+			return nil, fmt.Errorf("op %d (%s): %w", i, op.Op, err)
+		}
+		q = next
+	}
+	if err := q.Err(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func applyOp(q *df.Query, op OpSpec) (*df.Query, error) {
+	switch op.Op {
+	case "select":
+		return q.Select(op.Cols...), nil
+	case "drop":
+		return q.Drop(op.Cols...), nil
+	case "where":
+		cond, err := buildCond(op)
+		if err != nil {
+			return nil, err
+		}
+		return q.Where(cond), nil
+	case "sort":
+		keys := make([]df.SortKey, len(op.Keys))
+		for i, k := range op.Keys {
+			keys[i] = df.SortKey{Col: k.Col, Desc: k.Desc}
+		}
+		return q.SortValuesBy(keys), nil
+	case "groupby":
+		g := q.GroupBy(op.By...)
+		aggs := make([]df.AggSpec, len(op.Aggs))
+		for i, a := range op.Aggs {
+			aggs[i] = df.AggSpec{Col: a.Col, Agg: a.Agg, As: a.As}
+		}
+		return g.Agg(aggs...), nil
+	case "rename":
+		return q.Rename(op.Mapping), nil
+	case "dropdup":
+		return q.DropDuplicates(op.Cols...), nil
+	case "head":
+		return q.Head(op.N), nil
+	case "tail":
+		return q.Tail(op.N), nil
+	}
+	return nil, fmt.Errorf("unknown op %q", op.Op)
+}
+
+func buildCond(op OpSpec) (df.Cond, error) {
+	v, err := parseLiteral(op.Value)
+	if err != nil {
+		return df.Cond{}, err
+	}
+	switch op.Cmp {
+	case "==":
+		return df.Eq(op.Col, v), nil
+	case "!=":
+		return df.Ne(op.Col, v), nil
+	case "<":
+		return df.Lt(op.Col, v), nil
+	case "<=":
+		return df.Le(op.Col, v), nil
+	case ">":
+		return df.Gt(op.Col, v), nil
+	case ">=":
+		return df.Ge(op.Col, v), nil
+	}
+	return df.Cond{}, fmt.Errorf("unknown comparison %q", op.Cmp)
+}
+
+// parseLiteral maps a JSON literal to a typed value: integral numbers
+// become Int, other numbers Float, and strings/bools their own domains.
+func parseLiteral(raw json.RawMessage) (df.Value, error) {
+	if len(raw) == 0 {
+		return df.Value{}, fmt.Errorf("missing value")
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return df.Value{}, err
+	}
+	switch x := v.(type) {
+	case string:
+		return df.Str(x), nil
+	case bool:
+		return df.Bool(x), nil
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1<<53 {
+			return df.Int(int64(x)), nil
+		}
+		return df.Float(x), nil
+	case nil:
+		return df.Value{}, nil // null literal: is-null / not-null tests
+	}
+	return df.Value{}, fmt.Errorf("unsupported literal %s", raw)
+}

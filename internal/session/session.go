@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
+	"repro/internal/dferrors"
 	"repro/internal/exec"
 	"repro/internal/storage"
 )
@@ -74,13 +76,21 @@ type Session struct {
 	pool   *exec.Pool
 
 	mu           sync.Mutex
+	closed       bool
 	materialized map[algebra.Node]*exec.Future // completed or in-flight plan results
 	// Spilling state (see spill.go): order of materialization, spilled
-	// plan → store key, the store itself, and the resident budget.
+	// plan → store key, the store itself, and the resident budgets (result
+	// count and/or cells; zero disables the respective limit).
 	residentOrder []algebra.Node
 	spilled       map[algebra.Node]string
 	store         *storage.Store
+	ownedStore    bool
 	maxResident   int
+	maxCells      int
+
+	// lastActive is the wall-clock time of the last statement or
+	// inspection, for idle detection by think-time schedulers (unix nanos).
+	lastActive atomic.Int64
 
 	// Stats is exported for experiment harnesses.
 	Stats Stats
@@ -107,6 +117,67 @@ func (s *Session) Mode() Mode { return s.mode }
 // Engine returns the session's engine.
 func (s *Session) Engine() algebra.Engine { return s.engine }
 
+// Close ends the session: subsequent statements and result requests fail
+// with dferrors.ErrSessionClosed, the materialized-intermediate cache is
+// released, and a session-owned spill store is removed. In-flight
+// background work is left to finish (its results are dropped). Closing an
+// already-closed session is a no-op.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.materialized = make(map[algebra.Node]*exec.Future)
+	s.spilled = make(map[algebra.Node]string)
+	s.residentOrder = nil
+	store, owned := s.store, s.ownedStore
+	s.store = nil
+	s.mu.Unlock()
+	if store != nil && owned {
+		return store.Close()
+	}
+	return nil
+}
+
+// Closed reports whether the session has been closed.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// errClosed wraps the sentinel with session context.
+func errClosed() error { return fmt.Errorf("session: %w", dferrors.ErrSessionClosed) }
+
+// touch records session activity for idle detection.
+func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// LastActive returns the time of the session's last statement or
+// inspection (zero before any activity).
+func (s *Session) LastActive() time.Time {
+	ns := s.lastActive.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// PendingBackground counts in-flight (not yet resolved) materializations:
+// the opportunistic DAGs a think-time scheduler drains for idle sessions.
+func (s *Session) PendingBackground() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.materialized {
+		if !f.Ready() {
+			n++
+		}
+	}
+	return n
+}
+
 // Handle is the value a statement returns to the user: a named reference to
 // an eventually-computed dataframe. Under eager evaluation it is already
 // materialized; under lazy it is a plan; under opportunistic it is a future
@@ -127,6 +198,7 @@ func (s *Session) Bind(name string, df *core.DataFrame) *Handle {
 // Per the session's mode it evaluates now, never, or in the background.
 func (s *Session) Statement(name string, plan algebra.Node) *Handle {
 	s.Stats.Statements.Add(1)
+	s.touch()
 	h := &Handle{s: s, plan: plan, name: name}
 	switch s.mode {
 	case Eager:
@@ -168,6 +240,10 @@ type AsyncEngine interface {
 // a sub-plan of this one — is never recomputed.
 func (s *Session) futureFor(plan algebra.Node, background bool) *exec.Future {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return exec.Failed(errClosed())
+	}
 	if fut, ok := s.materialized[plan]; ok {
 		s.mu.Unlock()
 		s.Stats.ReuseHits.Add(1)
@@ -183,8 +259,10 @@ func (s *Session) futureFor(plan algebra.Node, background bool) *exec.Future {
 		s.Stats.FullEvaluations.Add(1)
 		if err == nil {
 			s.mu.Lock()
-			s.residentOrder = append(s.residentOrder, plan)
-			s.maybeSpillLocked()
+			if !s.closed {
+				s.residentOrder = append(s.residentOrder, plan)
+				s.maybeSpillLocked()
+			}
 			s.mu.Unlock()
 		}
 		return out, err
@@ -222,7 +300,9 @@ func (s *Session) futureFor(plan algebra.Node, background bool) *exec.Future {
 		fut = exec.Resolved(v)
 	}
 	s.mu.Lock()
-	s.materialized[plan] = fut
+	if !s.closed {
+		s.materialized[plan] = fut
+	}
 	s.mu.Unlock()
 	return fut
 }
@@ -281,7 +361,12 @@ func (h *Handle) Tail(k int) (*core.DataFrame, error) { return h.view(-k) }
 
 func (h *Handle) view(n int) (*core.DataFrame, error) {
 	s := h.s
+	s.touch()
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errClosed()
+	}
 	fut, inFlight := s.materialized[h.plan]
 	s.mu.Unlock()
 	if inFlight && fut.Ready() {

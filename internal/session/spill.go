@@ -24,10 +24,93 @@ func (s *Session) EnableSpilling(store *storage.Store, maxResident int) {
 	s.maxResident = maxResident
 }
 
+// EnableSpillingBudget attaches a session-owned spill store with a
+// resident-cell budget: whenever the materialized intermediates exceed
+// maxCells cells, the coldest (least recently materialized) resolved
+// results move to disk and reload transparently on reuse. The store is
+// removed by Close. This is the per-tenant memory-governance hook the
+// server's admission control drives.
+func (s *Session) EnableSpillingBudget(maxCells int) error {
+	store, err := storage.New(1) // store budget 1: spilled results go straight to disk
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		store.Close()
+		return errClosed()
+	}
+	s.store = store
+	s.ownedStore = true
+	s.maxCells = maxCells
+	return nil
+}
+
+// frameCells is the memory-accounting unit, matching the storage layer's:
+// one cell per value plus one for the frame itself.
+func frameCells(df *core.DataFrame) int { return df.NRows()*df.NCols() + 1 }
+
+// residentCellsLocked sums the cells of resolved, successful
+// materializations currently held in memory.
+func (s *Session) residentCellsLocked() int {
+	cells := 0
+	for _, fut := range s.materialized {
+		if !fut.Ready() {
+			continue
+		}
+		if v, err := fut.Wait(); err == nil {
+			cells += frameCells(v.(*core.DataFrame))
+		}
+	}
+	return cells
+}
+
+// ResidentCells reports the cells of materialized results currently held in
+// memory (excluding the spill store's own transient residency).
+func (s *Session) ResidentCells() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.residentCellsLocked()
+}
+
+// MemoryCells reports the session's total accountable memory: resident
+// materialized results plus whatever the spill store still holds in memory.
+// Tenant budget enforcement sums this across a tenant's sessions.
+func (s *Session) MemoryCells() int {
+	s.mu.Lock()
+	store := s.store
+	cells := s.residentCellsLocked()
+	s.mu.Unlock()
+	if store != nil {
+		resident, _, _ := store.Stats()
+		cells += resident
+	}
+	return cells
+}
+
+// SpillToFit spills cold resolved results (oldest first) until at most
+// maxCells cells remain resident, reporting how many results were spilled.
+// It is a no-op without a store. Unresolved (in-flight) results are never
+// touched.
+func (s *Session) SpillToFit(maxCells int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.Stats.Spills.Load()
+	s.spillToCellsLocked(maxCells)
+	return int(s.Stats.Spills.Load() - before)
+}
+
 // maybeSpillLocked evicts the oldest completed materializations beyond the
-// budget into the store.
+// configured budgets (result count and/or cells) into the store.
 func (s *Session) maybeSpillLocked() {
-	if s.store == nil || s.maxResident <= 0 {
+	if s.store == nil {
+		return
+	}
+	if s.maxCells > 0 {
+		s.spillToCellsLocked(s.maxCells)
+	}
+	if s.maxResident <= 0 {
 		return
 	}
 	resident := 0
@@ -37,6 +120,20 @@ func (s *Session) maybeSpillLocked() {
 		}
 	}
 	for i := 0; resident > s.maxResident && i < len(s.residentOrder); i++ {
+		if s.spillPlanLocked(s.residentOrder[i]) {
+			resident--
+		}
+	}
+}
+
+// spillToCellsLocked moves cold resolved results to the store until the
+// resident cells fit maxCells.
+func (s *Session) spillToCellsLocked(maxCells int) {
+	if s.store == nil {
+		return
+	}
+	resident := s.residentCellsLocked()
+	for i := 0; resident > maxCells && i < len(s.residentOrder); i++ {
 		victim := s.residentOrder[i]
 		fut, ok := s.materialized[victim]
 		if !ok || !fut.Ready() {
@@ -46,15 +143,32 @@ func (s *Session) maybeSpillLocked() {
 		if err != nil {
 			continue
 		}
-		key := spillKey(victim)
-		if err := s.store.Put(key, v.(*core.DataFrame)); err != nil {
-			return // spill failure: keep resident
+		if s.spillPlanLocked(victim) {
+			resident -= frameCells(v.(*core.DataFrame))
 		}
-		delete(s.materialized, victim)
-		s.spilled[victim] = key
-		s.Stats.Spills.Add(1)
-		resident--
 	}
+}
+
+// spillPlanLocked moves one resolved result into the store, reporting
+// whether it was spilled.
+func (s *Session) spillPlanLocked(victim algebra.Node) bool {
+	fut, ok := s.materialized[victim]
+	if !ok || !fut.Ready() {
+		return false
+	}
+	v, err := fut.Wait()
+	if err != nil {
+		return false
+	}
+	key := spillKey(victim)
+	if err := s.store.Put(key, v.(*core.DataFrame)); err != nil {
+		return false // spill failure: keep resident
+	}
+	s.store.Release(key)
+	delete(s.materialized, victim)
+	s.spilled[victim] = key
+	s.Stats.Spills.Add(1)
+	return true
 }
 
 // reloadLocked brings a spilled result back as a resolved future.

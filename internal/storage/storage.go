@@ -34,6 +34,7 @@ type Store struct {
 	resident int
 
 	spills, loads int
+	seq           int // monotonic spill-file counter (names never collide)
 }
 
 type entry struct {
@@ -97,6 +98,30 @@ func (s *Store) Contains(key string) bool {
 	defer s.mu.Unlock()
 	_, ok := s.entries[key]
 	return ok
+}
+
+// Release forces the frame under key to disk immediately, regardless of
+// the budget: spill-to-free-memory callers (session budget enforcement)
+// want the resident cells back now, not at the next budget check.
+func (s *Store) Release(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.frame == nil {
+		return nil
+	}
+	if e.path == "" {
+		s.seq++
+		path := filepath.Join(s.dir, fmt.Sprintf("%x.gob", s.seq))
+		if err := writeFrame(path, e.frame); err != nil {
+			return fmt.Errorf("storage: release %q: %w", key, err)
+		}
+		e.path = path
+	}
+	e.frame = nil
+	s.resident -= e.cells
+	s.spills++
+	return nil
 }
 
 // Delete removes the frame under key, including any spill file.
@@ -173,7 +198,8 @@ func (s *Store) enforceBudgetLocked(keep string) error {
 		}
 		e := s.entries[victim]
 		if e.path == "" {
-			path := filepath.Join(s.dir, fmt.Sprintf("%x.gob", len(s.entries)+s.spills))
+			s.seq++
+			path := filepath.Join(s.dir, fmt.Sprintf("%x.gob", s.seq))
 			if err := writeFrame(path, e.frame); err != nil {
 				return fmt.Errorf("storage: spill %q: %w", victim, err)
 			}
