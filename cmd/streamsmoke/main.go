@@ -1,0 +1,207 @@
+// Command streamsmoke is the bounded-memory acceptance harness for
+// out-of-core streaming execution: it writes a synthetic taxi-scale CSV
+// several times larger than the configured memory ceiling (streamingly, so
+// generation itself stays flat), computes the expected aggregates on the
+// fly, then runs the streamed filter→groupby pipeline through the public
+// df API and requires (1) the results to match the running truth and
+// (2) the observed peak heap to stay under the ceiling.
+//
+// GOMEMLIMIT is a soft limit — the Go runtime works harder near it but
+// never refuses an allocation — so the harness samples runtime.MemStats
+// itself and fails when peak HeapAlloc exceeds -maxheap. CI runs this with
+// GOMEMLIMIT a small fraction of the generated file size; see the
+// stream-smoke job in .github/workflows/ci.yml.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/df"
+)
+
+func main() {
+	rows := flag.Int("rows", 2_000_000, "generated CSV rows")
+	band := flag.Int("band", 8192, "scan band rows (morsel size)")
+	spill := flag.Int("spill", 500_000, "shuffle spill budget in cells (0 = off)")
+	maxheap := flag.Int64("maxheap", 0, "fail if peak HeapAlloc exceeds this many bytes (0 = report only)")
+	mod := flag.Int("mod", 1000, "filter selectivity: one row in mod survives")
+	file := flag.String("file", "", "write the CSV here and keep it, instead of a removed temp file")
+	flag.Parse()
+
+	if err := run(*rows, *band, *spill, *maxheap, *mod, *file); err != nil {
+		fmt.Fprintln(os.Stderr, "streamsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+var payments = []string{"card", "cash", "dispute", "no charge"}
+
+// generate streams the synthetic dataset to path with O(1) memory and
+// returns the ground-truth per-payment tip sums and counts over the rows
+// the pipeline's filter keeps (tag == "pick", tip non-null).
+func generate(path string, rows, mod int) (sums map[string]float64, counts map[string]int64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	rng := rand.New(rand.NewSource(2020))
+
+	sums = make(map[string]float64)
+	counts = make(map[string]int64)
+	fmt.Fprintln(w, "vendor_id,payment_type,fare_amount,tip_amount,tag")
+	for i := 0; i < rows; i++ {
+		vendor := []string{"CMT", "VTS", "DDS"}[rng.Intn(3)]
+		payment := payments[rng.Intn(len(payments))]
+		fare := 2.5 + rng.Float64()*50
+		tip := ""
+		tipVal := 0.0
+		if rng.Intn(13) != 0 { // ~8% null tips
+			tipVal = math.Round(rng.Float64()*2000) / 100
+			tip = fmt.Sprintf("%.2f", tipVal)
+		}
+		tag := "skip"
+		if i%mod == 0 {
+			tag = "pick"
+			if tip != "" {
+				sums[payment] += tipVal
+				counts[payment]++
+			}
+		}
+		fmt.Fprintf(w, "%s,%s,%.2f,%s,%s\n", vendor, payment, fare, tip, tag)
+	}
+	return sums, counts, w.Flush()
+}
+
+// watchHeap samples HeapAlloc until stop is closed and reports the peak.
+func watchHeap(stop <-chan struct{}) <-chan uint64 {
+	out := make(chan uint64, 1)
+	go func() {
+		var peak uint64
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				out <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return out
+}
+
+func run(rows, band, spill int, maxheap int64, mod int, file string) error {
+	path := file
+	if path == "" {
+		tmp, err := os.CreateTemp("", "streamsmoke-*.csv")
+		if err != nil {
+			return err
+		}
+		path = tmp.Name()
+		tmp.Close()
+		defer os.Remove(path)
+	}
+
+	genStart := time.Now()
+	sums, counts, err := generate(path, rows, mod)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	fmt.Printf("generated %d rows in %v\n", rows, time.Since(genStart).Round(time.Millisecond))
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %s (%.1f MB), band=%d rows, spill budget=%d cells\n",
+		path, float64(info.Size())/1e6, band, spill)
+	if lim := os.Getenv("GOMEMLIMIT"); lim != "" {
+		fmt.Printf("GOMEMLIMIT=%s\n", lim)
+	}
+
+	stop := make(chan struct{})
+	peakCh := watchHeap(stop)
+
+	start := time.Now()
+	q := df.ScanCSVFile(path).WithScanBandRows(band)
+	if spill > 0 {
+		q = q.WithSpillBudget(spill)
+	}
+	out, err := q.
+		Where(df.Eq("tag", df.Str("pick"))).
+		GroupBy("payment_type").
+		Agg(
+			df.AggSpec{Col: "tip_amount", Agg: "sum", As: "tip_sum"},
+			df.AggSpec{Col: "tip_amount", Agg: "count", As: "tip_count"},
+		).
+		Collect()
+	elapsed := time.Since(start)
+	close(stop)
+	peak := <-peakCh
+	if err != nil {
+		return fmt.Errorf("streamed pipeline: %w", err)
+	}
+	fmt.Printf("streamed filter→groupby in %v, peak HeapAlloc %.1f MB\n",
+		elapsed.Round(time.Millisecond), float64(peak)/1e6)
+
+	if err := check(out, sums, counts); err != nil {
+		return err
+	}
+	fmt.Println("aggregates match the generation-time ground truth")
+
+	if maxheap > 0 && int64(peak) > maxheap {
+		return fmt.Errorf("peak HeapAlloc %d exceeds ceiling %d", peak, maxheap)
+	}
+	if maxheap > 0 {
+		fmt.Printf("peak within ceiling (%.1f / %.1f MB)\n", float64(peak)/1e6, float64(maxheap)/1e6)
+	}
+	return nil
+}
+
+// check compares the collected group aggregates to the running truth.
+func check(out *df.DataFrame, sums map[string]float64, counts map[string]int64) error {
+	keys, err := out.ColValues("payment_type")
+	if err != nil {
+		return err
+	}
+	gotSums, err := out.ColValues("tip_sum")
+	if err != nil {
+		return err
+	}
+	gotCounts, err := out.ColValues("tip_count")
+	if err != nil {
+		return err
+	}
+	if len(keys) != len(sums) {
+		return fmt.Errorf("got %d groups, want %d", len(keys), len(sums))
+	}
+	for i, k := range keys {
+		name := k.String()
+		wantSum, ok := sums[name]
+		if !ok {
+			return fmt.Errorf("unexpected group %q", name)
+		}
+		if got := gotCounts[i].Int(); got != counts[name] {
+			return fmt.Errorf("group %q count = %d, want %d", name, got, counts[name])
+		}
+		got := gotSums[i].Float()
+		if math.Abs(got-wantSum) > 1e-6*math.Max(1, math.Abs(wantSum)) {
+			return fmt.Errorf("group %q sum = %v, want %v", name, got, wantSum)
+		}
+	}
+	return nil
+}

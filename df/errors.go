@@ -30,4 +30,9 @@ var (
 	// ErrBudgetExceeded: admission control rejected (or timed out queueing)
 	// a query that would push its tenant over the memory budget.
 	ErrBudgetExceeded = dferrors.ErrBudgetExceeded
+
+	// ErrScanSource: a streaming scan's source could not be opened or
+	// parsed (missing file, malformed header); the message carries the
+	// path.
+	ErrScanSource = dferrors.ErrScanSource
 )

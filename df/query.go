@@ -1,8 +1,10 @@
 package df
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -11,7 +13,6 @@ import (
 	"repro/internal/expr"
 	"repro/internal/modin"
 	"repro/internal/optimizer"
-	"repro/internal/schema"
 	"repro/internal/types"
 )
 
@@ -44,32 +45,136 @@ func (d *DataFrame) Lazy() *Query {
 
 // ScanCSV starts a lazy query over CSV input with a header row; columns stay
 // untyped (Σ*) until first operated on, per the paper's lazy schema
-// induction. Read errors are sticky and surface at the terminal verb.
+// induction. The reader is drained once up front (it is not replayable);
+// parsing happens morsel-by-morsel at execution on the MODIN engine, so a
+// fused filter chain consumes band 0 while band N is still being parsed.
+// Read errors are sticky and surface at the terminal verb.
 func ScanCSV(r io.Reader) *Query {
-	frame, err := core.ReadCSV(r, core.DefaultCSVOptions())
-	return scanned(frame, err)
-}
-
-// ScanCSVString starts a lazy query over CSV text.
-func ScanCSVString(s string) *Query {
-	frame, err := core.ReadCSVString(s, core.DefaultCSVOptions())
-	return scanned(frame, err)
-}
-
-// ScanCSVFile starts a lazy query over a CSV file.
-func ScanCSVFile(path string) *Query {
-	frame, err := core.ReadCSVFile(path, core.DefaultCSVOptions())
-	return scanned(frame, err)
-}
-
-func scanned(frame *core.DataFrame, err error) *Query {
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return &Query{engine: modin.New(), err: fmt.Errorf("df: scan csv: %w", err)}
+		return &Query{engine: modin.New(), err: scanErr("", err)}
 	}
-	return &Query{
-		plan:   &algebra.Source{DF: frame.WithCache(schema.NewCache()), Name: "csv"},
-		engine: modin.New(),
+	return scanBytes(data)
+}
+
+// ScanCSVString starts a lazy query over CSV text, parsed morsel-by-morsel
+// at execution.
+func ScanCSVString(s string) *Query { return scanBytes([]byte(s)) }
+
+// ScanCSVFile starts a lazy query over a CSV file. The file is parsed
+// morsel-by-morsel at execution — a file much larger than memory streams
+// through a fused filter→groupby chain under a fixed ceiling (see
+// WithScanBandRows and WithSpillBudget) instead of being materialized.
+// Open and header-parse errors are sticky, wrap ErrScanSource, and carry
+// the file path.
+func ScanCSVFile(path string) *Query {
+	info, err := os.Stat(path)
+	if err != nil {
+		return &Query{engine: modin.New(), err: scanErr(path, err)}
 	}
+	return scanQuery(&algebra.Scan{
+		Name: "csv",
+		Path: path,
+		Open: func() (io.ReadCloser, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, scanErr(path, err)
+			}
+			return f, nil
+		},
+		Options:  core.DefaultCSVOptions(),
+		SizeHint: info.Size(),
+	}, path)
+}
+
+func scanBytes(data []byte) *Query {
+	return scanQuery(&algebra.Scan{
+		Name: "csv",
+		Open: func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(data)), nil
+		},
+		Options:  core.DefaultCSVOptions(),
+		SizeHint: int64(len(data)),
+	}, "")
+}
+
+// scanQuery probes the scan's header once at build time: open/parse errors
+// become sticky query errors (wrapping ErrScanSource), and the probed
+// column names power static schema inference (Drop, MapCol, DropNA).
+func scanQuery(scan *algebra.Scan, path string) *Query {
+	cur, err := scan.Cursor()
+	if err != nil {
+		return &Query{engine: modin.New(), err: scanErr(path, err)}
+	}
+	scan.Columns = cur.Columns()
+	cur.Close()
+	return &Query{plan: scan, engine: modin.New()}
+}
+
+// scanErr wraps a scan open/parse failure with the ErrScanSource sentinel
+// and, when known, the source path.
+func scanErr(path string, err error) error {
+	if path == "" {
+		return fmt.Errorf("df: scan csv: %w: %w", dferrors.ErrScanSource, err)
+	}
+	return fmt.Errorf("df: scan csv %q: %w: %w", path, dferrors.ErrScanSource, err)
+}
+
+// WithScanBandRows sets the morsel size (rows per parsed band) of every
+// streaming scan in the plan. Smaller bands lower the peak memory of a
+// streamed pipeline and the first-band latency; larger bands amortize
+// per-band overhead. n must be positive, and the plan must contain a
+// streaming scan (a Lazy() query over an in-memory frame has none).
+func (q *Query) WithScanBandRows(n int) *Query {
+	if q.err != nil {
+		return q
+	}
+	if n <= 0 {
+		return q.fail(fmt.Errorf("df: scan band rows must be positive, got %d", n))
+	}
+	plan, found := rewriteScans(q.plan, func(s *algebra.Scan) *algebra.Scan {
+		c := *s
+		c.BandRows = n
+		return &c
+	})
+	if !found {
+		return q.fail(fmt.Errorf("df: WithScanBandRows: plan has no streaming scan"))
+	}
+	return &Query{plan: plan, engine: q.engine}
+}
+
+// WithSpillBudget binds the query to a MODIN engine whose shuffle merges
+// spill to disk past the given resident-cell budget: a GROUPBY/SORT/JOIN
+// over a streamed scan degrades to disk instead of exceeding memory. The
+// spill files are removed when the terminal verb finishes.
+func (q *Query) WithSpillBudget(cells int) *Query {
+	if q.err != nil {
+		return q
+	}
+	return &Query{plan: q.plan, engine: modin.New(modin.WithShuffleSpillBudget(cells))}
+}
+
+// rewriteScans rebuilds the plan with fn applied to every Scan leaf,
+// reporting whether any was found.
+func rewriteScans(n algebra.Node, fn func(*algebra.Scan) *algebra.Scan) (algebra.Node, bool) {
+	if s, ok := n.(*algebra.Scan); ok {
+		return fn(s), true
+	}
+	kids := n.Children()
+	if len(kids) == 0 {
+		return n, false
+	}
+	found := false
+	newKids := make([]algebra.Node, len(kids))
+	for i, k := range kids {
+		nk, f := rewriteScans(k, fn)
+		newKids[i] = nk
+		found = found || f
+	}
+	if !found {
+		return n, false
+	}
+	return optimizer.WithChildren(n, newKids), true
 }
 
 // WithEngine rebinds the query to a different engine.
@@ -456,6 +561,18 @@ func (q *Query) optimized() (algebra.Node, error) {
 	return plan, nil
 }
 
+// spillReleaser matches engines (MODIN with WithSpillBudget) holding
+// per-run spill files that should be freed once a terminal verb finishes.
+type spillReleaser interface{ ReleaseSpill() error }
+
+// releaseSpill frees the engine's shuffle spill files, if it keeps any.
+// The store is re-created lazily, so a query may be collected again.
+func (q *Query) releaseSpill() {
+	if sr, ok := q.engine.(spillReleaser); ok {
+		sr.ReleaseSpill()
+	}
+}
+
 // Collect optimizes the plan and executes it in one compile→schedule pass,
 // materializing the result.
 func (q *Query) Collect() (*DataFrame, error) {
@@ -463,6 +580,7 @@ func (q *Query) Collect() (*DataFrame, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer q.releaseSpill()
 	out, err := q.engine.Execute(plan)
 	if err != nil {
 		return nil, err
@@ -486,7 +604,14 @@ func (q *Query) CollectAsync() *Future {
 		return &Future{inner: exec.Failed(err), engine: q.engine}
 	}
 	if ae, ok := q.engine.(asyncEngine); ok {
-		return &Future{inner: ae.ExecuteAsync(plan), engine: q.engine}
+		inner := ae.ExecuteAsync(plan)
+		if _, ok := q.engine.(spillReleaser); ok {
+			go func() {
+				inner.Wait()
+				q.releaseSpill()
+			}()
+		}
+		return &Future{inner: inner, engine: q.engine}
 	}
 	fut, resolve := exec.NewPromise()
 	go func() { resolve(q.engine.Execute(plan)) }()
@@ -533,6 +658,7 @@ func (q *Query) Count() (int, error) {
 	if src, ok := plan.(*algebra.Source); ok {
 		return src.DF.NRows(), nil
 	}
+	defer q.releaseSpill()
 	out, err := q.engine.Execute(plan)
 	if err != nil {
 		return 0, err

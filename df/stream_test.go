@@ -1,0 +1,207 @@
+package df
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// streamCSV renders a deterministic multi-band dataset as CSV text.
+func streamCSV(rows int) string {
+	var b strings.Builder
+	b.WriteString("id,dept,val\n")
+	depts := []string{"eng", "ops", "sales"}
+	for i := 0; i < rows; i++ {
+		val := ""
+		if i%11 != 0 {
+			val = fmt.Sprintf("%d", i%17)
+		}
+		fmt.Fprintf(&b, "%d,%s,%s\n", i, depts[i%3], val)
+	}
+	return b.String()
+}
+
+// inMemory parses the same text whole, for equality baselines.
+func inMemory(t *testing.T, text string) *Query {
+	t.Helper()
+	d, err := ReadCSVString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Lazy()
+}
+
+func mustCollect(t *testing.T, q *Query) *DataFrame {
+	t.Helper()
+	out, err := q.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStreamedPipelinesMatchInMemory runs filter, groupby and sort
+// pipelines through small-band streaming scans and requires byte-equality
+// with the whole-text read — the user-facing face of the tentpole.
+func TestStreamedPipelinesMatchInMemory(t *testing.T) {
+	text := streamCSV(300)
+	pipelines := map[string]func(*Query) *Query{
+		"identity": func(q *Query) *Query { return q },
+		"filter":   func(q *Query) *Query { return q.Where(Eq("dept", Str("eng"))) },
+		"filter-chain": func(q *Query) *Query {
+			return q.Where(NotNull("val")).Where(Eq("dept", Str("ops")))
+		},
+		"filter-groupby": func(q *Query) *Query {
+			return q.Where(Eq("dept", Str("eng"))).GroupBy("dept").Sum("val")
+		},
+		"sort": func(q *Query) *Query { return q.SortValues("dept", "id") },
+	}
+	for name, build := range pipelines {
+		t.Run(name, func(t *testing.T) {
+			want := mustCollect(t, build(inMemory(t, text)))
+			got := mustCollect(t, build(ScanCSVString(text).WithScanBandRows(32)))
+			if !want.Equal(got) {
+				t.Errorf("streamed %s differs from in-memory:\n%s\nvs\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestScanCSVFileStreams round-trips through a real file, twice — Open
+// must rewind by reopening, so a streamed query stays re-collectable.
+func TestScanCSVFileStreams(t *testing.T) {
+	text := streamCSV(200)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := ScanCSVFile(path).WithScanBandRows(32).Where(NotNull("val"))
+	want := mustCollect(t, inMemory(t, text).Where(NotNull("val")))
+	first := mustCollect(t, q)
+	second := mustCollect(t, q)
+	if !want.Equal(first) || !first.Equal(second) {
+		t.Error("file scan differs between runs or from in-memory read")
+	}
+
+	n, err := q.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != first.Len() {
+		t.Errorf("Count = %d, want %d", n, first.Len())
+	}
+}
+
+// TestScanCSVFileMissingWrapsSentinel: open failures are sticky, typed and
+// carry the path.
+func TestScanCSVFileMissingWrapsSentinel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.csv")
+	q := ScanCSVFile(path).Where(NotNull("val"))
+	_, err := q.Collect()
+	if err == nil {
+		t.Fatal("expected an error for a missing file")
+	}
+	if !errors.Is(err, ErrScanSource) {
+		t.Errorf("error does not wrap ErrScanSource: %v", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not carry the path: %v", err)
+	}
+	if _, err := q.Count(); !errors.Is(err, ErrScanSource) {
+		t.Errorf("Count should surface the same sticky error, got %v", err)
+	}
+}
+
+// TestScanCSVReaderErrors: a failing reader surfaces as a sticky typed
+// error too.
+func TestScanCSVReaderErrors(t *testing.T) {
+	_, err := ScanCSV(failingReader{}).Collect()
+	if !errors.Is(err, ErrScanSource) {
+		t.Errorf("reader failure should wrap ErrScanSource, got %v", err)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("disk on fire") }
+
+// TestWithScanBandRowsValidation covers both misuse shapes: a non-positive
+// band size, and a plan with no streaming scan to configure.
+func TestWithScanBandRowsValidation(t *testing.T) {
+	if _, err := ScanCSVString("a\n1\n").WithScanBandRows(0).Collect(); err == nil {
+		t.Error("WithScanBandRows(0) should fail")
+	}
+	d, err := ReadCSVString("a\n1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Lazy().WithScanBandRows(8).Collect(); err == nil {
+		t.Error("WithScanBandRows on a scan-free plan should fail")
+	}
+}
+
+// TestWithSpillBudgetMatchesAndCleansUp: a one-cell budget pushes every
+// routed piece to disk, the result stays byte-equal, and the terminal verb
+// releases the spill files.
+func TestWithSpillBudgetMatchesAndCleansUp(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir()) // isolate dfstore-* counting
+
+	text := streamCSV(300)
+	build := func(q *Query) *Query {
+		return q.Where(NotNull("val")).GroupBy("dept").Sum("val")
+	}
+	want := mustCollect(t, build(inMemory(t, text)))
+	got := mustCollect(t, build(ScanCSVString(text).WithScanBandRows(32).WithSpillBudget(1)))
+	if !want.Equal(got) {
+		t.Errorf("spilled pipeline differs:\n%s\nvs\n%s", got, want)
+	}
+	dirs, err := filepath.Glob(filepath.Join(os.TempDir(), "dfstore-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 0 {
+		t.Errorf("spill dirs left behind after Collect: %v", dirs)
+	}
+}
+
+// TestWithSpillBudgetAsync: CollectAsync releases the spill store once the
+// in-flight DAG resolves.
+func TestWithSpillBudgetAsync(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir())
+
+	text := streamCSV(200)
+	fut := ScanCSVString(text).WithScanBandRows(32).WithSpillBudget(1).
+		GroupBy("dept").Sum("val").CollectAsync()
+	out, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty async result")
+	}
+	// The release goroutine runs just after the future resolves.
+	deadline := 100
+	for ; deadline > 0; deadline-- {
+		dirs, _ := filepath.Glob(filepath.Join(os.TempDir(), "dfstore-*"))
+		if len(dirs) == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if deadline == 0 {
+		t.Error("async spill store never released")
+	}
+}
+
+// TestStreamedExplainShowsStreamStage: the physical strategy rendering
+// names the streamed scan and its morsel size.
+func TestStreamedExplainShowsStreamStage(t *testing.T) {
+	out := ScanCSVString(streamCSV(50)).WithScanBandRows(16).Where(NotNull("val")).Explain()
+	if !strings.Contains(out, "SCAN strategy=stream (band rows=16") {
+		t.Errorf("explain lacks the stream strategy line:\n%s", out)
+	}
+}

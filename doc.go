@@ -32,6 +32,23 @@
 // session layer (internal/session) exploits this for the paper's
 // opportunistic evaluation regime.
 //
+// Out-of-core streaming: the ScanCSV* sources lower to morsel-driven
+// leaf stages (physical.StreamSource) instead of materialized frames. A
+// producer goroutine parses the input band-by-band under a bounded
+// parse-ahead window (the first band synchronously, so first-band
+// latency is independent of input size), each band runs the stage's
+// fused kernel chain as its own task and resolves a promise-backed block
+// future, single-consumer scan bands are released as soon as a shuffle
+// has routed them, and routed-but-unmerged shuffle pieces past
+// modin.WithShuffleSpillBudget spill through internal/storage until
+// their merge re-resolves them. Stacked SELECTIONs inside a fused chain
+// narrow one shared selection vector and coalesce once at stage exit.
+// Resident memory is therefore bounded by window x band size, not input
+// size; cmd/streamsmoke gates this end-to-end in CI by streaming a file
+// several times GOMEMLIMIT through filter->groupby while sampling peak
+// HeapAlloc. Scan open/parse failures are sticky query errors wrapping
+// df.ErrScanSource.
+//
 // Serving: one step above the session sits the multi-tenant server
 // (internal/server, cmd/dfserver), which exposes the minimal session
 // surface (df.SessionAPI: Bind/Query/ThinkTime/Close) 1:1 over JSON/HTTP

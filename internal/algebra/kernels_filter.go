@@ -3,6 +3,7 @@ package algebra
 import (
 	"repro/internal/core"
 	"repro/internal/expr"
+	"repro/internal/types"
 	"repro/internal/vector"
 )
 
@@ -50,6 +51,104 @@ func SelectWhere(df *core.DataFrame, w *expr.Where) (*core.DataFrame, error) {
 		return df, nil
 	}
 	return df.TakeRows(sel), nil
+}
+
+// SelectWhereView is SelectWhere with the final gather deferred: the result's
+// columns are zero-copy views (vector.TakeView) over the input's storage
+// instead of materialized copies. When the input is itself such a view frame
+// — the output of an earlier SelectWhereView in the same fused chain — the
+// terms run against the shared base storage with the selection vector seeded
+// from the input's view indices, so consecutive filters narrow one selection
+// vector across kernel boundaries and the chain pays a single coalescing
+// copy (core.DataFrame.Compact) at stage exit.
+//
+// Schema induction note: on the composed path, lazily-typed columns induce
+// over the shared base band rather than the already-filtered subset. For a
+// column whose type is stable across the band the two agree; mixed-type
+// columns inherit the engine's per-band induction semantics.
+func SelectWhereView(df *core.DataFrame, w *expr.Where) (*core.DataFrame, error) {
+	if w == nil || len(w.Terms) == 0 {
+		return df, nil
+	}
+	base, sel := viewBase(df)
+	for _, t := range w.Terms {
+		j := base.ColIndex(t.Col)
+		if j < 0 {
+			if t.Op == vector.CmpEq && t.Operand.IsNull() {
+				continue
+			}
+			sel = []int{}
+			break
+		}
+		col := base.TypedCol(j)
+		out, ok := vector.Filter(col, t.Op, t.Operand, sel)
+		if !ok {
+			out = filterBoxedTerm(col, t, sel)
+		}
+		sel = out
+		if len(sel) == 0 {
+			break
+		}
+	}
+	if sel == nil {
+		return df, nil
+	}
+	return takeRowsView(base, sel)
+}
+
+// viewBase unwraps a frame whose columns (and row labels) are all views
+// sharing one selection vector, returning the base frame and that vector.
+// Any other frame returns (df, nil): terms then filter df directly.
+func viewBase(df *core.DataFrame) (*core.DataFrame, []int) {
+	n := df.NCols()
+	if n == 0 {
+		return df, nil
+	}
+	_, idx0, ok := vector.ViewParts(df.Col(0))
+	if !ok {
+		return df, nil
+	}
+	bases := make([]vector.Vector, n)
+	for j := 0; j < n; j++ {
+		b, idx, ok := vector.ViewParts(df.Col(j))
+		if !ok || !sameSel(idx, idx0) {
+			return df, nil
+		}
+		bases[j] = b
+	}
+	rb, ridx, ok := vector.ViewParts(df.RowLabels())
+	if !ok || !sameSel(ridx, idx0) {
+		return df, nil
+	}
+	for _, i := range idx0 {
+		if i < 0 {
+			// A -1 view index reads as null; composing it into a filter's
+			// candidate set would index out of the base. Bail to the
+			// direct path.
+			return df, nil
+		}
+	}
+	base, err := core.Build(bases, rb, df.ColLabels(), append([]types.Domain(nil), df.Domains()...), df.Cache())
+	if err != nil {
+		return df, nil
+	}
+	return base, idx0
+}
+
+// sameSel reports whether two selection vectors are the same slice.
+func sameSel(a, b []int) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+// takeRowsView is TakeRows without the copy: every column (and the row
+// labels) becomes a view over df at sel.
+func takeRowsView(df *core.DataFrame, sel []int) (*core.DataFrame, error) {
+	cols := make([]vector.Vector, df.NCols())
+	for j := range cols {
+		cols[j] = vector.TakeView(df.Col(j), sel)
+	}
+	domains := append([]types.Domain(nil), df.Domains()...)
+	return core.Build(cols, vector.TakeView(df.RowLabels(), sel), df.ColLabels(), domains, df.Cache())
 }
 
 // filterBoxedTerm is the row-at-a-time fallback for terms without a typed

@@ -359,6 +359,8 @@ func OutputColumns(n Node) []string {
 	switch node := n.(type) {
 	case *Source:
 		return node.DF.ColNames()
+	case *Scan:
+		return node.Columns
 	case *Projection:
 		return node.Cols
 	case *Rename:

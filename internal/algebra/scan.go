@@ -1,0 +1,76 @@
+package algebra
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Scan is a leaf node describing a re-openable CSV source that has not been
+// materialized: the engine parses it morsel-by-morsel at execution time, so
+// a file larger than memory streams through the plan band-by-band instead
+// of being read whole at bind time (the out-of-core analog of Source).
+type Scan struct {
+	// Name labels the scan in plan renderings ("csv", or the file path).
+	Name string
+	// Path is the backing file path, "" for buffer-backed scans. Error
+	// messages carry it so a failure names its source.
+	Path string
+	// Columns are the header column labels, read once when the query was
+	// built; they make the scan's output schema statically known.
+	Columns []string
+	// Open returns a fresh reader positioned at the start of the input.
+	// It is called once per execution, so a Scan plan stays re-runnable.
+	Open func() (io.ReadCloser, error)
+	// Options configure the CSV dialect.
+	Options core.CSVOptions
+	// SizeHint is the total input size in bytes (0 when unknown); the
+	// scheduler uses it to pre-size the band grid.
+	SizeHint int64
+	// BandRows caps rows per parsed morsel; 0 selects the engine default.
+	BandRows int
+}
+
+// Children returns no inputs.
+func (s *Scan) Children() []Node { return nil }
+
+// Describe renders the node.
+func (s *Scan) Describe() string {
+	name := s.Name
+	if name == "" {
+		name = "csv"
+	}
+	return fmt.Sprintf("SCAN(%s, %d cols)", name, len(s.Columns))
+}
+
+// Cursor opens the scan's source as a streaming CSV cursor.
+func (s *Scan) Cursor() (*core.CSVCursor, error) {
+	rc, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	cur, err := core.NewCSVCursor(rc, s.Options)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	return cur, nil
+}
+
+// ReadAll materializes the scan's whole input as one frame — the in-memory
+// fallback the eager engine uses. It parses through the same cursor as the
+// streaming path, in a single band, so the two paths agree cell for cell.
+func (s *Scan) ReadAll() (*core.DataFrame, error) {
+	cur, err := s.Cursor()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	df, err := cur.NextBand(math.MaxInt)
+	if err == io.EOF {
+		return cur.Empty(), nil
+	}
+	return df, err
+}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dferrors"
 	"repro/internal/schema"
@@ -21,11 +22,16 @@ import (
 
 // DataFrame is the tuple (Amn, Rm, Cn, Dn). It is immutable: every
 // operation returns a new DataFrame, sharing column storage where possible.
+//
+// The one exception to immutability is Dn: lazy schema induction memoizes
+// the induced domain in place (Domain), and parallel kernel tasks may share
+// one frame, so the domain slots are stored as atomically-accessed int64s
+// (zero = types.Unspecified). All access goes through atomic loads/stores.
 type DataFrame struct {
 	cols    []vector.Vector // Amn column-wise; all vectors share length m
 	rowLab  vector.Vector   // Rm, length m; labels are values from Dom
 	colLab  []types.Value   // Cn, length n; labels are values from Dom
-	domains []types.Domain  // Dn; Unspecified marks lazily-typed columns
+	domains []int64         // Dn as types.Domain values; see doc above
 	cache   *schema.Cache   // shared schema-induction cache (may be nil)
 }
 
@@ -41,19 +47,17 @@ func New(names []string, cols []vector.Vector) (*DataFrame, error) {
 		m = cols[0].Len()
 	}
 	labels := make([]types.Value, len(names))
-	domains := make([]types.Domain, len(cols))
 	for j, c := range cols {
 		if c.Len() != m {
 			return nil, fmt.Errorf("core: column %q has %d rows, want %d", names[j], c.Len(), m)
 		}
 		labels[j] = types.String(names[j])
-		domains[j] = types.Unspecified
 	}
 	return &DataFrame{
 		cols:    cols,
 		rowLab:  vector.Range(0, m),
 		colLab:  labels,
-		domains: domains,
+		domains: make([]int64, len(cols)), // zero slots = Unspecified
 	}, nil
 }
 
@@ -78,10 +82,7 @@ func Build(cols []vector.Vector, rowLab vector.Vector, colLab []types.Value, dom
 	if len(colLab) != len(cols) {
 		return nil, fmt.Errorf("core: %d column labels for %d columns", len(colLab), len(cols))
 	}
-	if domains == nil {
-		domains = make([]types.Domain, len(cols))
-	}
-	if len(domains) != len(cols) {
+	if domains != nil && len(domains) != len(cols) {
 		return nil, fmt.Errorf("core: %d domains for %d columns", len(domains), len(cols))
 	}
 	for j, c := range cols {
@@ -95,7 +96,11 @@ func Build(cols []vector.Vector, rowLab vector.Vector, colLab []types.Value, dom
 	if rowLab.Len() != m {
 		return nil, fmt.Errorf("core: %d row labels for %d rows", rowLab.Len(), m)
 	}
-	return &DataFrame{cols: cols, rowLab: rowLab, colLab: colLab, domains: domains, cache: cache}, nil
+	slots := make([]int64, len(cols))
+	for j, d := range domains {
+		slots[j] = int64(d)
+	}
+	return &DataFrame{cols: cols, rowLab: rowLab, colLab: colLab, domains: slots, cache: cache}, nil
 }
 
 // MustBuild is Build, panicking on error.
@@ -110,6 +115,33 @@ func MustBuild(cols []vector.Vector, rowLab vector.Vector, colLab []types.Value,
 // Empty returns the 0×0 dataframe.
 func Empty() *DataFrame {
 	return &DataFrame{rowLab: vector.Range(0, 0)}
+}
+
+// Compact materializes any view (selection-vector) columns into typed
+// storage, returning df itself when nothing is a view. Fused kernel chains
+// pass selections along as views and pay this one coalescing copy at stage
+// exit, so downstream stages always see flat storage.
+func (df *DataFrame) Compact() *DataFrame {
+	changed := false
+	cols := df.cols
+	for j, c := range df.cols {
+		m := vector.Materialize(c)
+		if m != c {
+			if !changed {
+				cols = append([]vector.Vector(nil), df.cols...)
+				changed = true
+			}
+			cols[j] = m
+		}
+	}
+	rowLab := vector.Materialize(df.rowLab)
+	if !changed && rowLab == df.rowLab {
+		return df
+	}
+	out := *df
+	out.cols = cols
+	out.rowLab = rowLab
+	return &out
 }
 
 // NRows returns m, the number of rows.
@@ -164,10 +196,19 @@ func (df *DataFrame) ColByName(name string) (vector.Vector, error) {
 }
 
 // DeclaredDomain returns the j'th entry of Dn as stored, without inducing.
-func (df *DataFrame) DeclaredDomain(j int) types.Domain { return df.domains[j] }
+func (df *DataFrame) DeclaredDomain(j int) types.Domain {
+	return types.Domain(atomic.LoadInt64(&df.domains[j]))
+}
 
-// Domains returns Dn as stored. Callers must not mutate it.
-func (df *DataFrame) Domains() []types.Domain { return df.domains }
+// Domains returns a snapshot of Dn as stored; entries a sibling task
+// induces after the call are not reflected.
+func (df *DataFrame) Domains() []types.Domain {
+	out := make([]types.Domain, len(df.domains))
+	for j := range df.domains {
+		out[j] = types.Domain(atomic.LoadInt64(&df.domains[j]))
+	}
+	return out
+}
 
 // Cache returns the schema-induction cache attached to the frame (may be
 // nil).
@@ -184,10 +225,13 @@ func (df *DataFrame) WithCache(c *schema.Cache) *DataFrame {
 // Domain returns the j'th column's domain, applying the schema-induction
 // function S if Dn[j] is unspecified. The induced result is memoized on the
 // frame (and in the shared cache when present): this is the lazy typing of
-// Section 5.1.
+// Section 5.1. The memo slot is accessed atomically: parallel kernel tasks
+// sharing one frame may race to induce the same column, and induction is
+// deterministic, so the duplicated work is benign and both store the same
+// value.
 func (df *DataFrame) Domain(j int) types.Domain {
-	if df.domains[j] != types.Unspecified {
-		return df.domains[j]
+	if d := types.Domain(atomic.LoadInt64(&df.domains[j])); d != types.Unspecified {
+		return d
 	}
 	var d types.Domain
 	if df.cache != nil {
@@ -195,7 +239,7 @@ func (df *DataFrame) Domain(j int) types.Domain {
 	} else {
 		d = schema.Induce(df.cols[j])
 	}
-	df.domains[j] = d
+	atomic.StoreInt64(&df.domains[j], int64(d))
 	return d
 }
 
@@ -272,11 +316,11 @@ func (df *DataFrame) SliceRows(lo, hi int) *DataFrame {
 func (df *DataFrame) SelectCols(idx []int) *DataFrame {
 	cols := make([]vector.Vector, len(idx))
 	labels := make([]types.Value, len(idx))
-	domains := make([]types.Domain, len(idx))
+	domains := make([]int64, len(idx))
 	for k, j := range idx {
 		cols[k] = df.cols[j]
 		labels[k] = df.colLab[j]
-		domains[k] = df.domains[j]
+		domains[k] = atomic.LoadInt64(&df.domains[j])
 	}
 	return &DataFrame{cols: cols, rowLab: df.rowLab, colLab: labels, domains: domains, cache: df.cache}
 }
@@ -310,7 +354,7 @@ func (df *DataFrame) WithColumn(j int, col vector.Vector, d types.Domain) (*Data
 	cols := append([]vector.Vector(nil), df.cols...)
 	domains := cloneDomains(df.domains)
 	cols[j] = col
-	domains[j] = d
+	domains[j] = int64(d)
 	out := *df
 	out.cols = cols
 	out.domains = domains
@@ -327,7 +371,7 @@ func (df *DataFrame) AppendColumn(label types.Value, col vector.Vector, d types.
 	out := *df
 	out.cols = append(append([]vector.Vector(nil), df.cols...), col)
 	out.colLab = append(append([]types.Value(nil), df.colLab...), label)
-	out.domains = append(cloneDomains(df.domains), d)
+	out.domains = append(cloneDomains(df.domains), int64(d))
 	if df.NCols() == 0 {
 		out.rowLab = vector.Range(0, col.Len())
 	}
@@ -395,8 +439,14 @@ func (df *DataFrame) IsMatrix() bool {
 	return d == types.Int || d == types.Float || d == types.Bool
 }
 
-func cloneDomains(ds []types.Domain) []types.Domain {
-	return append([]types.Domain(nil), ds...)
+// cloneDomains snapshots a frame's domain slots. Loads are atomic so
+// cloning is safe while a sibling task induces a column of the source.
+func cloneDomains(ds []int64) []int64 {
+	out := make([]int64, len(ds))
+	for j := range ds {
+		out[j] = atomic.LoadInt64(&ds[j])
+	}
+	return out
 }
 
 // CompositeLabel combines multiple label values into the single composite

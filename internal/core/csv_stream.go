@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/vector"
+)
+
+// CSVCursor parses CSV input morsel-by-morsel: NextBand returns up to
+// maxRows records as a dataframe band, so a scan of a bigger-than-RAM file
+// never holds more than one raw band of cells at a time. Records are read
+// through encoding/csv one at a time, so a quoted record spanning a band
+// boundary (embedded newlines, commas) parses exactly as it would in a
+// whole-file read — banding is a property of the cursor, not the grammar.
+//
+// Schema stays per Section 5.2.1: every band's columns are raw Σ* with
+// unspecified domains, induced lazily by whichever operator touches them.
+type CSVCursor struct {
+	rc     io.Closer // closes the underlying source; may be nil
+	r      *csv.Reader
+	names  []string
+	row    int // data rows read so far (for error positions)
+	eof    bool
+	closed bool
+}
+
+// NewCSVCursor opens a cursor over r. When opts.Header is set the header
+// record is consumed immediately, so Columns is known before any band is
+// read; headerless input names columns positionally from the first record's
+// width at first read. If r is an io.Closer, Close closes it.
+func NewCSVCursor(r io.Reader, opts CSVOptions) (*CSVCursor, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.FieldsPerRecord = -1
+	c := &CSVCursor{r: cr}
+	if rc, ok := r.(io.Closer); ok {
+		c.rc = rc
+	}
+	if opts.Header {
+		rec, err := cr.Read()
+		switch {
+		case err == io.EOF:
+			c.eof = true
+		case err != nil:
+			return nil, fmt.Errorf("core: read csv: %w", err)
+		default:
+			c.names = rec
+		}
+	}
+	return c, nil
+}
+
+// Columns returns the column names, nil until known (headerless input
+// before the first record, or an empty file).
+func (c *CSVCursor) Columns() []string { return c.names }
+
+// BytesRead returns the input offset consumed so far; scan scheduling uses
+// the first band's byte footprint to estimate the band count of the rest of
+// the file.
+func (c *CSVCursor) BytesRead() int64 { return c.r.InputOffset() }
+
+// Empty returns a zero-row band with the cursor's columns — the shape every
+// band of this scan shares. Before the header is known it is the 0×0 frame.
+func (c *CSVCursor) Empty() *DataFrame {
+	if len(c.names) == 0 {
+		return Empty()
+	}
+	cols := make([]vector.Vector, len(c.names))
+	for j := range cols {
+		cols[j] = vector.NewObjectFromStrings(nil)
+	}
+	return MustNew(c.names, cols)
+}
+
+// NextBand reads up to maxRows records and returns them as a band. It
+// returns io.EOF (and no band) once the input is exhausted; a band holding
+// the final records is returned with a nil error first.
+func (c *CSVCursor) NextBand(maxRows int) (*DataFrame, error) {
+	if c.eof {
+		return nil, io.EOF
+	}
+	if maxRows <= 0 {
+		return nil, fmt.Errorf("core: csv band size %d, want > 0", maxRows)
+	}
+	var records [][]string
+	for len(records) < maxRows {
+		rec, err := c.r.Read()
+		if err == io.EOF {
+			c.eof = true
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: read csv: %w", err)
+		}
+		if c.names == nil {
+			// Headerless input: columns are named positionally from the
+			// first record, exactly as ReadCSV names them.
+			c.names = make([]string, len(rec))
+			for j := range c.names {
+				c.names[j] = fmt.Sprintf("%d", j)
+			}
+		}
+		if len(rec) != len(c.names) {
+			return nil, fmt.Errorf("core: csv row %d has %d fields, want %d", c.row, len(rec), len(c.names))
+		}
+		records = append(records, rec)
+		c.row++
+	}
+	if len(records) == 0 {
+		return nil, io.EOF
+	}
+	n := len(c.names)
+	colData := make([][]string, n)
+	for j := range colData {
+		colData[j] = make([]string, len(records))
+	}
+	for i, rec := range records {
+		for j, cell := range rec {
+			colData[j][i] = cell
+		}
+	}
+	cols := make([]vector.Vector, n)
+	for j := range cols {
+		cols[j] = vector.NewObjectFromStrings(colData[j])
+	}
+	return New(c.names, cols)
+}
+
+// Close releases the underlying source. It is idempotent.
+func (c *CSVCursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.eof = true
+	if c.rc != nil {
+		return c.rc.Close()
+	}
+	return nil
+}

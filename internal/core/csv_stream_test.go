@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func nextBandOK(t *testing.T, c *CSVCursor, maxRows int) *DataFrame {
+	t.Helper()
+	df, err := c.NextBand(maxRows)
+	if err != nil {
+		t.Fatalf("NextBand: %v", err)
+	}
+	return df
+}
+
+func TestCSVCursorEmptyInput(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader(""), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	if c.Columns() != nil {
+		t.Errorf("columns = %v, want nil", c.Columns())
+	}
+	if _, err := c.NextBand(4); !errors.Is(err, io.EOF) {
+		t.Errorf("NextBand err = %v, want io.EOF", err)
+	}
+	if e := c.Empty(); e.NRows() != 0 || e.NCols() != 0 {
+		t.Errorf("Empty() = %dx%d, want 0x0", e.NRows(), e.NCols())
+	}
+}
+
+func TestCSVCursorHeaderOnly(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader("a,b,c\n"), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	if got := c.Columns(); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("columns = %v", got)
+	}
+	if _, err := c.NextBand(4); !errors.Is(err, io.EOF) {
+		t.Errorf("NextBand err = %v, want io.EOF", err)
+	}
+	e := c.Empty()
+	if e.NRows() != 0 || e.NCols() != 3 || e.ColName(1) != "b" {
+		t.Errorf("Empty() = %dx%d cols %v", e.NRows(), e.NCols(), e.ColNames())
+	}
+}
+
+func TestCSVCursorQuotedRecordAcrossBandBoundary(t *testing.T) {
+	// Record 1's quoted field embeds a newline and record 3's a comma; with
+	// one-row bands both land entirely inside their own band, exactly as a
+	// whole-file read parses them.
+	text := "a,b\n1,\"x\ny\"\n2,z\n3,\"p,q\"\n"
+	c, err := NewCSVCursor(strings.NewReader(text), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	var got []string
+	for i := 0; i < 3; i++ {
+		band := nextBandOK(t, c, 1)
+		if band.NRows() != 1 {
+			t.Fatalf("band %d rows = %d", i, band.NRows())
+		}
+		got = append(got, band.RawValue(0, 1).String())
+	}
+	if _, err := c.NextBand(1); !errors.Is(err, io.EOF) {
+		t.Errorf("after last band, err = %v, want io.EOF", err)
+	}
+	want := []string{"x\ny", "z", "p,q"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("band %d value = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// The banded read must cell-match the whole-file read.
+	whole, err := ReadCSVString(text, DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("ReadCSVString: %v", err)
+	}
+	c2, _ := NewCSVCursor(strings.NewReader(text), DefaultCSVOptions())
+	banded := nextBandOK(t, c2, 100)
+	if !whole.Equal(banded) {
+		t.Errorf("banded read differs from whole read:\n%s\nvs\n%s", banded, whole)
+	}
+}
+
+func TestCSVCursorPartialFinalBand(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader("a\n1\n2\n3\n4\n5\n"), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	sizes := []int{2, 2, 1}
+	for i, want := range sizes {
+		band := nextBandOK(t, c, 2)
+		if band.NRows() != want {
+			t.Errorf("band %d rows = %d, want %d", i, band.NRows(), want)
+		}
+	}
+	if _, err := c.NextBand(2); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestCSVCursorRaggedRow(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader("a,b\n1,2\n3\n"), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	if _, err := c.NextBand(1); err != nil {
+		t.Fatalf("first band: %v", err)
+	}
+	if _, err := c.NextBand(1); err == nil || !strings.Contains(err.Error(), "row 1") {
+		t.Errorf("ragged row err = %v, want row-positioned error", err)
+	}
+}
+
+func TestCSVCursorHeaderless(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader("1,2\n3,4\n"), CSVOptions{Comma: ','})
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	band := nextBandOK(t, c, 10)
+	if band.NRows() != 2 || band.ColName(0) != "0" || band.ColName(1) != "1" {
+		t.Errorf("headerless band = %dx%d cols %v", band.NRows(), band.NCols(), band.ColNames())
+	}
+}
+
+func TestCSVCursorBadBandSize(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader("a\n1\n"), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	if _, err := c.NextBand(0); err == nil {
+		t.Error("NextBand(0) should error")
+	}
+}
+
+func TestCSVCursorCloseIdempotent(t *testing.T) {
+	c, err := NewCSVCursor(strings.NewReader("a\n1\n"), DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("NewCSVCursor: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := c.NextBand(1); !errors.Is(err, io.EOF) {
+		t.Errorf("NextBand after Close err = %v, want io.EOF", err)
+	}
+}

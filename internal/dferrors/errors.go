@@ -30,4 +30,9 @@ var (
 	// ErrBudgetExceeded reports a query rejected (or timed out queueing) by
 	// a tenant's memory-budget admission control.
 	ErrBudgetExceeded = errors.New("tenant memory budget exceeded")
+
+	// ErrScanSource reports a streaming scan whose source could not be
+	// opened or parsed: a missing or unreadable file, a malformed header.
+	// The wrapping text carries the source path.
+	ErrScanSource = errors.New("scan source failed")
 )

@@ -58,6 +58,11 @@ func (e *Engine) Execute(n algebra.Node) (*core.DataFrame, error) {
 	case *algebra.Source:
 		return node.DF, nil
 
+	case *algebra.Scan:
+		// The eager baseline has no streaming: read the scan whole.
+		out, err := node.ReadAll()
+		return wrapNode(node, out, err)
+
 	case *algebra.Selection:
 		in, err := e.Execute(node.Input)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 // the opportunistic evaluation layer hands back to users (Section 6.1.1).
 type Future struct {
 	done chan struct{}
+	mu   sync.Mutex // guards val after done closes (Forget may drop it)
 	val  any
 	err  error
 }
@@ -30,7 +31,26 @@ func newResolved(val any, err error) *Future {
 // Wait blocks until the task completes and returns its result.
 func (f *Future) Wait() (any, error) {
 	<-f.done
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return f.val, f.err
+}
+
+// Forget drops a resolved future's value so the scheduler can release
+// single-consumer partition blocks once every downstream task has read them
+// (streaming scans would otherwise retain every parsed band for the life of
+// the query). Unresolved futures are left alone; the error, if any, is kept
+// so late waiters still observe failure. After Forget, Wait returns a nil
+// value — callers releasing a block promise no one reads it again.
+func (f *Future) Forget() {
+	select {
+	case <-f.done:
+	default:
+		return
+	}
+	f.mu.Lock()
+	f.val = nil
+	f.mu.Unlock()
 }
 
 // Ready reports whether the task has completed without blocking.
@@ -51,7 +71,12 @@ type Pool struct {
 	tasks   chan func()
 	wg      sync.WaitGroup
 	workers int
-	closed  atomic.Bool
+
+	// closeMu makes task submission and Close mutually exclusive: watcher
+	// goroutines (SubmitIn) enqueue dependency-gated tasks at arbitrary
+	// times, and a send racing the channel close would panic.
+	closeMu sync.RWMutex
+	closed  bool // guarded by closeMu
 
 	// Scheduled and Completed count tasks for instrumentation.
 	scheduled atomic.Int64
@@ -95,10 +120,15 @@ func (p *Pool) Stats() (scheduled, completed int64) {
 // Close stops the workers after draining queued tasks. Submitting to a
 // closed pool runs the task synchronously.
 func (p *Pool) Close() {
-	if p.closed.CompareAndSwap(false, true) {
-		close(p.tasks)
-		p.wg.Wait()
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return
 	}
+	p.closed = true
+	close(p.tasks)
+	p.closeMu.Unlock()
+	p.wg.Wait()
 }
 
 // Group is a cancellation scope for a DAG of related tasks: the first task
@@ -149,6 +179,14 @@ func (p *Pool) Submit(fn func() (any, error), deps ...*Future) *Future {
 // SubmitIn schedules fn in a cancellation group (nil behaves like Submit).
 // A task whose group was cancelled before it starts is skipped, and a task
 // that fails cancels its group, skipping the group's remaining tasks.
+//
+// A task with unsettled dependencies does NOT occupy a worker while it
+// waits: it is parked on a watcher goroutine and enters the run queue only
+// once every dependency has resolved (or its group cancelled). Workers
+// therefore only ever execute ready tasks — without this, a pool whose
+// workers all blocked on futures of still-queued tasks would deadlock
+// (one-core machines hit this immediately with streaming scans: summarize
+// tasks waiting on scan bands starve the band tasks they wait for).
 func (p *Pool) SubmitIn(g *Group, fn func() (any, error), deps ...*Future) *Future {
 	p.scheduled.Add(1)
 	f := &Future{done: make(chan struct{})}
@@ -201,17 +239,39 @@ func (p *Pool) SubmitIn(g *Group, fn func() (any, error), deps ...*Future) *Futu
 		}()
 		f.val, f.err = fn()
 	}
-	if p.closed.Load() {
-		run()
-		return f
+	enqueue := func() {
+		if !p.trySubmit(run) {
+			// Closed pool or full queue: run inline rather than deadlock;
+			// inline execution also bounds memory under bursty submission.
+			run()
+		}
 	}
-	select {
-	case p.tasks <- run:
-	default:
-		// Queue full: run inline rather than deadlock; this also bounds
-		// memory under bursty submission.
-		run()
+	for _, d := range deps {
+		if !d.Ready() {
+			// Park on a watcher until the DAG settles; run's own dependency
+			// pass re-checks errors and group state once on a worker.
+			go func() {
+				for _, d := range deps {
+					if g != nil {
+						select {
+						case <-g.Done():
+							// Cancelled: enqueue now; run sees the group
+							// error and skips without touching the
+							// never-resolving dependencies.
+							enqueue()
+							return
+						case <-d.Done():
+						}
+					} else {
+						<-d.Done()
+					}
+				}
+				enqueue()
+			}()
+			return f
+		}
 	}
+	enqueue()
 	return f
 }
 
@@ -277,9 +337,12 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 }
 
 // trySubmit enqueues fn without blocking, reporting whether it was queued.
-// Closed pools and full queues decline.
+// Closed pools and full queues decline. The read lock excludes Close, so
+// the send can never hit a closed channel.
 func (p *Pool) trySubmit(fn func()) bool {
-	if p.closed.Load() {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
 		return false
 	}
 	select {

@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestForgetDropsValueKeepsError(t *testing.T) {
+	ok := Resolved(42)
+	ok.Forget()
+	if v, err := ok.Wait(); v != nil || err != nil {
+		t.Errorf("after Forget: val=%v err=%v, want nil/nil", v, err)
+	}
+
+	boom := errors.New("boom")
+	bad := Failed(boom)
+	bad.Forget()
+	if _, err := bad.Wait(); !errors.Is(err, boom) {
+		t.Errorf("Forget dropped the error: %v", err)
+	}
+}
+
+func TestForgetUnresolvedIsNoop(t *testing.T) {
+	fut, resolve := NewPromise()
+	fut.Forget() // must not touch a pending promise
+	resolve("late", nil)
+	if v, err := fut.Wait(); v != "late" || err != nil {
+		t.Errorf("val=%v err=%v, want late/nil", v, err)
+	}
+}
+
+func TestForgetConcurrentWithWait(t *testing.T) {
+	// -race check: Forget racing Wait on a resolved future must be safe;
+	// each Wait sees either the value or nil, never a torn read.
+	fut, resolve := NewPromise()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := fut.Wait()
+			if err != nil || (v != nil && v != "x") {
+				t.Errorf("val=%v err=%v", v, err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fut.Forget()
+		}()
+	}
+	resolve("x", nil)
+	wg.Wait()
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/partition"
 	"repro/internal/physical"
+	"repro/internal/schema"
 )
 
 // Compile lowers a logical plan into a physical stage DAG (Section 3.3's
@@ -71,6 +72,19 @@ func (c *compiler) compile(n algebra.Node) (*physical.Node, error) {
 	return p, nil
 }
 
+// cachedCursor attaches a fresh schema cache to every parsed band, so the
+// band's fused kernel chain memoizes lazy type induction the same way a
+// whole-frame scan did.
+type cachedCursor struct{ *core.CSVCursor }
+
+func (c cachedCursor) NextBand(maxRows int) (*core.DataFrame, error) {
+	df, err := c.CSVCursor.NextBand(maxRows)
+	if err != nil {
+		return df, err
+	}
+	return df.WithCache(schema.NewCache()), nil
+}
+
 // describeErr wraps a kernel or exchange failure with the logical
 // operator's description, so a deep chain's error names the operator that
 // failed (the physical layer only adds the kernel's short name).
@@ -94,6 +108,13 @@ func (c *compiler) fuse(n algebra.Node, input algebra.Node, k physical.Kernel) (
 			return nil, describeErr(desc, err)
 		}
 		return out, nil
+	}
+	if in.Stream != nil && c.uses[input] == 1 {
+		// Kernels over a single-use streamed scan fuse INTO the stream
+		// stage: each band runs scan→filter→... as one task the moment it
+		// parses, so a selective chain discards rows morsel by morsel and
+		// the raw scan output never accumulates.
+		return physical.FuseStream(in, k), nil
 	}
 	if len(in.Kernels) > 0 && c.uses[input] == 1 {
 		return in.Fuse(k), nil
@@ -139,7 +160,7 @@ func (c *compiler) shuffleStage(n algebra.Node, sh *physical.Shuffle, input alge
 		}
 		compiled[i] = p
 	}
-	return physical.NewShuffle(describeShuffle(n.Describe(), sh), in, compiled...), nil
+	return physical.NewShuffle(describeShuffle(n.Describe(), c.e.spillShuffle(sh)), in, compiled...), nil
 }
 
 // describeShuffle clones the shuffle with each phase hook annotating its
@@ -222,13 +243,36 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		pf.SetStats(e.cachedStats(node.DF))
 		return physical.NewSource(pf), nil
 
+	case *algebra.Scan:
+		// Morsel-driven scan: bands parse incrementally on the stream
+		// stage's producer, and (via fuse above) a single-use scan absorbs
+		// the downstream kernel chain. SingleUse additionally lets a
+		// downstream spill-aware shuffle release each band once routed.
+		scan := node
+		return physical.NewStreamSource(&physical.StreamSource{
+			Name: scan.Describe(),
+			Open: func() (physical.StreamCursor, error) {
+				cur, err := scan.Cursor()
+				if err != nil {
+					return nil, err
+				}
+				return cachedCursor{cur}, nil
+			},
+			BandRows:  scan.BandRows,
+			SizeHint:  scan.SizeHint,
+			SingleUse: c.uses[node] <= 1,
+		}), nil
+
 	case *algebra.Selection:
 		if node.Where != nil {
 			where := node.Where
 			return c.fuse(node, node.Input, physical.Kernel{
 				Name: "selection",
+				// View output: consecutive filters in one fused chain
+				// narrow a single selection vector over shared base
+				// storage; the stage exit compacts once.
 				Fn: func(b *core.DataFrame) (*core.DataFrame, error) {
-					return algebra.SelectWhere(b, where)
+					return algebra.SelectWhereView(b, where)
 				},
 			})
 		}
@@ -339,8 +383,8 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 				if err != nil {
 					return nil, err
 				}
-				built := physical.NewShuffle(describeShuffle(node.Describe(), e.joinBuildShuffle(node.On)), right)
-				probe := physical.NewShuffle(describeShuffle(node.Describe(), e.joinProbeShuffleKeyed(node)), left, built)
+				built := physical.NewShuffle(describeShuffle(node.Describe(), e.spillShuffle(e.joinBuildShuffle(node.On))), right)
+				probe := physical.NewShuffle(describeShuffle(node.Describe(), e.spillShuffle(e.joinProbeShuffleKeyed(node))), left, built)
 				return e.joinRestoreExchange(node, probe), nil
 			}
 			// Anchored broadcast probe: left bands pass through in order,

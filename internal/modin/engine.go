@@ -25,6 +25,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/physical"
 	"repro/internal/stats"
+	"repro/internal/storage"
 	"repro/internal/types"
 )
 
@@ -45,6 +46,15 @@ type Stats struct {
 	ShufflePartitionTasks atomic.Int64
 	ShuffleMergeTasks     atomic.Int64
 	ShuffleFallbacks      atomic.Int64
+	// StreamStages counts morsel-driven scan stages scheduled, StreamBands
+	// the bands their grids were sized to, and StreamReleasedBands how many
+	// input bands a downstream shuffle released after routing them.
+	// SpilledPieces counts routed shuffle pieces written to disk under the
+	// engine's spill budget.
+	StreamStages        atomic.Int64
+	StreamBands         atomic.Int64
+	StreamReleasedBands atomic.Int64
+	SpilledPieces       atomic.Int64
 }
 
 func (s *Stats) add(run *physical.Stats) {
@@ -55,6 +65,11 @@ func (s *Stats) add(run *physical.Stats) {
 	s.ShufflePartitionTasks.Add(run.ShufflePartitionTasks.Load())
 	s.ShuffleMergeTasks.Add(run.ShuffleMergeTasks.Load())
 	s.ShuffleFallbacks.Add(run.ShuffleFallbacks.Load())
+	s.StreamStages.Add(run.StreamStages.Load())
+	s.StreamBands.Add(run.StreamBands.Load())
+	// StreamReleasedBands is deliberately absent: releases happen at task
+	// time, after the wiring-time snapshot — the scheduler mirrors them into
+	// the cumulative counter via OnBandRelease as they land.
 }
 
 // defaultBroadcastLimit is the build-side row estimate above which an
@@ -76,6 +91,15 @@ type Engine struct {
 	broadcastLimit int
 	statsMu        sync.Mutex
 	statsCache     map[*core.DataFrame]*stats.Table
+
+	// Out-of-core shuffle state (spill.go): routed-but-unmerged shuffle
+	// pieces are accounted against spillBudget resident cells; pieces past
+	// it spill through spillStore (lazily created, freed by ReleaseSpill).
+	spillBudget   int
+	spillMu       sync.Mutex
+	spillStore    *storage.Store
+	spillResident int
+	spillSeq      int64
 }
 
 // Option configures the engine.
@@ -97,6 +121,14 @@ func WithoutStats() Option { return func(e *Engine) { e.statsOn = false } }
 // inner/left equi-joins shuffle by key instead of broadcasting (default
 // 65536). Tests force it low to exercise the shuffled path on small data.
 func WithBroadcastLimit(n int) Option { return func(e *Engine) { e.broadcastLimit = n } }
+
+// WithShuffleSpillBudget bounds the cells held by routed-but-not-yet-merged
+// shuffle pieces: pieces admitted past the budget spill to disk through
+// internal/storage and are re-read lazily when their merge runs. Together
+// with the band release this keeps GROUPBY/SORT/JOIN over a streamed input
+// within a fixed memory ceiling instead of failing. 0 (the default)
+// disables spilling.
+func WithShuffleSpillBudget(cells int) Option { return func(e *Engine) { e.spillBudget = cells } }
 
 // New returns a MODIN engine backed by the shared default pool.
 func New(opts ...Option) *Engine {
@@ -168,6 +200,7 @@ func (e *Engine) ExecuteAsync(n algebra.Node) *exec.Future {
 // into the engine's cumulative stats.
 func (e *Engine) ExecuteCompiled(plan *physical.Node) (*core.DataFrame, error) {
 	sched := physical.NewScheduler(e.pool)
+	sched.OnBandRelease = func() { e.stats.StreamReleasedBands.Add(1) }
 	res, err := sched.Run(plan)
 	if err != nil {
 		return nil, err
@@ -204,12 +237,14 @@ func (e *Engine) schedule(n algebra.Node) (*physical.Node, *physical.Result, *ph
 		return nil, nil, nil, err
 	}
 	sched := physical.NewScheduler(e.pool)
+	sched.OnBandRelease = func() { e.stats.StreamReleasedBands.Add(1) }
 	res, err := sched.Run(plan)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	// Task counters are incremented while Run wires the DAG, so the per-run
-	// stats are final here even though the tasks themselves still run.
+	// Wiring-time counters are final once Run returns, so they snapshot
+	// here even though the tasks themselves still run; band releases are
+	// task-time and arrive through OnBandRelease instead.
 	e.stats.add(&sched.Stats)
 	return plan, res, sched, nil
 }

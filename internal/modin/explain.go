@@ -8,6 +8,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/expr"
 	"repro/internal/optimizer"
+	"repro/internal/physical"
 	"repro/internal/vector"
 )
 
@@ -55,6 +56,16 @@ func (e *Engine) describeNode(n algebra.Node, b *strings.Builder) {
 			return
 		}
 		fmt.Fprintf(b, "GROUPBY strategy=hash-shuffle (groups≈%s)\n", approx(est.EstimateNode(node).Rows))
+	case *algebra.Scan:
+		rows := node.BandRows
+		if rows <= 0 {
+			rows = physical.DefaultStreamBandRows
+		}
+		fmt.Fprintf(b, "SCAN strategy=stream (band rows=%d", rows)
+		if node.SizeHint > 0 {
+			fmt.Fprintf(b, ", ≈%s bytes", approx(float64(node.SizeHint)))
+		}
+		b.WriteString(")\n")
 	}
 }
 

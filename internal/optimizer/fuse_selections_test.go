@@ -1,0 +1,52 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func selection(in algebra.Node, w *expr.Where) *algebra.Selection {
+	return &algebra.Selection{Input: in, Where: w, Pred: w.Predicate(), Desc: w.Describe()}
+}
+
+// TestFuseSelections checks that stacked structured filters collapse into
+// one Selection carrying the conjunction of all terms — the rewrite behind
+// single-pass selection-vector chaining.
+func TestFuseSelections(t *testing.T) {
+	plan := selection(
+		selection(
+			selection(source(t), expr.WhereNotNull("v")),
+			expr.WhereEquals("k", types.String("b")),
+		),
+		expr.WhereNotNull("k"),
+	)
+	runBoth(t, plan, "fuse-selections")
+
+	opt, _ := Optimize(plan, Default())
+	sel, ok := opt.(*algebra.Selection)
+	if !ok {
+		t.Fatalf("optimized plan is %T, want one *algebra.Selection", opt)
+	}
+	if _, ok := sel.Input.(*algebra.Source); !ok {
+		t.Fatalf("fused selection should sit directly on the source, got:\n%s", algebra.Render(opt))
+	}
+	if got := len(sel.Where.Terms); got != 3 {
+		t.Errorf("fused terms = %d, want 3", got)
+	}
+}
+
+// TestFuseSelectionsSkipsOpaquePredicates: a selection with only an opaque
+// Pred (no Where conjunction) has no fusion form and must stay put.
+func TestFuseSelectionsSkipsOpaquePredicates(t *testing.T) {
+	opaque := &algebra.Selection{
+		Input: selection(source(t), expr.WhereNotNull("v")),
+		Pred:  expr.ColEquals("k", types.String("b")),
+		Desc:  "opaque",
+	}
+	if _, fired := (FuseSelections{}).Apply(opaque); fired {
+		t.Error("fuse-selections must not fire on an opaque predicate")
+	}
+}

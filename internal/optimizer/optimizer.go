@@ -41,6 +41,7 @@ func Default() []Rule {
 	return []Rule{
 		DoubleTranspose{},
 		TransposePullUp{},
+		FuseSelections{},
 		FuseMaps{},
 		ElideInduceAfterDeclaredMap{},
 		CollapseInduce{},
@@ -82,6 +83,8 @@ func rewriteBottomUp(n algebra.Node, rules []Rule, fired *[]string) (algebra.Nod
 func WithChildren(n algebra.Node, kids []algebra.Node) algebra.Node {
 	switch node := n.(type) {
 	case *algebra.Source:
+		return node
+	case *algebra.Scan:
 		return node
 	case *algebra.Selection:
 		c := *node
@@ -200,6 +203,39 @@ func (TransposePullUp) Apply(n algebra.Node) (algebra.Node, bool) {
 	// survive the exchange.
 	inner := &algebra.Map{Input: t.Input, Fn: m.Fn}
 	return &algebra.Transpose{Input: inner}, true
+}
+
+// FuseSelections merges adjacent structured SELECTIONs into one node:
+// SELECT_w2(SELECT_w1(x)) → SELECT_{w1∧w2}(x). The typed filter kernel
+// narrows one shared selection vector term by term, so the fused node runs
+// every predicate in a single pass with no intermediate row materialization
+// — the selection-vector analog of MAP fusion. Only Where-bearing
+// selections qualify: opaque predicates have no conjunction form.
+type FuseSelections struct{}
+
+// Name identifies the rule.
+func (FuseSelections) Name() string { return "fuse-selections" }
+
+// Apply rewrites SELECT_w2(SELECT_w1(x)) → SELECT_{w1∧w2}(x).
+func (FuseSelections) Apply(n algebra.Node) (algebra.Node, bool) {
+	outer, ok := n.(*algebra.Selection)
+	if !ok || outer.Where == nil {
+		return n, false
+	}
+	inner, ok := outer.Input.(*algebra.Selection)
+	if !ok || inner.Where == nil {
+		return n, false
+	}
+	terms := make([]expr.WhereTerm, 0, len(inner.Where.Terms)+len(outer.Where.Terms))
+	terms = append(terms, inner.Where.Terms...)
+	terms = append(terms, outer.Where.Terms...)
+	merged := &expr.Where{Terms: terms}
+	return &algebra.Selection{
+		Input: inner.Input,
+		Where: merged,
+		Pred:  merged.Predicate(),
+		Desc:  merged.Describe(),
+	}, true
 }
 
 // FuseMaps combines adjacent elementwise MAPs into one pass:

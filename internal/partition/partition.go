@@ -61,6 +61,33 @@ type Frame struct {
 	// physical planner's strategy decisions. Nil means "no statistics" —
 	// every consumer must degrade to its zero-stats fallback.
 	stats *stats.Table
+	// transient marks a single-consumer frame (a streaming scan's bands):
+	// the one stage that reads a block may ReleaseBand it afterwards so the
+	// band's cells do not stay resident for the life of the query.
+	transient bool
+}
+
+// MarkTransient flags the frame as single-consumer: its blocks may be
+// released (ReleaseBand) by the one stage that consumes them. Returns f for
+// chaining.
+func (f *Frame) MarkTransient() *Frame {
+	f.transient = true
+	return f
+}
+
+// Transient reports whether the frame's blocks may be released after their
+// single consumer has read them.
+func (f *Frame) Transient() bool { return f.transient }
+
+// ReleaseBand drops the resolved block values of row band r (exec.Future
+// Forget), freeing the band's cells once its consumer is done with them.
+// Errors are retained so late waiters still observe failure. Only
+// meaningful on transient frames; callers promise no later task reads the
+// band.
+func (f *Frame) ReleaseBand(r int) {
+	for _, fut := range f.grid[r] {
+		fut.Forget()
+	}
 }
 
 // Stats returns the frame's statistics table, or nil when none were

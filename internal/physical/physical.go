@@ -100,6 +100,14 @@ type Shuffle struct {
 	// input band, in band order) into that band's block. Anchored shuffles
 	// receive the input band itself as the only piece.
 	Merge func(bucket int, pieces []any, plan any) (*core.DataFrame, error)
+	// ReleaseBands drops each input band's block future once that band has
+	// been routed (partitioned, or merged for anchored shuffles), so a
+	// streamed input's raw bands do not accumulate behind the shuffle. Only
+	// honored when the input frame is transient (single-consumer, e.g. a
+	// SingleUse stream stage); the Partition/Merge hooks must then copy or
+	// spill whatever outlives the call instead of retaining views into the
+	// band.
+	ReleaseBands bool
 }
 
 // Node is one stage of a physical plan DAG. Exactly one of Source, Kernels,
@@ -107,6 +115,9 @@ type Shuffle struct {
 type Node struct {
 	// Source is a leaf: an already-partitioned frame.
 	Source *partition.Frame
+	// Stream is a morsel-driven leaf: bands parse incrementally and flow
+	// through the stage's own fused kernel chain as they arrive.
+	Stream *StreamSource
 	// Kernels is a fused chain applied per band over Inputs[0].
 	Kernels []Kernel
 	// Shuffle is a streaming repartition stage over Inputs[0], with
@@ -148,6 +159,13 @@ func (n *Node) Describe() string {
 	switch {
 	case n.Source != nil:
 		return fmt.Sprintf("SOURCE[%dx%d bands]", n.Source.RowBands(), n.Source.ColBands())
+	case n.Stream != nil:
+		names := make([]string, 0, len(n.Stream.Kernels)+1)
+		names = append(names, n.Stream.Name)
+		for _, k := range n.Stream.Kernels {
+			names = append(names, k.Name)
+		}
+		return "STREAM[" + strings.Join(names, "→") + "]"
 	case len(n.Kernels) > 0:
 		names := make([]string, len(n.Kernels))
 		for i, k := range n.Kernels {
@@ -190,6 +208,8 @@ func Stages(n *Node) (fused, exchanges int) {
 		}
 		seen[n] = true
 		switch {
+		case n.Stream != nil && len(n.Stream.Kernels) > 0:
+			fused++
 		case len(n.Kernels) > 0:
 			fused++
 		case n.Shuffle != nil, n.Exchange != nil:
@@ -226,6 +246,14 @@ type Stats struct {
 	// degraded to a single coordinating task (band-parallel internally but
 	// one output future, like an exchange).
 	ShuffleFallbacks atomic.Int64
+
+	// StreamStages counts morsel-driven source stages scheduled;
+	// StreamBands counts the bands their output grids were sized to.
+	// StreamReleasedBands counts input bands a shuffle released after
+	// routing them (Shuffle.ReleaseBands over a transient frame).
+	StreamStages        atomic.Int64
+	StreamBands         atomic.Int64
+	StreamReleasedBands atomic.Int64
 }
 
 // Scheduler lowers physical plans onto a worker pool as a task DAG.
@@ -236,6 +264,14 @@ type Scheduler struct {
 
 	// Stats is exported for instrumentation (per-scheduler, i.e. per-run).
 	Stats Stats
+
+	// OnBandRelease, when set before Run, is called each time a shuffle
+	// releases a consumed transient input band. Unlike every other counter
+	// — incremented while Run wires the DAG — band releases happen inside
+	// partition tasks that typically outlive Run, so a cumulative-stats
+	// owner mirrors them through this hook instead of snapshotting
+	// Stats.StreamReleasedBands at schedule time.
+	OnBandRelease func()
 }
 
 // NewScheduler returns a scheduler for one plan run. Each run has its own
@@ -315,6 +351,9 @@ func (s *Scheduler) schedule(n *Node) (*Result, error) {
 	case n.Source != nil:
 		return &Result{frame: n.Source}, nil
 
+	case n.Stream != nil:
+		return s.scheduleStream(n)
+
 	case len(n.Kernels) > 0:
 		in, err := s.Run(n.Inputs[0])
 		if err != nil {
@@ -386,7 +425,10 @@ func (s *Scheduler) scheduleFused(in *Result, kernels []Kernel) *Result {
 				return nil, fmt.Errorf("physical: kernel %s: %w", k.Name, err)
 			}
 		}
-		return df, nil
+		// Stage exit is the one coalescing point for view-producing kernels
+		// (zero-copy selection chains): materialize once here instead of
+		// per kernel.
+		return df.Compact(), nil
 	}
 	elementwise := true
 	for _, k := range kernels {
@@ -452,6 +494,15 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 	}
 	f := in.frame
 	rb := f.RowBands()
+	release := func(r int) {
+		if sh.ReleaseBands && f.Transient() {
+			f.ReleaseBand(r)
+			s.Stats.StreamReleasedBands.Add(1)
+			if s.OnBandRelease != nil {
+				s.OnBandRelease()
+			}
+		}
+	}
 	bandDeps := func(r int) []*exec.Future {
 		deps := make([]*exec.Future, f.ColBands())
 		for c := range deps {
@@ -554,6 +605,8 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 				if err != nil {
 					return nil, fmt.Errorf("physical: shuffle %s prefix plan band %d: %w", sh.Name, b, err)
 				}
+				// No release(b) here: band b's own summary feeds LATER
+				// bands' prefix plans and may not have run yet.
 				return s.runMerge(sh, b, []any{band}, plan)
 			}, deps...)
 		}
@@ -574,7 +627,11 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 				if err != nil {
 					return nil, err
 				}
-				return s.runMerge(sh, b, []any{band}, plan)
+				out, err := s.runMerge(sh, b, []any{band}, plan)
+				if err == nil {
+					release(b)
+				}
+				return out, err
 			}, withPlan(bandDeps(b))...)
 		}
 	default:
@@ -592,7 +649,14 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 				if err != nil {
 					return nil, err
 				}
-				return s.runPartition(sh, r, band, plan)
+				pieces, err := s.runPartition(sh, r, band, plan)
+				if err == nil {
+					// Any summary over this band already ran: the plan task
+					// (a dependency of this partition task) waits on all
+					// summaries before it resolves.
+					release(r)
+				}
+				return pieces, err
 			}, withPlan(bandDeps(r))...)
 		}
 		mergeFuts = make([]*exec.Future, nb)

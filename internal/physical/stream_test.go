@@ -1,0 +1,257 @@
+package physical
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// fakeCursor serves pre-split bands, optionally failing at a given band —
+// a StreamCursor with fully controlled pacing and error injection.
+type fakeCursor struct {
+	bands        []*core.DataFrame
+	names        []string
+	i            int
+	bytesPerBand int64
+	failAt       int // NextBand errors when asked for this band; -1 = never
+	closed       atomic.Bool
+}
+
+func (c *fakeCursor) NextBand(maxRows int) (*core.DataFrame, error) {
+	if maxRows <= 0 {
+		return nil, fmt.Errorf("bad band size %d", maxRows)
+	}
+	if c.i == c.failAt {
+		return nil, errors.New("synthetic parse failure")
+	}
+	if c.i >= len(c.bands) {
+		return nil, io.EOF
+	}
+	b := c.bands[c.i]
+	c.i++
+	return b, nil
+}
+
+func (c *fakeCursor) BytesRead() int64 { return int64(c.i) * c.bytesPerBand }
+
+func (c *fakeCursor) Empty() *core.DataFrame {
+	cols := make([]string, len(c.names))
+	copy(cols, c.names)
+	e, err := core.FromRecords(cols, nil)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (c *fakeCursor) Close() error {
+	c.closed.Store(true)
+	return nil
+}
+
+// waitClosed waits out the producer goroutine's deferred Close — the gather
+// error can surface a beat before the producer unwinds.
+func (c *fakeCursor) waitClosed() bool {
+	for i := 0; i < 100; i++ {
+		if c.closed.Load() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// splitDF slices df into rows-sized raw bands (no labels: the stream stage
+// assigns global labels itself).
+func splitDF(df *core.DataFrame, rows int) []*core.DataFrame {
+	var bands []*core.DataFrame
+	for lo := 0; lo < df.NRows(); lo += rows {
+		hi := lo + rows
+		if hi > df.NRows() {
+			hi = df.NRows()
+		}
+		bands = append(bands, df.SliceRows(lo, hi))
+	}
+	return bands
+}
+
+func streamNode(cur *fakeCursor, sizeHint int64, kernels ...Kernel) *Node {
+	return NewStreamSource(&StreamSource{
+		Name:     "fake",
+		Open:     func() (StreamCursor, error) { return cur, nil },
+		BandRows: 10,
+		SizeHint: sizeHint,
+		Kernels:  kernels,
+	})
+}
+
+func runStream(t *testing.T, n *Node) (*core.DataFrame, *Scheduler, error) {
+	t.Helper()
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	s := NewScheduler(pool)
+	res, err := s.Run(n)
+	if err != nil {
+		return nil, s, err
+	}
+	frame, err := res.Frame()
+	if err != nil {
+		return nil, s, err
+	}
+	out, err := frame.ToFrame()
+	return out, s, err
+}
+
+// TestStreamMatchesWholeRead: an accurately-hinted stream gathers to the
+// exact source frame — bands, labels and all.
+func TestStreamMatchesWholeRead(t *testing.T) {
+	df := testDF(100)
+	cur := &fakeCursor{bands: splitDF(df, 10), names: df.ColNames(), bytesPerBand: 100, failAt: -1}
+	out, s, err := runStream(t, streamNode(cur, 100*10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Equal(out) {
+		t.Fatalf("streamed gather differs from source:\n%s\nvs\n%s", out, df)
+	}
+	if !cur.waitClosed() {
+		t.Error("cursor not closed after drain")
+	}
+	if got := s.Stats.StreamStages.Load(); got != 1 {
+		t.Errorf("stream stages = %d", got)
+	}
+	if got := s.Stats.StreamBands.Load(); got < 2 {
+		t.Errorf("stream bands = %d, want >= 2", got)
+	}
+}
+
+// TestStreamFusedKernels: the fused chain runs per band and the gathered
+// result equals the kernel applied to the whole frame.
+func TestStreamFusedKernels(t *testing.T) {
+	df := testDF(100)
+	cur := &fakeCursor{bands: splitDF(df, 10), names: df.ColNames(), bytesPerBand: 100, failAt: -1}
+	out, _, err := runStream(t, streamNode(cur, 100*10, selectEven()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := selectEven().Fn(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(out) {
+		t.Fatalf("fused stream differs:\n%s\nvs\n%s", out, want)
+	}
+}
+
+// TestStreamOverflowWhenSizeHintLies: a hint 10x too small still gathers the
+// full input — excess morsels concatenate into the final band.
+func TestStreamOverflowWhenSizeHintLies(t *testing.T) {
+	df := testDF(200)
+	cur := &fakeCursor{bands: splitDF(df, 10), names: df.ColNames(), bytesPerBand: 100, failAt: -1}
+	out, s, err := runStream(t, streamNode(cur, 200)) // ~2 bands' worth of hint for 20 bands
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Equal(out) {
+		t.Fatal("overflow path lost or reordered rows")
+	}
+	if got := s.Stats.StreamBands.Load(); got >= 20 {
+		t.Errorf("band grid = %d, want < 20 (overflow should have absorbed the tail)", got)
+	}
+}
+
+// TestStreamUnknownSize: with no hint the grid is worker-derived and unused
+// tail bands resolve empty.
+func TestStreamUnknownSize(t *testing.T) {
+	df := testDF(30)
+	cur := &fakeCursor{bands: splitDF(df, 10), names: df.ColNames(), bytesPerBand: 100, failAt: -1}
+	out, s, err := runStream(t, streamNode(cur, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !df.Equal(out) {
+		t.Fatal("unknown-size stream differs from source")
+	}
+	if got := s.Stats.StreamBands.Load(); got < 3 {
+		t.Errorf("band grid = %d, want >= 3 (4x workers)", got)
+	}
+}
+
+// TestStreamMidErrorPropagates: a parse failure after the first band turns
+// into a query error on gather (never a hang), carrying the stream name.
+func TestStreamMidErrorPropagates(t *testing.T) {
+	df := testDF(100)
+	cur := &fakeCursor{bands: splitDF(df, 10), names: df.ColNames(), bytesPerBand: 100, failAt: 4}
+	_, _, err := runStream(t, streamNode(cur, 100*10))
+	if err == nil {
+		t.Fatal("expected a mid-stream error")
+	}
+	if !strings.Contains(err.Error(), "fake") {
+		t.Errorf("error should name the stream: %v", err)
+	}
+	if !cur.waitClosed() {
+		t.Error("cursor not closed after failure")
+	}
+}
+
+// TestStreamFirstBandErrorIsSynchronous: a failure on the very first band
+// surfaces from Run itself, before any tasks are scheduled.
+func TestStreamFirstBandErrorIsSynchronous(t *testing.T) {
+	cur := &fakeCursor{names: []string{"id"}, failAt: 0}
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	s := NewScheduler(pool)
+	if _, err := s.Run(streamNode(cur, 0)); err == nil {
+		t.Fatal("expected a synchronous first-band error")
+	}
+}
+
+// TestStreamOpenErrorIsSynchronous: Open failures surface from Run.
+func TestStreamOpenErrorIsSynchronous(t *testing.T) {
+	n := NewStreamSource(&StreamSource{
+		Name: "broken",
+		Open: func() (StreamCursor, error) { return nil, errors.New("no such file") },
+	})
+	pool := exec.NewPool(2)
+	defer pool.Close()
+	s := NewScheduler(pool)
+	_, err := s.Run(n)
+	if err == nil || !strings.Contains(err.Error(), "broken") {
+		t.Fatalf("want open error naming the stream, got %v", err)
+	}
+}
+
+// TestStreamSingleUseMarksTransient: SingleUse streams hand downstream
+// stages a transient frame (release-after-route eligible).
+func TestStreamSingleUseMarksTransient(t *testing.T) {
+	df := testDF(20)
+	for _, single := range []bool{true, false} {
+		cur := &fakeCursor{bands: splitDF(df, 10), names: df.ColNames(), bytesPerBand: 100, failAt: -1}
+		n := streamNode(cur, 0)
+		n.Stream.SingleUse = single
+		pool := exec.NewPool(2)
+		s := NewScheduler(pool)
+		res, err := s.Run(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := res.Frame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame.Transient() != single {
+			t.Errorf("SingleUse=%v: transient = %v", single, frame.Transient())
+		}
+		if err := frame.Resolve(); err != nil {
+			t.Fatal(err)
+		}
+		pool.Close()
+	}
+}

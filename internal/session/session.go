@@ -500,6 +500,8 @@ func cloneWithChildren(n algebra.Node, kids []algebra.Node) algebra.Node {
 		return &c
 	case *algebra.Source:
 		return node
+	case *algebra.Scan:
+		return node
 	}
 	panic(fmt.Sprintf("session: unknown node %T", n))
 }

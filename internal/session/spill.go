@@ -20,8 +20,25 @@ import (
 func (s *Session) EnableSpilling(store *storage.Store, maxResident int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.store = store
+	s.adoptStoreLocked(store, false)
 	s.maxResident = maxResident
+}
+
+// adoptStoreLocked swaps the session's spill store. Results spilled into
+// the outgoing store are reloaded first so they survive the handoff, and an
+// outgoing store the session owned is closed — re-enabling spilling must
+// not leak the previous store's temp directory.
+func (s *Session) adoptStoreLocked(store *storage.Store, owned bool) {
+	if s.store != nil {
+		for plan := range s.spilled {
+			s.reloadLocked(plan)
+		}
+		if s.ownedStore {
+			s.store.Close()
+		}
+	}
+	s.store = store
+	s.ownedStore = owned
 }
 
 // EnableSpillingBudget attaches a session-owned spill store with a
@@ -41,9 +58,12 @@ func (s *Session) EnableSpillingBudget(maxCells int) error {
 		store.Close()
 		return errClosed()
 	}
-	s.store = store
-	s.ownedStore = true
+	s.adoptStoreLocked(store, true)
 	s.maxCells = maxCells
+	// Re-enforce immediately: results reloaded from a previous store (or
+	// already resident) spill down to the new budget now, not at the next
+	// statement.
+	s.maybeSpillLocked()
 	return nil
 }
 

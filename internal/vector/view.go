@@ -49,6 +49,29 @@ func (v *view) Slice(lo, hi int) Vector {
 	return &view{base: v.base, idx: v.idx[lo:hi]}
 }
 
+// ViewParts exposes a view's base vector and selection indices, reporting
+// ok=false for any other vector kind. Fused selection chains use this to
+// compose a new selection over the original storage instead of stacking
+// views on views.
+func ViewParts(v Vector) (base Vector, idx []int, ok bool) {
+	vw, ok := v.(*view)
+	if !ok {
+		return nil, nil, false
+	}
+	return vw.base, vw.idx, true
+}
+
+// Materialize flattens a view into typed storage via its base's Take;
+// non-view vectors are returned unchanged. This is the single coalescing
+// copy a fused stage pays at exit after chaining selections as views.
+func Materialize(v Vector) Vector {
+	vw, ok := v.(*view)
+	if !ok {
+		return v
+	}
+	return vw.base.Take(vw.idx)
+}
+
 // Take composes the selection vectors and materializes through the base
 // (views are for transient routing; a take of a take flattens the chain).
 func (v *view) Take(idx []int) Vector {
