@@ -21,6 +21,7 @@ import (
 
 	"repro/df"
 	"repro/internal/algebra"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eager"
 	"repro/internal/exec"
@@ -334,6 +335,58 @@ func BenchmarkFusedFilterChain(b *testing.B) {
 	}
 	for name, e := range engines() {
 		b.Run(name, func(b *testing.B) { runPlan(b, e, plan) })
+	}
+}
+
+// --- Distributed vs local pipeline -----------------------------------------
+
+// BenchmarkClusterPipeline runs the streamed filter→groupby pipeline on
+// the in-process engine and on 2- and 4-worker clusters (in-process
+// workers: blocks cross the full columnar wire protocol without the
+// process-spawn noise). Each distributed iteration pays plan extraction,
+// band shipping, the stats/partition/merge round trips, and result-block
+// decode — the numbers in BENCH_CLUSTER.json are the protocol's overhead
+// on a dataset small enough that local wins; the benchdiff -require gate
+// only insists the benchmarks keep running, it does not expect distributed
+// to beat local at this size. The bench fails if any iteration silently
+// fell back to the local engine — then it would not be measuring the wire.
+func BenchmarkClusterPipeline(b *testing.B) {
+	text := taxiCSV(40_000)
+	run := func(b *testing.B, q *df.Query) {
+		out, err := streamScanQuery(q.WithScanBandRows(4096)).Collect()
+		if err != nil || out.Len() == 0 {
+			b.Fatal(out, err)
+		}
+	}
+	b.Run("local", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, df.ScanCSVString(text))
+		}
+	})
+	for _, workers := range []int{2, 4} {
+		// Not "workers-2": benchdiff parse strips a trailing -N as the
+		// GOMAXPROCS suffix and would merge the two worker counts.
+		b.Run(fmt.Sprintf("%d-workers", workers), func(b *testing.B) {
+			sched, ws, err := cluster.StartInProcess(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, w := range ws {
+					w.Close()
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(b, df.ScanCSVString(text).WithEngine(sched))
+			}
+			b.StopTimer()
+			if st := sched.ClusterStats(); st.Distributed != int64(b.N) || st.Fallback > 0 || st.LocalReruns > 0 {
+				b.Fatalf("not all iterations ran distributed: %+v over %d iterations", st, b.N)
+			}
+		})
 	}
 }
 

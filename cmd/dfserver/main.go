@@ -23,6 +23,8 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 2*time.Second, "max queue time for over-budget queries")
 	idleAfter := flag.Duration("idle-after", 50*time.Millisecond, "idle threshold for think-time draining")
 	taxiRows := flag.Int("taxi", 0, "preload a synthetic 'taxi' dataset with this many rows")
+	rate := flag.Float64("rate", 0, "per-tenant sustained queries/sec (0: unlimited)")
+	burst := flag.Int("burst", 0, "per-tenant burst size (0: derived from -rate)")
 	flag.Parse()
 
 	s := server.New(server.Config{
@@ -31,6 +33,8 @@ func main() {
 		TenantBudgetCells: *budget,
 		QueueWait:         *queueWait,
 		IdleAfter:         *idleAfter,
+		RatePerSec:        *rate,
+		RateBurst:         *burst,
 	})
 	if *taxiRows > 0 {
 		s.RegisterDataset("taxi", df.FromFrame(workload.Taxi(workload.DefaultTaxiOptions(*taxiRows))))

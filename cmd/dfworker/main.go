@@ -1,0 +1,42 @@
+// Command dfworker runs one distributed-execution worker process: it
+// listens for a coordinator (internal/cluster.Scheduler, or any df program
+// run with DF_CLUSTER_ADDRS), executes shipped stage plans and shuffle
+// phases, and serves routed pieces to peer workers.
+//
+// Usage:
+//
+//	dfworker -addr 127.0.0.1:7070
+//
+// The worker prints its bound address on stdout ("listening <addr>") once
+// ready — with -addr :0 the kernel picks the port, so launch scripts can
+// scrape it. The process runs until killed; losing a worker mid-query is
+// survivable, the coordinator re-submits the lost bands' lineage to the
+// survivors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks one)")
+	flag.Parse()
+
+	w, err := cluster.NewWorker(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dfworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening %s\n", w.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	w.Close()
+}

@@ -11,6 +11,13 @@
 // itself and fails when peak HeapAlloc exceeds -maxheap. CI runs this with
 // GOMEMLIMIT a small fraction of the generated file size; see the
 // stream-smoke job in .github/workflows/ci.yml.
+//
+// With -cluster the same pipeline runs distributed across external dfworker
+// processes instead (the cluster-smoke CI job): the harness requires the
+// aggregates to match ground truth AND the query to have actually executed
+// on the cluster, not via fallback. -kill-pid additionally SIGKILLs one
+// worker right after the band phase, requiring the coordinator to finish by
+// re-submitting the lost bands' lineage to the survivors.
 package main
 
 import (
@@ -21,9 +28,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/df"
+	"repro/internal/cluster"
 )
 
 func main() {
@@ -33,9 +43,11 @@ func main() {
 	maxheap := flag.Int64("maxheap", 0, "fail if peak HeapAlloc exceeds this many bytes (0 = report only)")
 	mod := flag.Int("mod", 1000, "filter selectivity: one row in mod survives")
 	file := flag.String("file", "", "write the CSV here and keep it, instead of a removed temp file")
+	addrs := flag.String("cluster", "", "comma-separated dfworker addresses: run the pipeline distributed")
+	killPid := flag.Int("kill-pid", 0, "with -cluster: SIGKILL this worker pid after the band phase and require lineage re-submission")
 	flag.Parse()
 
-	if err := run(*rows, *band, *spill, *maxheap, *mod, *file); err != nil {
+	if err := run(*rows, *band, *spill, *maxheap, *mod, *file, *addrs, *killPid); err != nil {
 		fmt.Fprintln(os.Stderr, "streamsmoke:", err)
 		os.Exit(1)
 	}
@@ -105,7 +117,56 @@ func watchHeap(stop <-chan struct{}) <-chan uint64 {
 	return out
 }
 
-func run(rows, band, spill int, maxheap int64, mod int, file string) error {
+// connectCluster dials the workers and, when killPid is set, arms a hook
+// that kills that worker process the moment the band phase completes — the
+// worst time to lose a worker: its band results are routed but unmerged.
+func connectCluster(addrs string, killPid int) (*cluster.Scheduler, error) {
+	sched, err := cluster.Connect(strings.Split(addrs, ","))
+	if err != nil {
+		return nil, err
+	}
+	if killPid > 0 {
+		var once sync.Once
+		sched.OnPhase = func(phase string) {
+			if phase != "bands" {
+				return
+			}
+			once.Do(func() {
+				p, err := os.FindProcess(killPid)
+				if err == nil {
+					err = p.Kill()
+				}
+				fmt.Printf("killed worker pid %d after band phase (err=%v)\n", killPid, err)
+			})
+		}
+	}
+	return sched, nil
+}
+
+// checkClusterStats gates the distributed pass: the query must have run on
+// the cluster (not fallen back, not re-run locally), and a kill pass must
+// have survived it through lineage re-submission.
+func checkClusterStats(st cluster.Stats, killPid int) error {
+	fmt.Printf("cluster stats: distributed=%d fallback=%d reruns=%d resubmitted-bands=%d dead-workers=%d\n",
+		st.Distributed, st.Fallback, st.LocalReruns, st.ResubmittedBands, st.DeadWorkers)
+	if st.Distributed == 0 {
+		return fmt.Errorf("pipeline did not run distributed (fallback=%d reruns=%d)", st.Fallback, st.LocalReruns)
+	}
+	if st.LocalReruns > 0 {
+		return fmt.Errorf("pipeline re-ran locally %d times instead of recovering on the cluster", st.LocalReruns)
+	}
+	if killPid > 0 {
+		if st.ResubmittedBands == 0 {
+			return fmt.Errorf("worker killed but no band lineage was re-submitted")
+		}
+		if st.DeadWorkers == 0 {
+			return fmt.Errorf("worker killed but never marked dead")
+		}
+	}
+	return nil
+}
+
+func run(rows, band, spill int, maxheap int64, mod int, file, addrs string, killPid int) error {
 	path := file
 	if path == "" {
 		tmp, err := os.CreateTemp("", "streamsmoke-*.csv")
@@ -133,11 +194,26 @@ func run(rows, band, spill int, maxheap int64, mod int, file string) error {
 		fmt.Printf("GOMEMLIMIT=%s\n", lim)
 	}
 
+	var sched *cluster.Scheduler
+	if addrs != "" {
+		var err error
+		if sched, err = connectCluster(addrs, killPid); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		// Spilling is a local-engine concern; distributed shuffle state
+		// lives on the workers.
+		spill = 0
+		fmt.Printf("distributed across %s\n", addrs)
+	}
+
 	stop := make(chan struct{})
 	peakCh := watchHeap(stop)
 
 	start := time.Now()
 	q := df.ScanCSVFile(path).WithScanBandRows(band)
+	if sched != nil {
+		q = q.WithEngine(sched)
+	}
 	if spill > 0 {
 		q = q.WithSpillBudget(spill)
 	}
@@ -162,6 +238,12 @@ func run(rows, band, spill int, maxheap int64, mod int, file string) error {
 		return err
 	}
 	fmt.Println("aggregates match the generation-time ground truth")
+
+	if sched != nil {
+		if err := checkClusterStats(sched.ClusterStats(), killPid); err != nil {
+			return err
+		}
+	}
 
 	if maxheap > 0 && int64(peak) > maxheap {
 		return fmt.Errorf("peak HeapAlloc %d exceeds ceiling %d", peak, maxheap)

@@ -1,0 +1,57 @@
+package df
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/modin"
+)
+
+// Env-switched backend selection: the whole df surface acquires its default
+// engine through newEngine, so one environment variable runs any df program
+// — and the full df test suite — on the distributed backend instead of the
+// in-process one, with cell-identical results:
+//
+//	DF_CLUSTER_WORKERS=n   start n in-process dfworkers and coordinate them
+//	DF_CLUSTER_ADDRS=a,b   coordinate already-running dfworker processes
+//
+// Unset (or on startup failure) the default remains the in-process MODIN
+// engine. The cluster scheduler is a process-wide singleton: workers are
+// started (or dialed) once, on first use.
+
+var (
+	clusterOnce sync.Once
+	clusterEng  Engine
+)
+
+// newEngine returns the process's default engine.
+func newEngine() Engine {
+	clusterOnce.Do(func() {
+		if v := os.Getenv("DF_CLUSTER_WORKERS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				if s, _, err := cluster.StartInProcess(n); err == nil {
+					clusterEng = s
+				}
+			}
+			return
+		}
+		if v := os.Getenv("DF_CLUSTER_ADDRS"); v != "" {
+			addrs := strings.Split(v, ",")
+			if s, err := cluster.Connect(addrs); err == nil {
+				clusterEng = s
+			}
+		}
+	})
+	if clusterEng != nil {
+		return clusterEng
+	}
+	return modin.New()
+}
+
+// NewClusterEngine returns an engine coordinating the dfworker processes at
+// addrs; plans outside the distributable subset run on an embedded local
+// engine with identical results.
+func NewClusterEngine(addrs []string) (Engine, error) { return cluster.Connect(addrs) }

@@ -72,7 +72,7 @@ func New(names []string, records [][]any) (*DataFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrap(frame, modin.New()), nil
+	return wrap(frame, newEngine()), nil
 }
 
 // MustNew is New, panicking on error.
@@ -91,7 +91,7 @@ func ReadCSV(r io.Reader) (*DataFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrap(frame.WithCache(schema.NewCache()), modin.New()), nil
+	return wrap(frame.WithCache(schema.NewCache()), newEngine()), nil
 }
 
 // ReadCSVString ingests CSV text.
@@ -100,7 +100,7 @@ func ReadCSVString(s string) (*DataFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrap(frame.WithCache(schema.NewCache()), modin.New()), nil
+	return wrap(frame.WithCache(schema.NewCache()), newEngine()), nil
 }
 
 // ReadCSVFile ingests a CSV file.
@@ -109,7 +109,7 @@ func ReadCSVFile(path string) (*DataFrame, error) {
 	if err != nil {
 		return nil, err
 	}
-	return wrap(frame.WithCache(schema.NewCache()), modin.New()), nil
+	return wrap(frame.WithCache(schema.NewCache()), newEngine()), nil
 }
 
 func wrap(frame *core.DataFrame, engine Engine) *DataFrame {
@@ -128,7 +128,7 @@ func (d *DataFrame) Frame() *core.DataFrame { return d.frame }
 
 // FromFrame wraps a core frame with the MODIN engine, for callers composing
 // algebra plans directly.
-func FromFrame(frame *core.DataFrame) *DataFrame { return wrap(frame, modin.New()) }
+func FromFrame(frame *core.DataFrame) *DataFrame { return wrap(frame, newEngine()) }
 
 // run executes a one-operator plan over this frame: eager sugar over the
 // lazy builder, so every method — eager or chained — constructs nodes and

@@ -30,8 +30,10 @@ func TestNewAndShape(t *testing.T) {
 	if got := d.Columns(); got[0] != "name" || len(got) != 4 {
 		t.Error("Columns wrong")
 	}
-	if d.EngineName() != "modin" {
-		t.Errorf("default engine = %s", d.EngineName())
+	// The env-switched harness (DF_CLUSTER_WORKERS/ADDRS) swaps the default
+	// engine for the distributed coordinator; both are valid defaults.
+	if name := d.EngineName(); name != "modin" && name != "cluster" {
+		t.Errorf("default engine = %s", name)
 	}
 }
 

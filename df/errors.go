@@ -35,4 +35,8 @@ var (
 	// parsed (missing file, malformed header); the message carries the
 	// path.
 	ErrScanSource = dferrors.ErrScanSource
+
+	// ErrRateLimited: a tenant's request-rate token bucket rejected a
+	// query; the server answers 429 with a Retry-After hint.
+	ErrRateLimited = dferrors.ErrRateLimited
 )

@@ -52,7 +52,7 @@ func (d *DataFrame) Lazy() *Query {
 func ScanCSV(r io.Reader) *Query {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return &Query{engine: modin.New(), err: scanErr("", err)}
+		return &Query{engine: newEngine(), err: scanErr("", err)}
 	}
 	return scanBytes(data)
 }
@@ -70,7 +70,7 @@ func ScanCSVString(s string) *Query { return scanBytes([]byte(s)) }
 func ScanCSVFile(path string) *Query {
 	info, err := os.Stat(path)
 	if err != nil {
-		return &Query{engine: modin.New(), err: scanErr(path, err)}
+		return &Query{engine: newEngine(), err: scanErr(path, err)}
 	}
 	return scanQuery(&algebra.Scan{
 		Name: "csv",
@@ -90,6 +90,7 @@ func ScanCSVFile(path string) *Query {
 func scanBytes(data []byte) *Query {
 	return scanQuery(&algebra.Scan{
 		Name: "csv",
+		Data: data,
 		Open: func() (io.ReadCloser, error) {
 			return io.NopCloser(bytes.NewReader(data)), nil
 		},
@@ -104,11 +105,11 @@ func scanBytes(data []byte) *Query {
 func scanQuery(scan *algebra.Scan, path string) *Query {
 	cur, err := scan.Cursor()
 	if err != nil {
-		return &Query{engine: modin.New(), err: scanErr(path, err)}
+		return &Query{engine: newEngine(), err: scanErr(path, err)}
 	}
 	scan.Columns = cur.Columns()
 	cur.Close()
-	return &Query{plan: scan, engine: modin.New()}
+	return &Query{plan: scan, engine: newEngine()}
 }
 
 // scanErr wraps a scan open/parse failure with the ErrScanSource sentinel

@@ -70,6 +70,22 @@
 // notebook-corpus-derived multi-user trace against the server and reports
 // p50/p99 latency and cache hit rate (BENCH_REPLAY.json).
 //
+// Distributed execution: internal/cluster moves the engine across process
+// boundaries. cmd/dfworker processes execute fused stages and shuffle
+// phases shipped over a length-prefixed columnar wire format serialized
+// straight from internal/vector typed storage, and a coordinator-side
+// cluster.Scheduler implements the same engine surface df binds locally —
+// plans whose operators cannot cross a process boundary (opaque Go
+// closures, joins, windows) fall back to an embedded in-process engine,
+// and remote application errors re-run locally so callers always see the
+// local results and error chains. Band tasks are assigned round-robin;
+// shuffle merges are placed on the worker holding the most bytes of their
+// bucket; a dead worker's bands are re-submitted as deterministic lineage
+// (scan byte ranges + stage descriptors) to the survivors under a retry
+// budget. The df layer selects the backend from the environment
+// (DF_CLUSTER_WORKERS=n for in-process workers, DF_CLUSTER_ADDRS=a,b for
+// external dfworker processes), so the whole suite runs both ways.
+//
 // Vectorized kernels: the operator inner loops run on typed bulk kernels
 // (internal/vector) rather than boxing cells into types.Value or rendering
 // them to string keys. Row identity in GROUPBY, JOIN, DROP-DUPLICATES,

@@ -24,6 +24,11 @@ type Scan struct {
 	// Open returns a fresh reader positioned at the start of the input.
 	// It is called once per execution, so a Scan plan stays re-runnable.
 	Open func() (io.ReadCloser, error)
+	// Data holds the raw input bytes for buffer-backed scans (nil for
+	// file-backed ones). Open remains the execution path; Data exists so a
+	// distributed coordinator can ship the input to workers, since the Open
+	// closure itself cannot cross a process boundary.
+	Data []byte
 	// Options configure the CSV dialect.
 	Options core.CSVOptions
 	// SizeHint is the total input size in bytes (0 when unknown); the

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// Plan shipping. Go closures cannot cross a process boundary, so the
+// distributable plan family is the closure-free subset the streaming
+// engine fuses anyway: a linear chain
+//
+//	(Scan | Source) → {Selection(Where) | Projection | Rename}* →
+//	  [GroupBy | Sort] → {Selection(Where) | Projection | Rename}*
+//
+// rendered into a PlanSpec of pure data. Everything else — opaque
+// predicates, Map closures, joins, unions, windows, composite aggregates —
+// declines extraction and runs on the coordinator's in-process engine
+// instead (the Scheduler's fallback), which keeps the df surface complete
+// while the hot streaming shapes distribute.
+
+// Source kinds.
+const (
+	srcScanPath byte = iota // worker re-opens Path and section-reads its band
+	srcScanData             // coordinator ships the input bytes in Prepare
+	srcFrame                // coordinator ships each band as an inline block
+)
+
+// Op kinds.
+const (
+	opSelect byte = iota
+	opProject
+	opRename
+)
+
+// PlanSpec is a shipped stage plan: one source, a pre-shuffle chain, at
+// most one shuffle, and a post-shuffle chain applied to merged buckets.
+type PlanSpec struct {
+	Source SourceSpec
+	Pre    []OpSpec
+	Group  *GroupSpecWire
+	Sort   *SortSpecWire
+	Post   []OpSpec
+}
+
+// SourceSpec describes where a band's rows come from.
+type SourceSpec struct {
+	Kind     byte
+	Path     string   // srcScanPath
+	Data     []byte   // srcScanData
+	Comma    byte     // scan kinds: single-byte field delimiter
+	Columns  []string // scan kinds: header column labels (nil = positional)
+	BandRows int      // scan kinds: morsel size used for splitting
+}
+
+// OpSpec is one closure-free chain operator.
+type OpSpec struct {
+	Kind  byte
+	Terms []TermSpec // opSelect
+	Cols  []string   // opProject
+	From  []string   // opRename, paired with To
+	To    []string
+}
+
+// TermSpec is one structured Where conjunct in wire form.
+type TermSpec struct {
+	Col     string
+	Op      int
+	Operand ValueWire
+}
+
+// GroupSpecWire mirrors expr.GroupBySpec.
+type GroupSpecWire struct {
+	Keys     []string
+	Aggs     []AggWire
+	AsLabels bool
+}
+
+// AggWire mirrors expr.AggSpec.
+type AggWire struct {
+	Col string
+	Agg int
+	As  string
+}
+
+// SortSpecWire mirrors the algebra Sort node's ordering.
+type SortSpecWire struct {
+	Keys     []SortKeyWire
+	ByLabels bool
+}
+
+// SortKeyWire mirrors expr.SortKey.
+type SortKeyWire struct {
+	Col  string
+	Desc bool
+}
+
+// planInfo is the coordinator-side result of extraction: the spec plus the
+// typed handles the coordinator itself needs (the scan for splitting, the
+// source frame for banding, the rebuilt shuffle nodes for folding).
+type planInfo struct {
+	spec   PlanSpec
+	scan   *algebra.Scan
+	source *core.DataFrame
+	group  *expr.GroupBySpec
+	sortN  *algebra.Sort
+}
+
+// extractPlan renders n into a shippable PlanSpec, reporting ok=false when
+// any operator falls outside the closure-free subset.
+func extractPlan(n algebra.Node) (*planInfo, bool) {
+	info := &planInfo{}
+	var post, pre []OpSpec
+	segment := &post
+	cur := n
+walk:
+	for {
+		switch node := cur.(type) {
+		case *algebra.Selection:
+			op, ok := selectOp(node)
+			if !ok {
+				return nil, false
+			}
+			*segment = append(*segment, op)
+			cur = node.Input
+		case *algebra.Projection:
+			*segment = append(*segment, OpSpec{Kind: opProject, Cols: append([]string(nil), node.Cols...)})
+			cur = node.Input
+		case *algebra.Rename:
+			*segment = append(*segment, renameOp(node.Mapping))
+			cur = node.Input
+		case *algebra.GroupBy:
+			if segment == &pre { // at most one shuffle, nearest the leaf
+				return nil, false
+			}
+			gw, ok := groupWire(node.Spec)
+			if !ok {
+				return nil, false
+			}
+			info.spec.Group = gw
+			spec := node.Spec
+			info.group = &spec
+			segment = &pre
+			cur = node.Input
+		case *algebra.Sort:
+			if segment == &pre {
+				return nil, false
+			}
+			info.spec.Sort = sortWire(node)
+			info.sortN = node
+			segment = &pre
+			cur = node.Input
+		case *algebra.Scan:
+			src, ok := scanSource(node)
+			if !ok {
+				return nil, false
+			}
+			info.spec.Source = src
+			info.scan = node
+			break walk
+		case *algebra.Source:
+			info.spec.Source = SourceSpec{Kind: srcFrame}
+			info.source = node.DF
+			break walk
+		default:
+			return nil, false
+		}
+	}
+	// The chains were collected root-first; execution runs leaf-first.
+	reverseOps(pre)
+	reverseOps(post)
+	info.spec.Pre = pre
+	info.spec.Post = post
+	if info.spec.Group == nil && info.spec.Sort == nil {
+		// No shuffle: the whole chain is the per-band stage.
+		info.spec.Pre = post
+		info.spec.Post = nil
+	}
+	return info, true
+}
+
+// selectOp renders a structured selection; opaque predicates decline.
+func selectOp(node *algebra.Selection) (OpSpec, bool) {
+	if node.Where == nil {
+		return OpSpec{}, false
+	}
+	terms := make([]TermSpec, len(node.Where.Terms))
+	for i, t := range node.Where.Terms {
+		w, err := valueToWire(t.Operand)
+		if err != nil {
+			return OpSpec{}, false
+		}
+		terms[i] = TermSpec{Col: t.Col, Op: int(t.Op), Operand: w}
+	}
+	return OpSpec{Kind: opSelect, Terms: terms}, true
+}
+
+// renameOp renders a rename mapping as sorted pairs, so the spec is
+// deterministic across map iteration orders.
+func renameOp(mapping map[string]string) OpSpec {
+	from := make([]string, 0, len(mapping))
+	for k := range mapping {
+		from = append(from, k)
+	}
+	sort.Strings(from)
+	to := make([]string, len(from))
+	for i, f := range from {
+		to[i] = mapping[f]
+	}
+	return OpSpec{Kind: opRename, From: from, To: to}
+}
+
+// groupWire renders a group spec; composite aggregates (Collect) produce
+// values with no wire form, so they decline.
+func groupWire(spec expr.GroupBySpec) (*GroupSpecWire, bool) {
+	gw := &GroupSpecWire{Keys: append([]string(nil), spec.Keys...), AsLabels: spec.AsLabels}
+	for _, a := range spec.Aggs {
+		if a.Agg == expr.AggCollect {
+			return nil, false
+		}
+		gw.Aggs = append(gw.Aggs, AggWire{Col: a.Col, Agg: int(a.Agg), As: a.As})
+	}
+	return gw, true
+}
+
+// sortWire renders a sort node.
+func sortWire(node *algebra.Sort) *SortSpecWire {
+	sw := &SortSpecWire{ByLabels: node.ByLabels}
+	for _, k := range node.Order {
+		sw.Keys = append(sw.Keys, SortKeyWire{Col: k.Col, Desc: k.Desc})
+	}
+	return sw
+}
+
+// scanSource renders a scan leaf. Distributable scans have a re-openable
+// path or inline bytes, a single-byte delimiter, and a probed header (the
+// worker names parsed columns from the shipped labels).
+func scanSource(node *algebra.Scan) (SourceSpec, bool) {
+	if node.Options.Comma >= 0x80 || node.Options.InduceNow || !node.Options.Header || len(node.Columns) == 0 {
+		return SourceSpec{}, false
+	}
+	src := SourceSpec{
+		Comma:    byte(node.Options.Comma),
+		Columns:  append([]string(nil), node.Columns...),
+		BandRows: node.BandRows,
+	}
+	switch {
+	case node.Path != "":
+		src.Kind = srcScanPath
+		src.Path = node.Path
+	case node.Data != nil:
+		src.Kind = srcScanData
+		src.Data = node.Data
+	default:
+		return SourceSpec{}, false
+	}
+	return src, true
+}
+
+func reverseOps(ops []OpSpec) {
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+}
+
+// groupSpec rebuilds the expr form of a shipped group spec (worker side).
+func (g *GroupSpecWire) groupSpec() expr.GroupBySpec {
+	spec := expr.GroupBySpec{Keys: g.Keys, AsLabels: g.AsLabels}
+	for _, a := range g.Aggs {
+		spec.Aggs = append(spec.Aggs, expr.AggSpec{Col: a.Col, Agg: expr.AggKind(a.Agg), As: a.As})
+	}
+	return spec
+}
+
+// sortNode rebuilds the algebra form of a shipped sort (worker side; the
+// shared modin merge helpers take the node).
+func (s *SortSpecWire) sortNode() *algebra.Sort {
+	node := &algebra.Sort{ByLabels: s.ByLabels}
+	for _, k := range s.Keys {
+		node.Order = append(node.Order, expr.SortKey{Col: k.Col, Desc: k.Desc})
+	}
+	return node
+}
+
+// applyOps runs a shipped chain over one frame through the same typed
+// kernels the in-process engine fuses (SelectWhereView keeps selections
+// zero-copy until the stage-exit compaction).
+func applyOps(df *core.DataFrame, ops []OpSpec) (*core.DataFrame, error) {
+	var err error
+	for _, op := range ops {
+		switch op.Kind {
+		case opSelect:
+			w := &expr.Where{Terms: make([]expr.WhereTerm, len(op.Terms))}
+			for i, t := range op.Terms {
+				w.Terms[i] = expr.WhereTerm{Col: t.Col, Op: vector.CmpOp(t.Op), Operand: wireToValue(t.Operand)}
+			}
+			df, err = algebra.SelectWhereView(df, w)
+		case opProject:
+			df, err = algebra.Project(df, op.Cols)
+		case opRename:
+			mapping := make(map[string]string, len(op.From))
+			for i, f := range op.From {
+				mapping[f] = op.To[i]
+			}
+			df, err = algebra.RenameFrame(df, mapping)
+		default:
+			return nil, fmt.Errorf("cluster: unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return df, nil
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Quote-aware CSV byte-range splitting: the coordinator makes one cheap
+// byte pass over the input (no field materialization, no record building)
+// and cuts it into bands of bandRows records, each starting exactly at a
+// record boundary — quoted fields may contain embedded newlines, commas
+// and "" escapes, so the scanner tracks quote state the way encoding/csv
+// does instead of cutting at raw newlines. The resulting BandRange list is
+// deterministic for a given (input, options, bandRows), which is what
+// makes a band's lineage re-submittable: any worker handed the same range
+// re-parses the same rows with the same global row labels.
+
+// BandRange describes one scan band's lineage: a byte range of the input
+// and its global row interval.
+type BandRange struct {
+	Offset int64 // byte offset of the band's first record
+	Length int64 // byte length of the band
+	Row    int64 // global row index of the band's first record
+	Rows   int   // record count
+}
+
+// splitCSV scans r (the whole input, including any header) and returns the
+// data-record band ranges. comma is the field delimiter; header consumes
+// one leading record outside the banding. bandRows is the morsel size
+// (must be positive).
+func splitCSV(r io.Reader, comma byte, header bool, bandRows int) ([]BandRange, error) {
+	if bandRows <= 0 {
+		return nil, fmt.Errorf("cluster: band rows %d, want > 0", bandRows)
+	}
+	s := &csvScanner{r: bufio.NewReaderSize(r, 1<<16), comma: comma}
+	if header {
+		if _, err := s.nextRecord(); err != nil && err != io.EOF {
+			return nil, err
+		}
+	}
+	var bands []BandRange
+	var row int64
+	for {
+		start := s.offset
+		rows := 0
+		for rows < bandRows {
+			ok, err := s.nextRecord()
+			if err != nil && err != io.EOF {
+				return nil, err
+			}
+			if ok {
+				rows++
+			}
+			if err == io.EOF {
+				break
+			}
+		}
+		if rows == 0 {
+			break
+		}
+		bands = append(bands, BandRange{Offset: start, Length: s.offset - start, Row: row, Rows: rows})
+		row += int64(rows)
+		if s.eof {
+			break
+		}
+	}
+	return bands, nil
+}
+
+// csvScanner advances record-by-record, tracking byte offsets and quote
+// state without building fields.
+type csvScanner struct {
+	r      *bufio.Reader
+	comma  byte
+	offset int64
+	eof    bool
+}
+
+// nextRecord consumes one line-level record, reporting whether it held any
+// content (encoding/csv skips blank lines, so an empty line advances the
+// offset but counts no row). Returns io.EOF once the input is exhausted;
+// a final unterminated record reports ok first with err == io.EOF.
+func (s *csvScanner) nextRecord() (ok bool, err error) {
+	if s.eof {
+		return false, io.EOF
+	}
+	inQuotes := false
+	atFieldStart := true
+	content := false
+	for {
+		c, rerr := s.r.ReadByte()
+		if rerr != nil {
+			s.eof = true
+			if inQuotes {
+				return false, fmt.Errorf("cluster: csv input ends inside a quoted field")
+			}
+			return content, io.EOF
+		}
+		s.offset++
+		if inQuotes {
+			if c == '"' {
+				// "" is an escaped quote; a lone quote closes the field.
+				peek, perr := s.r.Peek(1)
+				if perr == nil && peek[0] == '"' {
+					s.r.ReadByte()
+					s.offset++
+				} else {
+					inQuotes = false
+				}
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			if atFieldStart {
+				inQuotes = true
+			}
+			content = true
+			atFieldStart = false
+		case s.comma:
+			content = true
+			atFieldStart = true
+		case '\n':
+			return content, nil
+		case '\r':
+			// Part of a \r\n terminator: not content by itself.
+			atFieldStart = false
+		default:
+			content = true
+			atFieldStart = false
+		}
+	}
+}

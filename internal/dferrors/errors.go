@@ -35,4 +35,9 @@ var (
 	// opened or parsed: a missing or unreadable file, a malformed header.
 	// The wrapping text carries the source path.
 	ErrScanSource = errors.New("scan source failed")
+
+	// ErrRateLimited reports a query rejected by a tenant's request-rate
+	// token bucket. The server maps it to HTTP 429 and the wrapping
+	// *server.RateLimitError carries the Retry-After hint.
+	ErrRateLimited = errors.New("tenant rate limit exceeded")
 )

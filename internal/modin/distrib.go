@@ -1,0 +1,230 @@
+package modin
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vector"
+)
+
+// Exported shuffle-phase helpers: the summarize→plan→partition→merge
+// protocol of the GROUPBY and SORT shuffles, factored so the in-process
+// shuffles (shuffle.go, sort.go) and the cluster coordinator/worker
+// (internal/cluster) run the exact same fold. The distributed backend ships
+// only DATA — band statistics up to the coordinator, routing tables back
+// down — and both sides call into these functions, which is what keeps a
+// distributed run cell-identical to the local one.
+
+// GroupBandStat is the coordinator-visible part of one band's group-key
+// summary: per distinct key (in band first-appearance order) its 64-bit
+// hash, exemplar tuple, and row count. The per-row ordinal table stays with
+// the band's worker — it is O(rows), everything here is O(distinct).
+type GroupBandStat struct {
+	Hashes    []uint64
+	Exemplars [][]types.Value
+	Counts    []int64
+}
+
+// GroupStatOf extracts a band's wire-safe stat from its key summary.
+func GroupStatOf(sum *algebra.GroupKeySummary) *GroupBandStat {
+	counts := make([]int64, len(sum.Hashes))
+	for _, d := range sum.Ordinals {
+		counts[d]++
+	}
+	return &GroupBandStat{Hashes: sum.Hashes, Exemplars: sum.Exemplars, Counts: counts}
+}
+
+// GroupRouting is the routing state produced by the plan fold: bucket b
+// owns the contiguous global group-rank range [Starts[b], Starts[b+1]),
+// and BucketOf[band][ordinal] routes a band's rows by their band-local
+// key ordinal. Heavy flags buckets owning a key above the fair row share
+// (nil when skew-aware planning is off).
+type GroupRouting struct {
+	Starts   []int
+	BucketOf [][]int32
+	Heavy    []bool
+}
+
+// PlanGroupRouting folds per-band key stats — in band order, reproducing
+// the single-node scan's first-appearance order — into global group ids and
+// bucket cuts. Global ids are assigned in fold order, so a key's id IS its
+// first-appearance rank; hash collisions between distinct keys are broken
+// by exemplar verification.
+func PlanGroupRouting(stats []*GroupBandStat, buckets int, skewAware bool) *GroupRouting {
+	r := &GroupRouting{BucketOf: make([][]int32, len(stats))}
+	var exemplars [][]types.Value     // global id → key tuple
+	index := make(map[uint64][]int32) // hash → global ids
+	bandGlobal := make([][]int32, len(stats))
+	for b, st := range stats {
+		ids := make([]int32, len(st.Hashes))
+		for d, h := range st.Hashes {
+			gid := int32(-1)
+			for _, cand := range index[h] {
+				if algebra.KeyTuplesEqual(exemplars[cand], st.Exemplars[d]) {
+					gid = cand
+					break
+				}
+			}
+			if gid < 0 {
+				gid = int32(len(exemplars))
+				exemplars = append(exemplars, st.Exemplars[d])
+				index[h] = append(index[h], gid)
+			}
+			ids[d] = gid
+		}
+		bandGlobal[b] = ids
+	}
+	if skewAware {
+		// Skew-aware planning: the stats carry exact per-key row volumes,
+		// so cut bucket ranges by row share instead of group count, and
+		// flag buckets owning a key above the fair per-bucket share — their
+		// merges split across parallel partial-merge tasks.
+		counts := make([]int64, len(exemplars))
+		var total int64
+		for b, st := range stats {
+			ids := bandGlobal[b]
+			for d, c := range st.Counts {
+				counts[ids[d]] += c
+				total += c
+			}
+		}
+		r.Starts = weightedCuts(counts, buckets)
+		fair := total / int64(buckets)
+		r.Heavy = make([]bool, buckets)
+		for b := 0; b < buckets; b++ {
+			for g := r.Starts[b]; g < r.Starts[b+1]; g++ {
+				if counts[g] > fair {
+					r.Heavy[b] = true
+					break
+				}
+			}
+		}
+	} else {
+		r.Starts = bandCuts(len(exemplars), buckets)
+	}
+	// Global rank → bucket, then per band: band ordinal → bucket.
+	rankBucket := make([]int32, len(exemplars))
+	b := 0
+	for rank := range rankBucket {
+		for rank >= r.Starts[b+1] {
+			b++
+		}
+		rankBucket[rank] = int32(b)
+	}
+	for band, ids := range bandGlobal {
+		bb := make([]int32, len(ids))
+		for d, gid := range ids {
+			bb[d] = rankBucket[gid]
+		}
+		r.BucketOf[band] = bb
+	}
+	return r
+}
+
+// MergeGroupBucket folds one bucket's routed pieces (in band order) into
+// its merged grouped frame, validates the group count against the routing
+// plan, and assigns the bucket's global positional labels. This is the
+// merge phase both backends run.
+func MergeGroupBucket(pool *exec.Pool, frames []*core.DataFrame, spec expr.GroupBySpec, routing *GroupRouting, bucket int) (*core.DataFrame, error) {
+	spec.Sorted = false // hashing per bucket; sortedness is a single-node optimization
+	heavy := routing.Heavy != nil && routing.Heavy[bucket]
+	out, err := mergeGroupPieces(pool, frames, spec, heavy)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := routing.Starts[bucket], routing.Starts[bucket+1]
+	if out.NRows() != hi-lo {
+		return nil, fmt.Errorf("modin: groupby bucket %d produced %d groups, plan routed %d", bucket, out.NRows(), hi-lo)
+	}
+	if spec.AsLabels {
+		return out, nil
+	}
+	// Positional labels are global: bucket b's groups occupy the rank range
+	// [lo, hi), so the concatenated buckets read 0..n-1.
+	return out.WithRowLabels(vector.Range(int64(lo), out.NRows()))
+}
+
+// SampleSortKeys draws a band's bounded key sample for the sort plan.
+func SampleSortKeys(band *core.DataFrame, node *algebra.Sort) ([][]types.Value, error) {
+	keys, _, err := sortKeyVecs(band, node)
+	if err != nil {
+		return nil, err
+	}
+	n := band.NRows()
+	step := n / sortSampleTarget
+	if step < 1 {
+		step = 1
+	}
+	var samples [][]types.Value
+	for i := 0; i < n; i += step {
+		samples = append(samples, keyTuple(keys, i))
+	}
+	return samples, nil
+}
+
+// PlanSortBounds pools the bands' key samples and picks buckets-1 range
+// bounds: bucket b receives keys ≤ bounds[b], the final bucket the rest.
+func PlanSortBounds(samples [][]types.Value, buckets int, node *algebra.Sort) [][]types.Value {
+	desc := sortDesc(node)
+	all := append([][]types.Value(nil), samples...)
+	sort.SliceStable(all, func(i, j int) bool {
+		return compareTuples(all[i], all[j], desc) < 0
+	})
+	var bounds [][]types.Value
+	for b := 1; b < buckets && len(all) > 0; b++ {
+		bounds = append(bounds, all[b*len(all)/buckets])
+	}
+	return bounds
+}
+
+// PartitionSortedBand stably sorts the band and slices it into one
+// contiguous zero-copy run per bucket (binary-searching the first row past
+// each bound) — the partition phase both backends run.
+func PartitionSortedBand(df *core.DataFrame, node *algebra.Sort, bounds [][]types.Value, buckets int) ([]*core.DataFrame, error) {
+	desc := sortDesc(node)
+	sorted, err := algebra.SortFrame(df, node.Order, node.ByLabels)
+	if err != nil {
+		return nil, err
+	}
+	keys, _, err := sortKeyVecs(sorted, node)
+	if err != nil {
+		return nil, err
+	}
+	pieces := make([]*core.DataFrame, buckets)
+	n := sorted.NRows()
+	lo := 0
+	for b := 0; b < buckets; b++ {
+		hi := n
+		if b < len(bounds) {
+			bound := bounds[b]
+			hi = lo + sort.Search(n-lo, func(i int) bool {
+				return compareRowBound(keys, lo+i, bound, desc) > 0
+			})
+		}
+		pieces[b] = sorted.SliceRows(lo, hi)
+		lo = hi
+	}
+	return pieces, nil
+}
+
+// MergeSortBucket k-way merges one bucket's routed runs (in band order);
+// ties resolve toward the earlier run, reproducing the stable single-node
+// sort. An all-empty bucket returns the first piece so the output band
+// keeps the input's arity.
+func MergeSortBucket(pieces []*core.DataFrame, node *algebra.Sort) (*core.DataFrame, error) {
+	runs := make([]*core.DataFrame, 0, len(pieces))
+	for _, df := range pieces {
+		if df.NRows() > 0 {
+			runs = append(runs, df)
+		}
+	}
+	if len(runs) == 0 {
+		return pieces[0], nil
+	}
+	return mergeSortedRuns(runs, node)
+}

@@ -1,15 +1,12 @@
 package modin
 
 import (
-	"fmt"
-
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/partition"
 	"repro/internal/physical"
-	"repro/internal/types"
 	"repro/internal/vector"
 )
 
@@ -56,17 +53,15 @@ func weightedCuts(counts []int64, nb int) []int {
 }
 
 // groupPlan is the routing state shared by every groupby partition and
-// merge task: each band's ordinal→bucket table, each bucket's global
-// group-rank range, and the per-band row ordinals carried over from the
-// summaries. Nothing here is a rendered key: group identity travels as
-// small ints, with 64-bit hashes plus boxed exemplar tuples (one per
-// distinct key, not per row) resolving identity across bands — hash
-// collisions between distinct keys are broken by exemplar verification.
+// merge task: the folded routing tables (distrib.go) plus the per-band row
+// ordinals carried over from the summaries. Nothing here is a rendered
+// key: group identity travels as small ints, with 64-bit hashes plus boxed
+// exemplar tuples (one per distinct key, not per row) resolving identity
+// across bands — hash collisions between distinct keys are broken by
+// exemplar verification.
 type groupPlan struct {
-	starts   []int     // starts[b] is the global rank of bucket b's first group
-	buckets  [][]int   // per band: band-ordinal → bucket
+	routing  *GroupRouting
 	ordinals [][]int32 // per band: row → band-ordinal
-	heavy    []bool    // per bucket: owns a key above the fair row share (nil when stats are off)
 }
 
 // groupByShuffle lowers GROUPBY to a key shuffle. Routing hashes the typed
@@ -91,90 +86,24 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 			// Folding the band orders in band order reproduces the
 			// single-node scan's first-appearance order, which is what
 			// keeps the shuffled result identical to the gather
-			// implementation. Global group ids are assigned in that fold
-			// order, so a key's id IS its first-appearance rank.
-			p := &groupPlan{
-				buckets:  make([][]int, len(summaries)),
-				ordinals: make([][]int32, len(summaries)),
-			}
-			var exemplars [][]types.Value     // global id → key tuple
-			index := make(map[uint64][]int32) // hash → global ids
-			bandGlobal := make([][]int32, len(summaries))
+			// implementation; the fold itself is PlanGroupRouting
+			// (distrib.go), shared with the cluster coordinator.
+			stats := make([]*GroupBandStat, len(summaries))
+			ordinals := make([][]int32, len(summaries))
 			for r, s := range summaries {
 				sum := s.(*algebra.GroupKeySummary)
-				p.ordinals[r] = sum.Ordinals
-				ids := make([]int32, len(sum.Hashes))
-				for d, h := range sum.Hashes {
-					gid := int32(-1)
-					for _, cand := range index[h] {
-						if algebra.KeyTuplesEqual(exemplars[cand], sum.Exemplars[d]) {
-							gid = cand
-							break
-						}
-					}
-					if gid < 0 {
-						gid = int32(len(exemplars))
-						exemplars = append(exemplars, sum.Exemplars[d])
-						index[h] = append(index[h], gid)
-					}
-					ids[d] = gid
-				}
-				bandGlobal[r] = ids
+				stats[r] = GroupStatOf(sum)
+				ordinals[r] = sum.Ordinals
 			}
-			if e.statsOn {
-				// Skew-aware planning: the summaries already carry exact
-				// per-key row volumes (each band's ordinal table), so cut
-				// bucket ranges by row share instead of group count, and
-				// flag buckets owning a key above the fair per-band share —
-				// their merges split across parallel partial-merge tasks.
-				counts := make([]int64, len(exemplars))
-				var total int64
-				for r := range summaries {
-					ids := bandGlobal[r]
-					for _, d := range p.ordinals[r] {
-						counts[ids[d]]++
-						total++
-					}
-				}
-				p.starts = weightedCuts(counts, nb)
-				fair := total / int64(nb)
-				p.heavy = make([]bool, nb)
-				for b := 0; b < nb; b++ {
-					for g := p.starts[b]; g < p.starts[b+1]; g++ {
-						if counts[g] > fair {
-							p.heavy[b] = true
-							break
-						}
-					}
-				}
-			} else {
-				p.starts = bandCuts(len(exemplars), nb)
-			}
-			// Global rank → bucket, then per band: band-ordinal → bucket.
-			rankBucket := make([]int, len(exemplars))
-			b := 0
-			for rank := range rankBucket {
-				for rank >= p.starts[b+1] {
-					b++
-				}
-				rankBucket[rank] = b
-			}
-			for r, ids := range bandGlobal {
-				bb := make([]int, len(ids))
-				for d, gid := range ids {
-					bb[d] = rankBucket[gid]
-				}
-				p.buckets[r] = bb
-			}
-			return p, nil
+			return &groupPlan{routing: PlanGroupRouting(stats, nb, e.statsOn), ordinals: ordinals}, nil
 		},
 		Partition: func(band int, df *core.DataFrame, plan any) ([]any, error) {
 			p := plan.(*groupPlan)
 			ords := p.ordinals[band]
-			bucketOf := p.buckets[band]
+			bucketOf := p.routing.BucketOf[band]
 			assign := make([]int, len(ords))
 			for i, d := range ords {
-				assign[i] = bucketOf[d]
+				assign[i] = int(bucketOf[d])
 			}
 			views, err := partition.SplitRows(df, assign, nb)
 			if err != nil {
@@ -192,20 +121,7 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 			for r, piece := range pieces {
 				frames[r] = piece.(*core.DataFrame)
 			}
-			out, err := e.mergeGroupPieces(frames, spec, p.heavy != nil && p.heavy[bucket])
-			if err != nil {
-				return nil, err
-			}
-			lo, hi := p.starts[bucket], p.starts[bucket+1]
-			if out.NRows() != hi-lo {
-				return nil, fmt.Errorf("modin: groupby bucket %d produced %d groups, plan routed %d", bucket, out.NRows(), hi-lo)
-			}
-			if spec.AsLabels {
-				return out, nil
-			}
-			// Positional labels are global: bucket b's groups occupy the
-			// rank range [lo, hi), so the concatenated bands read 0..n-1.
-			return out.WithRowLabels(vector.Range(int64(lo), out.NRows()))
+			return MergeGroupBucket(e.pool, frames, spec, p.routing, bucket)
 		},
 	}
 }
@@ -218,12 +134,12 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 // chunk in parallel, and recombines in chunk order — GroupPartial.Merge
 // appends the right side's new groups after the left's, so the chunked fold
 // reproduces the sequential first-appearance group order exactly.
-func (e *Engine) mergeGroupPieces(frames []*core.DataFrame, spec expr.GroupBySpec, heavy bool) (*core.DataFrame, error) {
+func mergeGroupPieces(pool *exec.Pool, frames []*core.DataFrame, spec expr.GroupBySpec, heavy bool) (*core.DataFrame, error) {
 	if out, ok, err := algebra.DictGroupFrames(frames, spec); ok || err != nil {
 		return out, err
 	}
 	if heavy && len(frames) > 1 {
-		chunks := e.pool.Workers()
+		chunks := pool.Workers()
 		if chunks > len(frames) {
 			chunks = len(frames)
 		}
@@ -231,7 +147,7 @@ func (e *Engine) mergeGroupPieces(frames []*core.DataFrame, spec expr.GroupBySpe
 			chunks = 2
 		}
 		cuts := bandCuts(len(frames), chunks)
-		partials, err := exec.MapParallel(e.pool, chunks, func(c int) (*algebra.GroupPartial, error) {
+		partials, err := exec.MapParallel(pool, chunks, func(c int) (*algebra.GroupPartial, error) {
 			g := algebra.NewGroupPartial(spec)
 			for _, f := range frames[cuts[c]:cuts[c+1]] {
 				if err := g.AddFrame(f); err != nil {

@@ -3,7 +3,6 @@ package modin
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -110,23 +109,13 @@ func sortDesc(node *algebra.Sort) []bool {
 
 func (e *Engine) sortShuffle(node *algebra.Sort) *physical.Shuffle {
 	nb := e.bands
-	desc := sortDesc(node)
 	return &physical.Shuffle{
 		Name:    "sort",
 		Buckets: nb,
 		Summarize: func(_ int, band *core.DataFrame) (any, error) {
-			keys, _, err := sortKeyVecs(band, node)
+			samples, err := SampleSortKeys(band, node)
 			if err != nil {
 				return nil, err
-			}
-			n := band.NRows()
-			step := n / sortSampleTarget
-			if step < 1 {
-				step = 1
-			}
-			var samples [][]types.Value
-			for i := 0; i < n; i += step {
-				samples = append(samples, keyTuple(keys, i))
 			}
 			return &sortSummary{samples: samples}, nil
 		},
@@ -135,58 +124,29 @@ func (e *Engine) sortShuffle(node *algebra.Sort) *physical.Shuffle {
 			for _, s := range summaries {
 				all = append(all, s.(*sortSummary).samples...)
 			}
-			sort.SliceStable(all, func(i, j int) bool {
-				return compareTuples(all[i], all[j], desc) < 0
-			})
-			p := &sortPlan{}
-			for b := 1; b < nb && len(all) > 0; b++ {
-				p.bounds = append(p.bounds, all[b*len(all)/nb])
-			}
-			return p, nil
+			return &sortPlan{bounds: PlanSortBounds(all, nb, node)}, nil
 		},
 		Partition: func(_ int, df *core.DataFrame, plan any) ([]any, error) {
-			p := plan.(*sortPlan)
-			sorted, err := algebra.SortFrame(df, node.Order, node.ByLabels)
-			if err != nil {
-				return nil, err
-			}
-			keys, _, err := sortKeyVecs(sorted, node)
-			if err != nil {
-				return nil, err
-			}
 			// The band is sorted, so each bucket's rows are one contiguous
 			// run: binary-search the first row past each bound and slice —
-			// routing moves no cells.
+			// routing moves no cells (PartitionSortedBand, shared with the
+			// cluster workers).
+			runs, err := PartitionSortedBand(df, node, plan.(*sortPlan).bounds, nb)
+			if err != nil {
+				return nil, err
+			}
 			pieces := make([]any, nb)
-			n := sorted.NRows()
-			lo := 0
-			for b := 0; b < nb; b++ {
-				hi := n
-				if b < len(p.bounds) {
-					bound := p.bounds[b]
-					hi = lo + sort.Search(n-lo, func(i int) bool {
-						return compareRowBound(keys, lo+i, bound, desc) > 0
-					})
-				}
-				pieces[b] = sorted.SliceRows(lo, hi)
-				lo = hi
+			for b, r := range runs {
+				pieces[b] = r
 			}
 			return pieces, nil
 		},
 		Merge: func(_ int, pieces []any, _ any) (*core.DataFrame, error) {
-			runs := make([]*core.DataFrame, 0, len(pieces))
-			for _, piece := range pieces {
-				df := piece.(*core.DataFrame)
-				if df.NRows() > 0 {
-					runs = append(runs, df)
-				}
+			frames := make([]*core.DataFrame, len(pieces))
+			for i, piece := range pieces {
+				frames[i] = piece.(*core.DataFrame)
 			}
-			if len(runs) == 0 {
-				// Keep the input's arity so the empty bucket still fits
-				// the output band grid.
-				return pieces[0].(*core.DataFrame), nil
-			}
-			return mergeSortedRuns(runs, node)
+			return MergeSortBucket(frames, node)
 		},
 	}
 }

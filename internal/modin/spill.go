@@ -147,18 +147,20 @@ func (e *Engine) resolvePiece(p any) (any, error) {
 	}
 }
 
-// admitFrame compacts df and either admits it under the resident budget or
-// spills it to the engine's store. The spill write renders cells through
-// the Σ* encoding, which also severs any remaining slice-level ties into
-// the source band.
+// admitFrame detaches df from its source band's storage and either admits
+// it under the resident budget or spills it to the engine's store. Detach
+// (not Compact) matters for resident pieces: a sort shuffle's routed runs
+// are Slice windows into the sorted band, and Compact leaves slices
+// aliasing the band's arrays — the whole band would stay pinned until the
+// last bucket merged. The spill write renders cells through the Σ*
+// encoding, which severs the ties on that path by itself.
 func (e *Engine) admitFrame(df *core.DataFrame) (any, error) {
-	df = df.Compact()
 	cells := df.NRows()*df.NCols() + 1
 	e.spillMu.Lock()
 	if e.spillResident+cells <= e.spillBudget {
 		e.spillResident += cells
 		e.spillMu.Unlock()
-		return residentPiece{df: df, cells: cells}, nil
+		return residentPiece{df: df.Detach(), cells: cells}, nil
 	}
 	store, err := e.spillStoreLocked()
 	if err != nil {
@@ -168,7 +170,7 @@ func (e *Engine) admitFrame(df *core.DataFrame) (any, error) {
 	e.spillSeq++
 	key := fmt.Sprintf("shuffle-%d", e.spillSeq)
 	e.spillMu.Unlock()
-	if err := store.Put(key, df); err != nil {
+	if err := store.Put(key, df.Compact()); err != nil {
 		return nil, err
 	}
 	if err := store.Release(key); err != nil {

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/dferrors"
+)
+
+// tokenBucket is a classic leaky token bucket: capacity `burst` tokens,
+// refilled continuously at `rate` tokens per second. Each admitted query
+// costs one token; an empty bucket reports how long until the next token
+// accrues so callers can surface a Retry-After hint instead of making
+// clients guess a backoff.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <=0 disables the limiter
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return &tokenBucket{}
+	}
+	if burst <= 0 {
+		// Default burst: one second's worth of rate, at least one query.
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: time.Now}
+	b.tokens = b.burst // start full: a fresh tenant gets its whole burst
+	b.last = b.now()
+	return b
+}
+
+// take spends one token. When the bucket is empty it reports ok=false and
+// the wait until one full token will have accrued.
+func (b *tokenBucket) take() (retryAfter time.Duration, ok bool) {
+	if b.rate <= 0 {
+		return 0, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second)), false
+}
+
+// RateLimitError is the typed rejection of the per-tenant request-rate
+// limiter. It wraps dferrors.ErrRateLimited (so errors.Is dispatch works
+// across layers) and carries the Retry-After hint the HTTP handler turns
+// into a response header.
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("server: tenant %q over request rate limit, retry in %v: %v",
+		e.Tenant, e.RetryAfter.Round(time.Millisecond), dferrors.ErrRateLimited)
+}
+
+func (e *RateLimitError) Unwrap() error { return dferrors.ErrRateLimited }
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounded up and at least 1 — HTTP Retry-After has no sub-second form.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

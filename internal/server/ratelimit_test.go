@@ -1,0 +1,142 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/df"
+	"repro/internal/dferrors"
+)
+
+// TestTokenBucketRefill drives the bucket with a fake clock: burst drains
+// back-to-back, an empty bucket reports the exact wait, and elapsed time
+// refills at the configured rate up to the cap.
+func TestTokenBucketRefill(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := newTokenBucket(2, 2) // 2 qps, burst 2
+	b.now = func() time.Time { return clock }
+	b.tokens, b.last = b.burst, clock
+
+	for i := 0; i < 2; i++ {
+		if retry, ok := b.take(); !ok {
+			t.Fatalf("take %d denied (retry %v), want burst to pass", i, retry)
+		}
+	}
+	retry, ok := b.take()
+	if ok {
+		t.Fatal("third immediate take passed an empty bucket")
+	}
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry = %v, want 500ms (1 token at 2 qps)", retry)
+	}
+
+	clock = clock.Add(500 * time.Millisecond) // exactly one token accrues
+	if _, ok := b.take(); !ok {
+		t.Fatal("take denied after a full token refilled")
+	}
+	if _, ok := b.take(); ok {
+		t.Fatal("bucket refilled above elapsed×rate")
+	}
+
+	clock = clock.Add(time.Hour) // refill clamps at burst, not rate×hour
+	for i := 0; i < 2; i++ {
+		if _, ok := b.take(); !ok {
+			t.Fatalf("take %d denied after long idle, want full burst", i)
+		}
+	}
+	if _, ok := b.take(); ok {
+		t.Fatal("burst cap not enforced after long idle")
+	}
+}
+
+// TestRateLimitPerTenant exercises the server path: each tenant has its
+// own bucket, denials are typed (dferrors.ErrRateLimited) and counted, and
+// another tenant is unaffected.
+func TestRateLimitPerTenant(t *testing.T) {
+	s := New(Config{RatePerSec: 0.001, RateBurst: 2})
+	defer s.Shutdown()
+	s.RegisterDataset("d", testFrame(t, 0))
+	alice := s.OpenSession("alice", df.ModeEager)
+	bob := s.OpenSession("bob", df.ModeEager)
+
+	for i := 0; i < 2; i++ {
+		if _, err := s.RunQuery(alice, aggSpec("d")); err != nil {
+			t.Fatalf("alice query %d: %v", i, err)
+		}
+	}
+	_, err := s.RunQuery(alice, aggSpec("d"))
+	if !errors.Is(err, dferrors.ErrRateLimited) {
+		t.Fatalf("third alice query err = %v, want ErrRateLimited", err)
+	}
+	var rl *RateLimitError
+	if !errors.As(err, &rl) || rl.RetryAfter <= 0 {
+		t.Fatalf("err = %#v, want *RateLimitError with positive RetryAfter", err)
+	}
+	if _, err := s.RunQuery(bob, aggSpec("d")); err != nil {
+		t.Fatalf("bob blocked by alice's bucket: %v", err)
+	}
+	if got := s.Stats().Tenants["alice"].Throttled; got != 1 {
+		t.Errorf("alice throttled = %d, want 1", got)
+	}
+	if got := s.Stats().Tenants["bob"].Throttled; got != 0 {
+		t.Errorf("bob throttled = %d, want 0", got)
+	}
+}
+
+// TestRateLimitHTTP asserts the wire contract: 429 with a whole-second
+// Retry-After header once the bucket drains.
+func TestRateLimitHTTP(t *testing.T) {
+	s := New(Config{RatePerSec: 0.001, RateBurst: 1})
+	defer s.Shutdown()
+	s.RegisterDataset("d", testFrame(t, 0))
+	id := s.OpenSession("alice", df.ModeEager)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	post := func() *http.Response {
+		body, _ := json.Marshal(aggSpec("d"))
+		resp, err := http.Post(srv.URL+"/sessions/"+id+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post()
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first query status = %d, want 200", resp.StatusCode)
+	}
+	resp = post()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second query status = %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+		t.Fatalf("429 body = %v, %v; want JSON error", body, err)
+	}
+}
+
+// TestRateLimitDisabledByDefault: the zero config imposes no rate limit.
+func TestRateLimitDisabledByDefault(t *testing.T) {
+	s := New(Config{})
+	defer s.Shutdown()
+	s.RegisterDataset("d", testFrame(t, 0))
+	id := s.OpenSession("alice", df.ModeEager)
+	for i := 0; i < 20; i++ {
+		if _, err := s.RunQuery(id, aggSpec("d")); err != nil {
+			t.Fatalf("query %d with no limit configured: %v", i, err)
+		}
+	}
+}

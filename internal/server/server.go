@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,13 @@ type Config struct {
 	// IdleAfter is how long a session must be quiet before the think-time
 	// scheduler drains its background work. 0 picks a default.
 	IdleAfter time.Duration
+	// RatePerSec caps each tenant's sustained /query request rate (token
+	// bucket, refilled continuously); <=0 disables rate limiting.
+	RatePerSec float64
+	// RateBurst is the token bucket's capacity — how many queries a tenant
+	// may issue back-to-back before the sustained rate applies. <=0 picks
+	// one second's worth of RatePerSec (at least 1).
+	RateBurst int
 	// PreviewRows is how many result rows query responses inline.
 	PreviewRows int
 }
@@ -156,6 +164,7 @@ func (s *Server) Tenant(name string) *Tenant {
 	t, ok := s.tenants[name]
 	if !ok {
 		t = newTenant(name, s.cfg.TenantBudgetCells, s.cfg.QueueWait)
+		t.limiter = newTokenBucket(s.cfg.RatePerSec, s.cfg.RateBurst)
 		s.tenants[name] = t
 	}
 	return t
@@ -235,6 +244,9 @@ type QueryResult struct {
 func (s *Server) RunQuery(sessionID string, spec QuerySpec) (*QueryResult, error) {
 	ts, err := s.session(sessionID)
 	if err != nil {
+		return nil, err
+	}
+	if err := ts.tenant.allow(); err != nil {
 		return nil, err
 	}
 	base, err := s.dataset(spec.Dataset)
@@ -457,6 +469,10 @@ func (s *Server) Handler() http.Handler {
 			}
 			res, err := s.RunQuery(id, spec)
 			if err != nil {
+				var rl *RateLimitError
+				if errors.As(err, &rl) {
+					w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(rl.RetryAfter)))
+				}
 				httpError(w, statusFor(err), err)
 				return
 			}
@@ -475,7 +491,8 @@ func (s *Server) Handler() http.Handler {
 // dispatch the sentinels exist for.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, dferrors.ErrBudgetExceeded):
+	case errors.Is(err, dferrors.ErrBudgetExceeded),
+		errors.Is(err, dferrors.ErrRateLimited):
 		return http.StatusTooManyRequests
 	case errors.Is(err, dferrors.ErrSessionClosed):
 		return http.StatusGone

@@ -26,13 +26,30 @@ type Tenant struct {
 	engine      *modin.Engine
 	budgetCells int           // <=0: unlimited
 	queueWait   time.Duration // how long an over-budget query may queue
+	limiter     *tokenBucket  // request-rate bucket; nil: unlimited
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sessions map[string]*tenantSession
 	reserved int // cells promised to admitted, still-running queries
 
-	rejected, queuedTotal, spillRounds atomic.Int64
+	rejected, queuedTotal, spillRounds, throttled atomic.Int64
+}
+
+// allow spends one request-rate token, or reports how long until the
+// tenant should retry. Memory admission (admit) is orthogonal: the rate
+// bucket bounds how often a tenant may ask, the budget bounds how much the
+// admitted queries may hold.
+func (t *Tenant) allow() error {
+	if t.limiter == nil {
+		return nil
+	}
+	retry, ok := t.limiter.take()
+	if ok {
+		return nil
+	}
+	t.throttled.Add(1)
+	return &RateLimitError{Tenant: t.name, RetryAfter: retry}
 }
 
 func newTenant(name string, budgetCells int, queueWait time.Duration) *Tenant {
@@ -194,6 +211,7 @@ type TenantStats struct {
 	Rejected    int64 `json:"rejected"`
 	Queued      int64 `json:"queued"`
 	SpillRounds int64 `json:"spill_rounds"`
+	Throttled   int64 `json:"throttled"`
 }
 
 // Stats snapshots the tenant counters.
@@ -208,5 +226,6 @@ func (t *Tenant) Stats() TenantStats {
 		Rejected:    t.rejected.Load(),
 		Queued:      t.queuedTotal.Load(),
 		SpillRounds: t.spillRounds.Load(),
+		Throttled:   t.throttled.Load(),
 	}
 }

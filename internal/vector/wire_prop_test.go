@@ -1,0 +1,245 @@
+package vector
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randNulls draws a null mask: nil (no nulls), sparse, or all-null — the
+// three shapes the codec treats differently.
+func randNulls(r *rand.Rand, n int) []bool {
+	switch r.Intn(3) {
+	case 0:
+		return nil
+	case 1:
+		nulls := make([]bool, n)
+		for i := range nulls {
+			nulls[i] = r.Intn(4) == 0
+		}
+		return nulls
+	default:
+		nulls := make([]bool, n)
+		for i := range nulls {
+			nulls[i] = true
+		}
+		return nulls
+	}
+}
+
+// randVector draws one random vector of any wire-encodable kind, including
+// empty vectors and values at the domain edges.
+func randVector(r *rand.Rand, n int) Vector {
+	nulls := randNulls(r, n)
+	switch r.Intn(6) {
+	case 0:
+		data := make([]string, n)
+		for i := range data {
+			data[i] = randString(r)
+		}
+		return NewObject(data, nulls)
+	case 1:
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = randInt64(r)
+		}
+		return NewInt(data, nulls)
+	case 2:
+		data := make([]float64, n)
+		for i := range data {
+			switch r.Intn(5) {
+			case 0:
+				data[i] = math.Inf(1 - 2*r.Intn(2))
+			case 1:
+				data[i] = 0
+			default:
+				data[i] = r.NormFloat64() * 1e6
+			}
+		}
+		return NewFloat(data, nulls)
+	case 3:
+		data := make([]bool, n)
+		for i := range data {
+			data[i] = r.Intn(2) == 0
+		}
+		return NewBool(data, nulls)
+	case 4:
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = randInt64(r)
+		}
+		return NewDatetime(data, nulls)
+	default:
+		ncat := r.Intn(5) + 1
+		dict := make([]string, ncat)
+		for i := range dict {
+			dict[i] = fmt.Sprintf("cat-%d-%s", i, randString(r))
+		}
+		codes := make([]int32, n)
+		for i := range codes {
+			codes[i] = int32(r.Intn(ncat))
+		}
+		return NewDict(codes, dict, nulls)
+	}
+}
+
+func randInt64(r *rand.Rand) int64 {
+	switch r.Intn(4) {
+	case 0:
+		return math.MaxInt64
+	case 1:
+		return math.MinInt64
+	default:
+		return r.Int63() - r.Int63()
+	}
+}
+
+func randString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(12))
+	for i := range b {
+		b[i] = byte(r.Intn(256)) // arbitrary bytes, not just printable
+	}
+	return string(b)
+}
+
+// TestWireRoundTripProperty drives AppendWire/DecodeWire over hundreds of
+// random vectors of every kind (with empty, all-null, and no-null masks)
+// and checks the three codec invariants: decode(encode(v)) is Equal to v
+// in the same domain, the decoder consumes exactly what the encoder wrote,
+// and re-encoding a decoded vector is byte-identical (the stability the
+// shuffle relies on when a re-submitted band's blocks are compared against
+// kept ones).
+func TestWireRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 500; iter++ {
+		n := r.Intn(40)
+		if iter%10 == 0 {
+			n = 0 // force the empty case often
+		}
+		v := randVector(r, n)
+		enc, err := AppendWire(nil, v)
+		if err != nil {
+			t.Fatalf("iter %d: encode %T: %v", iter, v, err)
+		}
+		dec, rest, err := DecodeWire(enc)
+		if err != nil {
+			t.Fatalf("iter %d: decode %T: %v", iter, v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("iter %d: %d trailing bytes after decoding %T", iter, len(rest), v)
+		}
+		if dec.Domain() != v.Domain() {
+			t.Fatalf("iter %d: domain %v → %v", iter, v.Domain(), dec.Domain())
+		}
+		if !Equal(v, dec) {
+			t.Fatalf("iter %d: %T not Equal after round trip", iter, v)
+		}
+		re, err := AppendWire(nil, dec)
+		if err != nil {
+			t.Fatalf("iter %d: re-encode: %v", iter, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("iter %d: %T encoding not byte-stable", iter, v)
+		}
+	}
+}
+
+// TestWireSlicedDictSharedTable covers the subtle Dict case: two slice
+// windows over one vector share a category table in memory; each window
+// must encode self-contained (full table, windowed codes) and decode Equal
+// to the window, not the parent.
+func TestWireSlicedDictSharedTable(t *testing.T) {
+	parent := NewDict(
+		[]int32{0, 1, 2, 1, 0, 2, 2, 1},
+		[]string{"red", "green", "blue"},
+		[]bool{false, false, true, false, false, false, true, false},
+	)
+	a, b := parent.Slice(0, 4), parent.Slice(4, 8)
+	for i, w := range []Vector{a, b} {
+		enc, err := AppendWire(nil, w)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		dec, rest, err := DecodeWire(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("window %d: decode err=%v rest=%d", i, err, len(rest))
+		}
+		if !Equal(w, dec) {
+			t.Fatalf("window %d not Equal after round trip", i)
+		}
+		if got := dec.(*Dict).Categories(); len(got) != 3 {
+			t.Fatalf("window %d decoded %d categories, want the full shared table", i, len(got))
+		}
+	}
+}
+
+// TestWireConcatBytes appends several vectors to one buffer and decodes
+// them back in order — the shape EncodeFrame produces.
+func TestWireConcatBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	vs := make([]Vector, 6)
+	var buf []byte
+	var err error
+	for i := range vs {
+		vs[i] = randVector(r, r.Intn(20))
+		buf, err = AppendWire(buf, vs[i])
+		if err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	rest := buf
+	for i, want := range vs {
+		var dec Vector
+		dec, rest, err = DecodeWire(rest)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !Equal(want, dec) {
+			t.Fatalf("vector %d not Equal in concatenated buffer", i)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+// FuzzDecodeWire feeds arbitrary bytes to the decoder: it must reject or
+// decode, never panic, and anything it accepts must be byte-stable —
+// enc(dec(x)) must itself decode to the same encoding. (Byte equality
+// rather than Equal so NaN float payloads, where x != x, still count as
+// stable: the bit pattern survives even though value comparison cannot.)
+func FuzzDecodeWire(f *testing.F) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 8; i++ {
+		enc, err := AppendWire(nil, randVector(r, r.Intn(16)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{wireDict, 0xff, 0xff, 0xff, 0xff, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, _, err := DecodeWire(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendWire(nil, v)
+		if err != nil {
+			t.Fatalf("decoded vector %T does not re-encode: %v", v, err)
+		}
+		dec, rest, err := DecodeWire(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("re-encoded vector does not decode cleanly: err=%v rest=%d", err, len(rest))
+		}
+		re, err := AppendWire(nil, dec)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatal("accepted vector not byte-stable under encode/decode")
+		}
+	})
+}
