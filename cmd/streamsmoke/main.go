@@ -41,7 +41,7 @@ func main() {
 	band := flag.Int("band", 8192, "scan band rows (morsel size)")
 	spill := flag.Int("spill", 500_000, "shuffle spill budget in cells (0 = off)")
 	maxheap := flag.Int64("maxheap", 0, "fail if peak HeapAlloc exceeds this many bytes (0 = report only)")
-	mod := flag.Int("mod", 1000, "filter selectivity: one row in mod survives")
+	mod := flag.Int("mod", 1000, "filter selectivity: one row in mod survives (<= 0: pass-through, no filter at all)")
 	file := flag.String("file", "", "write the CSV here and keep it, instead of a removed temp file")
 	addrs := flag.String("cluster", "", "comma-separated dfworker addresses: run the pipeline distributed")
 	killPid := flag.Int("kill-pid", 0, "with -cluster: SIGKILL this worker pid after the band phase and require lineage re-submission")
@@ -57,7 +57,10 @@ var payments = []string{"card", "cash", "dispute", "no charge"}
 
 // generate streams the synthetic dataset to path with O(1) memory and
 // returns the ground-truth per-payment tip sums and counts over the rows
-// the pipeline's filter keeps (tag == "pick", tip non-null).
+// the pipeline's filter keeps (tag == "pick", tip non-null). mod <= 0 is
+// the pass-through shape: no filter runs, so truth accumulates over EVERY
+// row — the worst case for shuffle memory, since each parsed band routes
+// all of its rows instead of a sliver.
 func generate(path string, rows, mod int) (sums map[string]float64, counts map[string]int64, err error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -81,7 +84,7 @@ func generate(path string, rows, mod int) (sums map[string]float64, counts map[s
 			tip = fmt.Sprintf("%.2f", tipVal)
 		}
 		tag := "skip"
-		if i%mod == 0 {
+		if mod <= 0 || i%mod == 0 {
 			tag = "pick"
 			if tip != "" {
 				sums[payment] += tipVal
@@ -217,8 +220,16 @@ func run(rows, band, spill int, maxheap int64, mod int, file, addrs string, kill
 	if spill > 0 {
 		q = q.WithSpillBudget(spill)
 	}
+	shape := "filter→groupby"
+	if mod > 0 {
+		q = q.Where(df.Eq("tag", df.Str("pick")))
+	} else {
+		// Pass-through: every parsed band routes all of its rows, so this
+		// shape only stays bounded if bands partition (and spill) the moment
+		// they parse instead of accumulating behind a routing barrier.
+		shape = "pass-through groupby"
+	}
 	out, err := q.
-		Where(df.Eq("tag", df.Str("pick"))).
 		GroupBy("payment_type").
 		Agg(
 			df.AggSpec{Col: "tip_amount", Agg: "sum", As: "tip_sum"},
@@ -231,8 +242,8 @@ func run(rows, band, spill int, maxheap int64, mod int, file, addrs string, kill
 	if err != nil {
 		return fmt.Errorf("streamed pipeline: %w", err)
 	}
-	fmt.Printf("streamed filter→groupby in %v, peak HeapAlloc %.1f MB\n",
-		elapsed.Round(time.Millisecond), float64(peak)/1e6)
+	fmt.Printf("streamed %s in %v, peak HeapAlloc %.1f MB\n",
+		shape, elapsed.Round(time.Millisecond), float64(peak)/1e6)
 
 	if err := check(out, sums, counts); err != nil {
 		return err

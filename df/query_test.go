@@ -86,6 +86,11 @@ rules fired: map-fusion, push-projection-through-map, push-projection-through-se
 physical strategy:
 (no repartition points)
 `
+	if d.EngineName() == "cluster" {
+		// Map closures cannot cross a process boundary; the env-switched
+		// cluster harness explains why the plan stays local.
+		want += "cluster: local fallback (opaque closure)\n"
+	}
 	if got != want {
 		t.Errorf("explain drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
@@ -126,6 +131,11 @@ rules fired: push-projection-through-selection, sorted-groupby
 physical strategy:
 GROUPBY strategy=hash-shuffle (groups≈1)
 `
+	if d.EngineName() == "cluster" {
+		// sort→groupby is two shuffles; the shippable family carries at
+		// most one, so the cluster harness reports the fallback reason.
+		want += "cluster: local fallback (double-shuffle)\n"
+	}
 	if got != want {
 		t.Errorf("explain drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}

@@ -1,8 +1,10 @@
 package df
 
 import (
+	"encoding/csv"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -168,6 +170,35 @@ func TestWithSpillBudgetMatchesAndCleansUp(t *testing.T) {
 	}
 }
 
+// TestSpillCancelledMidMergeLeavesNoFiles: the leak regression for
+// cancellation. A one-cell budget spills every routed piece, then the
+// merge phase fails (sum over a string column) and cancels the run while
+// partition stragglers may still be admitting pieces. ReleaseSpill must
+// quiesce those stragglers before closing the store, so no dfstore-* spill
+// directory survives the failed Collect.
+func TestSpillCancelledMidMergeLeavesNoFiles(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir()) // isolate dfstore-* counting
+
+	text := streamCSV(300)
+	_, err := ScanCSVString(text).WithScanBandRows(16).WithSpillBudget(1).
+		GroupBy("dept").Sum("id").Select("bogus").Collect()
+	if err == nil {
+		t.Fatal("expected the pipeline to fail")
+	}
+	_, err = ScanCSVString(text).WithScanBandRows(16).WithSpillBudget(1).
+		GroupBy("dept").Sum("nonexistent").Collect()
+	if err == nil {
+		t.Fatal("expected sum over a missing column to fail mid-merge")
+	}
+	dirs, globErr := filepath.Glob(filepath.Join(os.TempDir(), "dfstore-*"))
+	if globErr != nil {
+		t.Fatal(globErr)
+	}
+	if len(dirs) != 0 {
+		t.Errorf("spill dirs leaked after cancelled runs: %v", dirs)
+	}
+}
+
 // TestWithSpillBudgetAsync: CollectAsync releases the spill store once the
 // in-flight DAG resolves.
 func TestWithSpillBudgetAsync(t *testing.T) {
@@ -194,6 +225,88 @@ func TestWithSpillBudgetAsync(t *testing.T) {
 	}
 	if deadline == 0 {
 		t.Error("async spill store never released")
+	}
+}
+
+// adversarialGroupCSV renders rows through encoding/csv so quoted fields
+// are exact. Keys draw from a pool that includes embedded newlines, commas
+// and quotes (so morsel edges land inside quoted fields), plus the empty
+// string (null key); runs of nullRun consecutive null-key rows make entire
+// small bands keyless. Values go null every seventh row.
+func adversarialGroupCSV(t *testing.T, rows, nullRun int, rng *rand.Rand) string {
+	t.Helper()
+	keys := []string{"plain", "nl\nkey", "q\"uote", "comma,key", "nl\ntail\n"}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write([]string{"k", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	nulls := 0
+	for i := 0; i < rows; i++ {
+		k := ""
+		if nulls > 0 {
+			nulls--
+		} else if nullRun > 0 && rng.Intn(12) == 0 {
+			nulls = nullRun - 1
+		} else {
+			k = keys[rng.Intn(len(keys))]
+		}
+		v := ""
+		if i%7 != 0 {
+			v = fmt.Sprintf("%d", rng.Intn(50))
+		}
+		if err := w.Write([]string{k, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestStreamedGroupByAdversarialBands is the eager-vs-streamed groupby
+// property check over adversarial band boundaries: quoted newlines sitting
+// at morsel edges, whole bands of null keys, a single-band input, and an
+// empty (header-only) file, each at several morsel sizes and with the
+// spill budget forcing every routed piece to disk. The streamed result —
+// incremental hash routing, rank-repaired merge order — must be
+// cell-identical to the whole-text eager read. Under DF_CLUSTER_WORKERS
+// the same assertions run against the distributed backend (file scans
+// ship; the eager baseline stays local).
+func TestStreamedGroupByAdversarialBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(1729))
+	inputs := map[string]string{
+		"quoted-newlines": adversarialGroupCSV(t, 220, 0, rng),
+		"null-key-runs":   adversarialGroupCSV(t, 260, 24, rng),
+		"single-band":     adversarialGroupCSV(t, 5, 0, rng),
+		"empty":           "k,v\n",
+	}
+	agg := func(q *Query) *Query {
+		return q.GroupBy("k").Agg(
+			AggSpec{Col: "v", Agg: "sum", As: "v_sum"},
+			AggSpec{Col: "v", Agg: "count", As: "v_count"},
+		)
+	}
+	for name, text := range inputs {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "adv.csv")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			want := mustCollect(t, agg(inMemory(t, text)))
+			for _, bandRows := range []int{1, 7, 16, 64} {
+				got := mustCollect(t, agg(ScanCSVFile(path).WithScanBandRows(bandRows)))
+				if !want.Equal(got) {
+					t.Fatalf("band rows=%d: streamed groupby differs:\n%s\nvs\n%s", bandRows, got, want)
+				}
+				spilled := mustCollect(t, agg(ScanCSVFile(path).WithScanBandRows(bandRows).WithSpillBudget(1)))
+				if !want.Equal(spilled) {
+					t.Fatalf("band rows=%d: spilled streamed groupby differs:\n%s\nvs\n%s", bandRows, spilled, want)
+				}
+			}
+		})
 	}
 }
 

@@ -24,8 +24,10 @@
 // stage DAG (internal/physical) by the MODIN engine (internal/modin) — embarrassingly-parallel operator chains fuse
 // into one task per partition band; the hot repartition points (GROUPBY,
 // SORT, inner/left JOIN) lower to two-phase shuffles
-// (summarize→plan→partition→merge) emitting one independent future per
-// output band; shape-opaque operators keep gather-exchange barriers — and
+// (summarize→plan→partition→merge; groupby partitions route from their
+// band's own summary without waiting for the plan) emitting one
+// independent future per output band; shape-opaque operators keep
+// gather-exchange barriers — and
 // scheduled asynchronously on the task-parallel execution layer
 // (internal/exec). Partitioned frames (internal/partition) hold
 // future-valued blocks, so results stay deferred until gathered; the
@@ -38,16 +40,28 @@
 // parse-ahead window (the first band synchronously, so first-band
 // latency is independent of input size), each band runs the stage's
 // fused kernel chain as its own task and resolves a promise-backed block
-// future, single-consumer scan bands are released as soon as a shuffle
-// has routed them, and routed-but-unmerged shuffle pieces past
-// modin.WithShuffleSpillBudget spill through internal/storage until
-// their merge re-resolves them. Stacked SELECTIONs inside a fused chain
-// narrow one shared selection vector and coalesce once at stage exit.
-// Resident memory is therefore bounded by window x band size, not input
-// size; cmd/streamsmoke gates this end-to-end in CI by streaming a file
-// several times GOMEMLIMIT through filter->groupby while sampling peak
-// HeapAlloc. Scan open/parse failures are sticky query errors wrapping
-// df.ErrScanSource.
+// future. Groupby shuffles route incrementally: each band partitions
+// from its own key summary the moment it parses (bucket = stable key
+// hash, identical in every band), the global plan — exact
+// first-appearance group order, heavy-bucket flags — gates only the
+// merges, and routed pieces carry a rank column that a restore exchange
+// folds back into exact single-node row order. Single-consumer scan
+// bands are released as soon as a shuffle has routed them, and on such
+// scans the producer holds its parse-ahead window against band RELEASE
+// (routed, and past the budget spilled) rather than task completion, so
+// slow routing stalls the parser instead of accumulating bands.
+// Routed-but-unmerged shuffle pieces past modin.WithShuffleSpillBudget
+// spill through internal/storage and re-resolve lazily inside the merge
+// task that consumes them; cancellation routes through
+// modin.Engine.ReleaseSpill so no spill files outlive a failed query.
+// Stacked SELECTIONs inside a fused chain narrow one shared selection
+// vector and coalesce once at stage exit. Resident memory is therefore
+// bounded by window x band size + distinct keys + spill budget, not
+// input size — with or without a filter; cmd/streamsmoke gates both
+// shapes end-to-end in CI by streaming a file several times GOMEMLIMIT
+// through filter->groupby and a pass-through groupby while sampling
+// peak HeapAlloc. Scan open/parse failures are sticky query errors
+// wrapping df.ErrScanSource.
 //
 // Serving: one step above the session sits the multi-tenant server
 // (internal/server, cmd/dfserver), which exposes the minimal session
@@ -76,9 +90,10 @@
 // straight from internal/vector typed storage, and a coordinator-side
 // cluster.Scheduler implements the same engine surface df binds locally —
 // plans whose operators cannot cross a process boundary (opaque Go
-// closures, joins, windows) fall back to an embedded in-process engine,
-// and remote application errors re-run locally so callers always see the
-// local results and error chains. Band tasks are assigned round-robin;
+// closures, joins, windows) fall back to an embedded in-process engine
+// — each fallback's reason is tallied in cluster Stats and reported by
+// Query.Explain — and remote application errors re-run locally so
+// callers always see the local results and error chains. Band tasks are assigned round-robin;
 // shuffle merges are placed on the worker holding the most bytes of their
 // bucket; a dead worker's bands are re-submitted as deterministic lineage
 // (scan byte ranges + stage descriptors) to the survivors under a retry

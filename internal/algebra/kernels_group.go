@@ -593,3 +593,53 @@ func SummarizeGroupKeys(df *core.DataFrame, keys []string) (*GroupKeySummary, er
 	}
 	return s, nil
 }
+
+// GroupKeyFold is the prefix-foldable global form of band key summaries:
+// feed it each band's distinct-key stats IN BAND ORDER and it assigns every
+// key a global id equal to its first-appearance rank under the single-node
+// scan order — the invariant that lets a hash-routed shuffle repair global
+// group order after the fact. The state after k bands depends only on bands
+// [0, k), so the fold can run incrementally as summaries land rather than
+// barriering on all of them; hash collisions between distinct keys are
+// broken by exemplar verification under KeyTuplesEqual, the same
+// equivalence the per-row summaries use.
+type GroupKeyFold struct {
+	// Exemplars, Hashes and Counts are indexed by global id (= global
+	// first-appearance rank); Counts accumulates each key's total row
+	// volume and Total the fold's overall row count.
+	Exemplars [][]types.Value
+	Hashes    []uint64
+	Counts    []int64
+	Total     int64
+
+	index map[uint64][]int32 // hash → global ids
+}
+
+// NewGroupKeyFold returns an empty fold.
+func NewGroupKeyFold() *GroupKeyFold {
+	return &GroupKeyFold{index: make(map[uint64][]int32)}
+}
+
+// AddBand folds one band's distinct-key stats (hash, exemplar and row count
+// per key, in the band's first-appearance order). Bands must arrive in band
+// order for global ids to equal global first-appearance ranks.
+func (f *GroupKeyFold) AddBand(hashes []uint64, exemplars [][]types.Value, counts []int64) {
+	for d, h := range hashes {
+		gid := int32(-1)
+		for _, cand := range f.index[h] {
+			if KeyTuplesEqual(f.Exemplars[cand], exemplars[d]) {
+				gid = cand
+				break
+			}
+		}
+		if gid < 0 {
+			gid = int32(len(f.Exemplars))
+			f.Exemplars = append(f.Exemplars, exemplars[d])
+			f.Hashes = append(f.Hashes, h)
+			f.Counts = append(f.Counts, 0)
+			f.index[h] = append(f.index[h], gid)
+		}
+		f.Counts[gid] += counts[d]
+		f.Total += counts[d]
+	}
+}

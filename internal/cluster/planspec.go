@@ -39,12 +39,16 @@ const (
 
 // PlanSpec is a shipped stage plan: one source, a pre-shuffle chain, at
 // most one shuffle, and a post-shuffle chain applied to merged buckets.
+// Buckets is the shuffle's global bucket count (set by the coordinator to
+// the live worker count before Prepare); group bands use it to route
+// themselves by key hash without waiting for any fold.
 type PlanSpec struct {
-	Source SourceSpec
-	Pre    []OpSpec
-	Group  *GroupSpecWire
-	Sort   *SortSpecWire
-	Post   []OpSpec
+	Source  SourceSpec
+	Buckets int
+	Pre     []OpSpec
+	Group   *GroupSpecWire
+	Sort    *SortSpecWire
+	Post    []OpSpec
 }
 
 // SourceSpec describes where a band's rows come from.
@@ -110,10 +114,12 @@ type planInfo struct {
 	sortN  *algebra.Sort
 }
 
-// extractPlan renders n into a shippable PlanSpec, reporting ok=false when
-// any operator falls outside the closure-free subset.
-func extractPlan(n algebra.Node) (*planInfo, bool) {
-	info := &planInfo{}
+// extractPlan renders n into a shippable PlanSpec. A non-empty reason means
+// the plan falls outside the closure-free subset; the reason names the
+// first disqualifying operator (the string the scheduler's fallback stats
+// and Explain surface, so "why didn't this distribute?" has an answer).
+func extractPlan(n algebra.Node) (info *planInfo, reason string) {
+	info = &planInfo{}
 	var post, pre []OpSpec
 	segment := &post
 	cur := n
@@ -123,7 +129,7 @@ walk:
 		case *algebra.Selection:
 			op, ok := selectOp(node)
 			if !ok {
-				return nil, false
+				return nil, "opaque closure"
 			}
 			*segment = append(*segment, op)
 			cur = node.Input
@@ -135,11 +141,11 @@ walk:
 			cur = node.Input
 		case *algebra.GroupBy:
 			if segment == &pre { // at most one shuffle, nearest the leaf
-				return nil, false
+				return nil, "double-shuffle"
 			}
 			gw, ok := groupWire(node.Spec)
 			if !ok {
-				return nil, false
+				return nil, "composite aggregate"
 			}
 			info.spec.Group = gw
 			spec := node.Spec
@@ -148,7 +154,7 @@ walk:
 			cur = node.Input
 		case *algebra.Sort:
 			if segment == &pre {
-				return nil, false
+				return nil, "double-shuffle"
 			}
 			info.spec.Sort = sortWire(node)
 			info.sortN = node
@@ -157,7 +163,7 @@ walk:
 		case *algebra.Scan:
 			src, ok := scanSource(node)
 			if !ok {
-				return nil, false
+				return nil, "unshippable scan"
 			}
 			info.spec.Source = src
 			info.scan = node
@@ -166,8 +172,16 @@ walk:
 			info.spec.Source = SourceSpec{Kind: srcFrame}
 			info.source = node.DF
 			break walk
+		case *algebra.Join:
+			return nil, "join"
+		case *algebra.Window:
+			return nil, "window"
+		case *algebra.Map:
+			return nil, "opaque closure"
+		case *algebra.Union:
+			return nil, "union"
 		default:
-			return nil, false
+			return nil, "unshippable operator"
 		}
 	}
 	// The chains were collected root-first; execution runs leaf-first.
@@ -180,7 +194,7 @@ walk:
 		info.spec.Pre = post
 		info.spec.Post = nil
 	}
-	return info, true
+	return info, ""
 }
 
 // selectOp renders a structured selection; opaque predicates decline.

@@ -67,13 +67,18 @@ type GroupStatWire struct {
 }
 
 // BandResult is one band's stage output: the chained block itself for
-// plans without a shuffle, or the band's shuffle summary.
+// plans without a shuffle, or the band's shuffle summary. Group bands route
+// themselves the moment they run (bucket = key hash % plan.Buckets, a pure
+// function of the key), so their result also reports the per-bucket routed
+// piece sizes the coordinator needs for merge placement — there is no
+// separate partition RPC on the group path.
 type BandResult struct {
 	Band  int
 	Rows  int
 	Block []byte
 	Group *GroupStatWire
 	Sort  [][]ValueWire
+	Sizes []int64
 }
 
 // RunBandsResp returns the bands' results.
@@ -81,15 +86,14 @@ type RunBandsResp struct {
 	Results []BandResult
 }
 
-// PartitionReq routes the listed (already-run) bands into buckets: group
-// shuffles ship each band's ordinal→bucket table, sort shuffles the range
-// bounds.
+// PartitionReq routes the listed (already-run) sort bands into buckets by
+// the folded range bounds. Group bands never see this request — they route
+// incrementally at band time by stable key hash.
 type PartitionReq struct {
-	QID      string
-	Bands    []int
-	Buckets  int
-	BucketOf map[int][]int32
-	Bounds   [][]ValueWire
+	QID     string
+	Bands   []int
+	Buckets int
+	Bounds  [][]ValueWire
 }
 
 // PartitionResp reports per-band, per-bucket routed piece sizes in bytes —
@@ -105,15 +109,17 @@ type PieceRef struct {
 	Addr string
 }
 
-// MergeReq merges one bucket's routed pieces (in band order) and applies
-// the plan's post-shuffle chain. Lo/Hi/Heavy carry the group routing
-// fold's bucket range for count validation, global labels, and the
-// parallel heavy-bucket merge.
+// MergeReq merges one bucket's routed pieces (in band order); sort merges
+// also apply the plan's post-shuffle chain (group merges leave it to the
+// coordinator, which applies it after the global order restore). Ranks
+// carries the group routing fold's ascending global first-appearance ranks
+// for this bucket — count validation on the worker, order repair at the
+// coordinator — and Heavy requests the parallel heavy-bucket merge.
 type MergeReq struct {
 	QID    string
 	Bucket int
 	Pieces []PieceRef
-	Lo, Hi int
+	Ranks  []int64
 	Heavy  bool
 }
 

@@ -46,6 +46,20 @@ type Scheduler struct {
 type clusterStats struct {
 	distributed, fallback, reruns atomic.Int64
 	resubmitted, deadWorkers      atomic.Int64
+
+	mu      sync.Mutex
+	reasons map[string]int64
+}
+
+// recordFallback counts one local fallback under its reason.
+func (c *clusterStats) recordFallback(reason string) {
+	c.fallback.Add(1)
+	c.mu.Lock()
+	if c.reasons == nil {
+		c.reasons = make(map[string]int64)
+	}
+	c.reasons[reason]++
+	c.mu.Unlock()
 }
 
 // Stats reports cumulative scheduler counters.
@@ -55,6 +69,10 @@ type Stats struct {
 	// Fallback counts queries outside the shippable subset (or with no
 	// live workers) that ran on the local engine directly.
 	Fallback int64
+	// FallbackReasons breaks Fallback down by the disqualifying operator
+	// ("join", "window", "opaque closure", "double-shuffle", ...), so a
+	// cluster deployment can see WHY plans stayed local, not just how many.
+	FallbackReasons map[string]int64
 	// LocalReruns counts distributed attempts that failed past the retry
 	// budget and were re-run locally.
 	LocalReruns int64
@@ -67,13 +85,22 @@ type Stats struct {
 
 // ClusterStats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) ClusterStats() Stats {
-	return Stats{
+	st := Stats{
 		Distributed:      s.stats.distributed.Load(),
 		Fallback:         s.stats.fallback.Load(),
 		LocalReruns:      s.stats.reruns.Load(),
 		ResubmittedBands: s.stats.resubmitted.Load(),
 		DeadWorkers:      s.stats.deadWorkers.Load(),
 	}
+	s.stats.mu.Lock()
+	if len(s.stats.reasons) > 0 {
+		st.FallbackReasons = make(map[string]int64, len(s.stats.reasons))
+		for k, v := range s.stats.reasons {
+			st.FallbackReasons[k] = v
+		}
+	}
+	s.stats.mu.Unlock()
+	return st
 }
 
 // workerRef is the coordinator's handle on one worker: its address, a lazy
@@ -281,20 +308,26 @@ func (s *Scheduler) Pool() *exec.Pool { return s.local.Pool() }
 // locally-executed queries).
 func (s *Scheduler) ReleaseSpill() error { return s.local.ReleaseSpill() }
 
-// DescribePhysical renders the local engine's physical plan verbatim: the
+// DescribePhysical renders the local engine's physical plan — the
 // distributed phases mirror the local shuffle phases one-to-one, so the
-// local rendering describes both backends (and Explain goldens hold under
-// the env-switched harness). Distributes reports whether the plan would
-// ship to workers.
+// local rendering describes both backends — then appends the scheduler's
+// own placement decision: distribute, or fall back locally and why.
 func (s *Scheduler) DescribePhysical(n algebra.Node) string {
-	return s.local.DescribePhysical(n)
+	desc := s.local.DescribePhysical(n)
+	if _, reason := extractPlan(n); reason != "" {
+		return desc + fmt.Sprintf("cluster: local fallback (%s)\n", reason)
+	}
+	if live := len(s.liveWorkers()); live > 0 {
+		return desc + fmt.Sprintf("cluster: distribute (%d workers)\n", live)
+	}
+	return desc + "cluster: local fallback (no live workers)\n"
 }
 
 // Distributes reports whether the plan is inside the shippable family and
 // a live worker exists to take it.
 func (s *Scheduler) Distributes(n algebra.Node) bool {
-	_, ok := extractPlan(n)
-	return ok && len(s.liveWorkers()) > 0
+	_, reason := extractPlan(n)
+	return reason == "" && len(s.liveWorkers()) > 0
 }
 
 // ExecuteAsync evaluates the plan in the background.
@@ -308,39 +341,45 @@ func (s *Scheduler) ExecuteAsync(n algebra.Node) *exec.Future {
 }
 
 // Execute evaluates the plan: distributable plans ship to the workers, the
-// rest run locally. A distributed attempt that fails — worker loss past the
-// retry budget, or any remote application error — re-runs locally, so the
-// caller always sees exactly the local engine's result and error identity.
+// rest run locally (recording WHY under the fallback stats). A distributed
+// attempt that fails — worker loss past the retry budget, or any remote
+// application error — re-runs locally, so the caller always sees exactly
+// the local engine's result and error identity.
 func (s *Scheduler) Execute(n algebra.Node) (*core.DataFrame, error) {
-	df, ok, err := s.tryDistribute(n)
-	if !ok {
-		s.stats.fallback.Add(1)
-		return s.local.Execute(n)
+	info, reason := extractPlan(n)
+	if reason == "" {
+		workers := s.liveWorkers()
+		switch {
+		case len(workers) == 0:
+			reason = "no live workers"
+		default:
+			df, ok, err := s.tryDistribute(info, workers)
+			if ok && err == nil {
+				s.stats.distributed.Add(1)
+				return df, nil
+			}
+			if ok {
+				s.stats.reruns.Add(1)
+				return s.local.Execute(n)
+			}
+			reason = "unshippable source"
+		}
 	}
-	if err != nil {
-		s.stats.reruns.Add(1)
-		return s.local.Execute(n)
-	}
-	s.stats.distributed.Add(1)
-	return df, nil
+	s.stats.recordFallback(reason)
+	return s.local.Execute(n)
 }
 
-// tryDistribute attempts a distributed run. ok=false means the plan (or
-// cluster state) is outside the distributable family and nothing ran;
-// ok=true with err means a distributed attempt failed.
-func (s *Scheduler) tryDistribute(n algebra.Node) (*core.DataFrame, bool, error) {
-	info, ok := extractPlan(n)
-	if !ok {
-		return nil, false, nil
-	}
-	workers := s.liveWorkers()
-	if len(workers) == 0 {
-		return nil, false, nil
-	}
+// tryDistribute attempts a distributed run. ok=false means the plan's
+// source could not be banded and nothing ran; ok=true with err means a
+// distributed attempt failed.
+func (s *Scheduler) tryDistribute(info *planInfo, workers []*workerRef) (*core.DataFrame, bool, error) {
 	bands, ok, err := s.planBands(info, len(workers))
 	if err != nil || !ok {
 		return nil, false, nil
 	}
+	// The shuffle's bucket count rides inside the shipped plan: group bands
+	// need it to route themselves at band time, before any coordinator fold.
+	info.spec.Buckets = len(workers)
 	r := &run{
 		s:       s,
 		qid:     fmt.Sprintf("q%d-%d", os.Getpid(), s.qseq.Add(1)),
@@ -518,6 +557,17 @@ func (r *run) runPhases() (*core.DataFrame, error) {
 		return nil, err
 	}
 	r.hook("merged")
+	if r.info.group != nil {
+		// Repair global first-appearance order across the hash buckets (the
+		// same k-way rank merge the local restore exchange runs), then apply
+		// the post-shuffle chain the workers deferred — it may drop rows, so
+		// it must run after rows and ranks stop needing to align.
+		out, err := modin.RestoreGroupOrder(r.merged, r.routing.Ranks, r.info.group.AsLabels)
+		if err != nil {
+			return nil, err
+		}
+		return applyOps(out, r.info.spec.Post)
+	}
 	return algebra.VStackFrames(r.merged...)
 }
 
@@ -649,6 +699,16 @@ func (r *run) recordBand(res BandResult) error {
 		if r.stats[res.Band] == nil {
 			r.stats[res.Band] = stat
 		}
+		// The band routed itself on its worker (hash % Buckets) and reported
+		// the per-bucket piece sizes; there is no partition phase to wait
+		// for. A re-run after worker loss re-creates identical pieces — the
+		// routing is a pure function of the keys — so overwriting sizes is
+		// idempotent.
+		if len(res.Sizes) != r.buckets {
+			return fmt.Errorf("cluster: band %d reported %d piece sizes, want %d buckets", res.Band, len(res.Sizes), r.buckets)
+		}
+		r.sizes[res.Band] = res.Sizes
+		r.partitioned[res.Band] = true
 	case r.info.sortN != nil:
 		if r.samples[res.Band] == nil {
 			r.samples[res.Band] = wireToTuples(res.Sort)
@@ -687,8 +747,13 @@ func (r *run) fold() {
 	r.foldDone = true
 }
 
-// partition routes every band not yet partitioned on its owner.
+// partition routes every sort band not yet partitioned on its owner. Group
+// bands partitioned themselves at band time (recordBand observed their
+// sizes), so the phase is a no-op for keyed shuffles.
 func (r *run) partition() error {
+	if r.info.group != nil {
+		return nil
+	}
 	var todo []int
 	for i := range r.bands {
 		if !r.partitioned[i] {
@@ -704,12 +769,6 @@ func (r *run) partition() error {
 	}
 	return r.eachOwner(todo, func(w *workerRef, bands []int) error {
 		req := &PartitionReq{QID: r.qid, Bands: bands, Buckets: r.buckets, Bounds: boundsWire}
-		if r.routing != nil {
-			req.BucketOf = make(map[int][]int32, len(bands))
-			for _, i := range bands {
-				req.BucketOf[i] = r.routing.BucketOf[i]
-			}
-		}
 		var resp PartitionResp
 		if err := w.call(r.s.rpcTimeout, mPartition, req, &resp); err != nil {
 			return r.classify(w, err)
@@ -797,7 +856,7 @@ func (r *run) mergeBucket(b int) (*core.DataFrame, error) {
 		req.Pieces = append(req.Pieces, PieceRef{Band: i, Addr: addr})
 	}
 	if r.routing != nil {
-		req.Lo, req.Hi = r.routing.Starts[b], r.routing.Starts[b+1]
+		req.Ranks = r.routing.Ranks[b]
 		req.Heavy = r.routing.Heavy != nil && r.routing.Heavy[b]
 	}
 	var resp MergeResp

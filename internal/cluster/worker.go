@@ -40,14 +40,14 @@ type peerLink struct {
 	conn net.Conn
 }
 
-// workerQuery is one query's worker-side state. Band frames and ordinal
-// tables live here between RunBands and Partition; routed pieces stay until
-// Release so a retried merge can re-fetch them.
+// workerQuery is one query's worker-side state. Sort band frames live here
+// between RunBands and Partition (group bands route themselves inside
+// RunBands and hold nothing but pieces); routed pieces stay until Release
+// so a retried merge can re-fetch them.
 type workerQuery struct {
 	mu     sync.Mutex
 	plan   *PlanSpec
 	bands  map[int]*core.DataFrame
-	ords   map[int][]int32
 	pieces map[[2]int]*core.DataFrame
 }
 
@@ -212,7 +212,6 @@ func (w *Worker) query(qid string, create bool) (*workerQuery, error) {
 		}
 		q = &workerQuery{
 			bands:  make(map[int]*core.DataFrame),
-			ords:   make(map[int][]int32),
 			pieces: make(map[[2]int]*core.DataFrame),
 		}
 		w.queries[qid] = q
@@ -288,9 +287,28 @@ func (w *Worker) runBand(q *workerQuery, plan *PlanSpec, task *BandTask) (*BandR
 			return nil, err
 		}
 		res.Group = &GroupStatWire{Hashes: stat.Hashes, Exemplars: ex, Counts: stat.Counts}
+		// Incremental routing: bucket = key hash % buckets is identical in
+		// every band, so this band partitions from its own summary right here
+		// — no round trip for a routing table, and the band frame (plus its
+		// O(rows) ordinal table) dies at band scope instead of waiting for a
+		// global plan. splitRows takes owned copies, releasing df's storage.
+		if plan.Buckets <= 0 {
+			return nil, fmt.Errorf("cluster: group plan shipped without a bucket count")
+		}
+		assign := make([]int, len(sum.Ordinals))
+		for r, d := range sum.Ordinals {
+			assign[r] = int(sum.Hashes[d] % uint64(plan.Buckets))
+		}
+		views, err := splitRows(df, assign, plan.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		res.Sizes = make([]int64, plan.Buckets)
 		q.mu.Lock()
-		q.bands[task.Band] = df
-		q.ords[task.Band] = sum.Ordinals
+		for b, piece := range views {
+			q.pieces[[2]int{task.Band, b}] = piece
+			res.Sizes[b] = frameBytes(piece)
+		}
 		q.mu.Unlock()
 	case plan.Sort != nil:
 		samples, err := modin.SampleSortKeys(df, plan.Sort.sortNode())
@@ -381,10 +399,11 @@ func openRange(src *SourceSpec, rng BandRange) (io.ReadCloser, error) {
 	}
 }
 
-// partition routes the listed bands into buckets and reports per-bucket
-// piece sizes. Group pieces are taken (owned copies), so the band's storage
-// releases immediately; sort pieces are contiguous slices that together
-// cover exactly the sorted copy, so retaining them retains no dead rows.
+// partition routes the listed sort bands into buckets by the folded range
+// bounds and reports per-bucket piece sizes. Sort pieces are contiguous
+// slices that together cover exactly the sorted copy, so retaining them
+// retains no dead rows. Group bands never arrive here — they routed
+// themselves in runBand.
 func (w *Worker) partition(req *PartitionReq) (any, error) {
 	q, err := w.query(req.QID, false)
 	if err != nil {
@@ -402,32 +421,16 @@ func (w *Worker) partition(req *PartitionReq) (any, error) {
 		band := req.Bands[i]
 		q.mu.Lock()
 		df := q.bands[band]
-		ords := q.ords[band]
 		q.mu.Unlock()
 		if df == nil {
 			return fmt.Errorf("cluster: band %d not resident for partition", band)
 		}
-		var views []*core.DataFrame
-		switch {
-		case plan.Group != nil:
-			bucketOf := req.BucketOf[band]
-			assign := make([]int, len(ords))
-			for r, d := range ords {
-				assign[r] = int(bucketOf[d])
-			}
-			var err error
-			views, err = splitRows(df, assign, req.Buckets)
-			if err != nil {
-				return err
-			}
-		case plan.Sort != nil:
-			var err error
-			views, err = modin.PartitionSortedBand(df, plan.Sort.sortNode(), wireToTuples(req.Bounds), req.Buckets)
-			if err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("cluster: plan has no shuffle to partition")
+		if plan.Sort == nil {
+			return fmt.Errorf("cluster: plan has no range shuffle to partition")
+		}
+		views, err := modin.PartitionSortedBand(df, plan.Sort.sortNode(), wireToTuples(req.Bounds), req.Buckets)
+		if err != nil {
+			return err
 		}
 		bandSizes := make(map[int]int64, req.Buckets)
 		q.mu.Lock()
@@ -436,7 +439,6 @@ func (w *Worker) partition(req *PartitionReq) (any, error) {
 			bandSizes[b] = frameBytes(piece)
 		}
 		delete(q.bands, band)
-		delete(q.ords, band)
 		q.mu.Unlock()
 		mu.Lock()
 		sizes[band] = bandSizes
@@ -489,7 +491,10 @@ func (w *Worker) merge(req *MergeReq) (any, error) {
 	var out *core.DataFrame
 	switch {
 	case plan.Group != nil:
-		routing := &modin.GroupRouting{Starts: []int{req.Lo, req.Hi}}
+		// A single-bucket view of the shared merge: this bucket's rank list
+		// validates the group count here, while the coordinator keeps the
+		// full routing for the global order restore.
+		routing := &modin.GroupRouting{Ranks: [][]int64{req.Ranks}}
 		if req.Heavy {
 			routing.Heavy = []bool{true}
 		}
@@ -502,9 +507,13 @@ func (w *Worker) merge(req *MergeReq) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err = applyOps(out, plan.Post)
-	if err != nil {
-		return nil, err
+	if plan.Group == nil {
+		// Group buckets keep their rows rank-aligned: the post-shuffle chain
+		// could drop rows, so the coordinator applies it after the restore.
+		out, err = applyOps(out, plan.Post)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out = out.Compact()
 	block, err := EncodeFrame(nil, out)

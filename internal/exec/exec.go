@@ -140,10 +140,53 @@ type Group struct {
 	mu   sync.Mutex
 	err  error
 	done chan struct{}
+
+	// tasks counts submitted-but-unfinished tasks so Quiesce can wait for
+	// the group's in-flight work to drain (a cancelled group still has tasks
+	// running or parked on watcher goroutines; releasing resources they
+	// touch — spill stores, shared buffers — must wait for them). A plain
+	// WaitGroup would race Add against Wait across reuse, so the counter
+	// shares the group mutex with a condition variable.
+	tasks int
+	idle  *sync.Cond
 }
 
 // NewGroup returns an empty, uncancelled group.
-func NewGroup() *Group { return &Group{done: make(chan struct{})} }
+func NewGroup() *Group {
+	g := &Group{done: make(chan struct{})}
+	g.idle = sync.NewCond(&g.mu)
+	return g
+}
+
+// addTask records one submitted task.
+func (g *Group) addTask() {
+	g.mu.Lock()
+	g.tasks++
+	g.mu.Unlock()
+}
+
+// taskDone records one finished (or skipped) task.
+func (g *Group) taskDone() {
+	g.mu.Lock()
+	g.tasks--
+	if g.tasks == 0 {
+		g.idle.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// Quiesce blocks until every task submitted in the group has finished
+// running or been skipped. Cancellation does not imply quiescence: tasks
+// already on workers keep running after Cancel, and parked tasks still pass
+// through their (skipping) run path. Quiesce is the fence resource teardown
+// needs before reclaiming anything those stragglers might touch.
+func (g *Group) Quiesce() {
+	g.mu.Lock()
+	for g.tasks != 0 {
+		g.idle.Wait()
+	}
+	g.mu.Unlock()
+}
 
 // Cancel cancels the group with err (the first cancellation wins). A nil
 // err cancels with a generic error.
@@ -190,9 +233,15 @@ func (p *Pool) Submit(fn func() (any, error), deps ...*Future) *Future {
 func (p *Pool) SubmitIn(g *Group, fn func() (any, error), deps ...*Future) *Future {
 	p.scheduled.Add(1)
 	f := &Future{done: make(chan struct{})}
+	if g != nil {
+		g.addTask()
+	}
 	run := func() {
 		defer close(f.done)
 		defer p.completed.Add(1)
+		if g != nil {
+			defer g.taskDone()
+		}
 		if g != nil {
 			if err := g.Err(); err != nil {
 				f.err = fmt.Errorf("exec: group cancelled: %w", err)

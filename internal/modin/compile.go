@@ -350,7 +350,14 @@ func (c *compiler) lower(n algebra.Node) (*physical.Node, error) {
 		}, partial), nil
 
 	case *algebra.GroupBy:
-		return c.shuffleStage(node, e.groupByShuffle(node.Spec), node.Input)
+		// Band-routed key shuffle (each band partitions from its own
+		// summary, no all-band barrier) plus a restore pass that interleaves
+		// the merged buckets back into global first-appearance order.
+		shuffled, err := c.shuffleStage(node, e.groupByShuffle(node.Spec), node.Input)
+		if err != nil {
+			return nil, err
+		}
+		return e.groupRestoreExchange(node.Spec, node.Describe, shuffled), nil
 
 	case *algebra.Window:
 		spec := node.Spec

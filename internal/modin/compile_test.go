@@ -85,13 +85,18 @@ func TestCompileExchangeBoundaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The groupby lowers to two repartition stages: the band-routed shuffle
+	// and the rank-merge restore exchange that repairs global group order.
 	fused, exchanges := physical.Stages(phys)
-	if fused != 2 || exchanges != 1 {
-		t.Errorf("stages = %d fused, %d repartition stages, want 2/1:\n%s", fused, exchanges, physical.Render(phys))
+	if fused != 2 || exchanges != 2 {
+		t.Errorf("stages = %d fused, %d repartition stages, want 2/2:\n%s", fused, exchanges, physical.Render(phys))
 	}
 	rendered := physical.Render(phys)
 	if !strings.Contains(rendered, "SHUFFLE[groupby]") {
 		t.Errorf("groupby should be a shuffle stage:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "EXCHANGE[groupby-restore]") {
+		t.Errorf("groupby shuffle should feed the order-restore exchange:\n%s", rendered)
 	}
 }
 

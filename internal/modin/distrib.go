@@ -39,114 +39,181 @@ func GroupStatOf(sum *algebra.GroupKeySummary) *GroupBandStat {
 	return &GroupBandStat{Hashes: sum.Hashes, Exemplars: sum.Exemplars, Counts: counts}
 }
 
-// GroupRouting is the routing state produced by the plan fold: bucket b
-// owns the contiguous global group-rank range [Starts[b], Starts[b+1]),
-// and BucketOf[band][ordinal] routes a band's rows by their band-local
-// key ordinal. Heavy flags buckets owning a key above the fair row share
-// (nil when skew-aware planning is off).
+// GroupRouting is the finalize state produced by the plan fold. Rows route
+// incrementally by stable key hash — bucket = hash % buckets, a pure
+// function of the key, so every band assigns identically without seeing any
+// other band — and the fold's job shrinks to repairing global order:
+// Ranks[b] lists bucket b's groups' global first-appearance ranks in
+// ascending order (folding a bucket's pieces in band order yields exactly
+// these groups in exactly this rank order). Heavy flags buckets owning a
+// key above the fair row share (nil when skew-aware planning is off).
 type GroupRouting struct {
-	Starts   []int
-	BucketOf [][]int32
-	Heavy    []bool
+	Ranks [][]int64
+	Heavy []bool
 }
 
 // PlanGroupRouting folds per-band key stats — in band order, reproducing
-// the single-node scan's first-appearance order — into global group ids and
-// bucket cuts. Global ids are assigned in fold order, so a key's id IS its
-// first-appearance rank; hash collisions between distinct keys are broken
-// by exemplar verification.
+// the single-node scan's first-appearance order — into each hash bucket's
+// ascending global rank list. Global ids are assigned in fold order, so a
+// key's id IS its first-appearance rank; hash collisions between distinct
+// keys are broken by exemplar verification. Unlike the routing fold this
+// replaced, nothing here gates partitioning: bands route themselves by
+// hash%buckets, and this plan only tells each merge which ranks it owns.
 func PlanGroupRouting(stats []*GroupBandStat, buckets int, skewAware bool) *GroupRouting {
-	r := &GroupRouting{BucketOf: make([][]int32, len(stats))}
-	var exemplars [][]types.Value     // global id → key tuple
-	index := make(map[uint64][]int32) // hash → global ids
-	bandGlobal := make([][]int32, len(stats))
-	for b, st := range stats {
-		ids := make([]int32, len(st.Hashes))
-		for d, h := range st.Hashes {
-			gid := int32(-1)
-			for _, cand := range index[h] {
-				if algebra.KeyTuplesEqual(exemplars[cand], st.Exemplars[d]) {
-					gid = cand
-					break
-				}
-			}
-			if gid < 0 {
-				gid = int32(len(exemplars))
-				exemplars = append(exemplars, st.Exemplars[d])
-				index[h] = append(index[h], gid)
-			}
-			ids[d] = gid
+	fold := algebra.NewGroupKeyFold()
+	for _, st := range stats {
+		if st == nil {
+			continue
 		}
-		bandGlobal[b] = ids
+		fold.AddBand(st.Hashes, st.Exemplars, st.Counts)
+	}
+	r := &GroupRouting{Ranks: make([][]int64, buckets)}
+	sizes := make([]int, buckets)
+	for _, h := range fold.Hashes {
+		sizes[int(h%uint64(buckets))]++
+	}
+	backing := make([]int64, len(fold.Hashes))
+	for b := range r.Ranks {
+		r.Ranks[b] = backing[:0:sizes[b]]
+		backing = backing[sizes[b]:]
+	}
+	// Appending in gid order keeps each bucket's rank list ascending — the
+	// invariant MergeGroupBucket validates against and the restore merge
+	// relies on.
+	for gid, h := range fold.Hashes {
+		b := int(h % uint64(buckets))
+		r.Ranks[b] = append(r.Ranks[b], int64(gid))
 	}
 	if skewAware {
-		// Skew-aware planning: the stats carry exact per-key row volumes,
-		// so cut bucket ranges by row share instead of group count, and
-		// flag buckets owning a key above the fair per-bucket share — their
-		// merges split across parallel partial-merge tasks.
-		counts := make([]int64, len(exemplars))
-		var total int64
-		for b, st := range stats {
-			ids := bandGlobal[b]
-			for d, c := range st.Counts {
-				counts[ids[d]] += c
-				total += c
-			}
-		}
-		r.Starts = weightedCuts(counts, buckets)
-		fair := total / int64(buckets)
-		r.Heavy = make([]bool, buckets)
-		for b := 0; b < buckets; b++ {
-			for g := r.Starts[b]; g < r.Starts[b+1]; g++ {
-				if counts[g] > fair {
+		// Hash routing can't isolate a hot key into its own bucket the way
+		// the old volume-weighted cuts did, but the stats still carry exact
+		// per-key volumes: flag buckets owning a key above the fair share so
+		// their merges split across parallel partial-merge chunks.
+		fair := fold.Total / int64(buckets)
+		for b, ranks := range r.Ranks {
+			for _, g := range ranks {
+				if fold.Counts[g] > fair {
+					if r.Heavy == nil {
+						r.Heavy = make([]bool, buckets)
+					}
 					r.Heavy[b] = true
 					break
 				}
 			}
 		}
-	} else {
-		r.Starts = bandCuts(len(exemplars), buckets)
-	}
-	// Global rank → bucket, then per band: band ordinal → bucket.
-	rankBucket := make([]int32, len(exemplars))
-	b := 0
-	for rank := range rankBucket {
-		for rank >= r.Starts[b+1] {
-			b++
-		}
-		rankBucket[rank] = int32(b)
-	}
-	for band, ids := range bandGlobal {
-		bb := make([]int32, len(ids))
-		for d, gid := range ids {
-			bb[d] = rankBucket[gid]
-		}
-		r.BucketOf[band] = bb
 	}
 	return r
 }
 
+// GroupRankCol carries each merged group's global first-appearance rank out
+// of a multi-bucket merge; the restore pass consumes (and drops) it
+// positionally, so a colliding user column name is harmless.
+const GroupRankCol = "__group_rank__"
+
+// PieceSource defers a routed piece's materialization to the moment a
+// merge consumes it. Band-routed group merges fold pieces sequentially in
+// band order, so a spilled piece behind this interface is resident only
+// while its rows feed the fold — the property that keeps a pass-through
+// groupby's merge phase O(one piece + accumulator state) instead of
+// O(bucket rows).
+type PieceSource interface {
+	Frame() (*core.DataFrame, error)
+}
+
+// pieceFrame materializes one merge input piece.
+func pieceFrame(p any) (*core.DataFrame, error) {
+	switch v := p.(type) {
+	case *core.DataFrame:
+		return v, nil
+	case PieceSource:
+		return v.Frame()
+	default:
+		return nil, fmt.Errorf("modin: unexpected group merge piece %T", p)
+	}
+}
+
 // MergeGroupBucket folds one bucket's routed pieces (in band order) into
-// its merged grouped frame, validates the group count against the routing
-// plan, and assigns the bucket's global positional labels. This is the
-// merge phase both backends run.
+// its merged grouped frame, validates the group count against the plan's
+// rank list, and — when other buckets exist — tags each group with its
+// global rank so the restore pass can interleave buckets back into global
+// first-appearance order. This is the merge phase both backends run.
 func MergeGroupBucket(pool *exec.Pool, frames []*core.DataFrame, spec expr.GroupBySpec, routing *GroupRouting, bucket int) (*core.DataFrame, error) {
+	pieces := make([]any, len(frames))
+	for i, f := range frames {
+		pieces[i] = f
+	}
+	return mergeGroupBucketPieces(pool, pieces, spec, routing, bucket)
+}
+
+// mergeGroupBucketPieces is MergeGroupBucket over deferred pieces: each
+// element is a *core.DataFrame or a PieceSource resolved at consumption.
+func mergeGroupBucketPieces(pool *exec.Pool, pieces []any, spec expr.GroupBySpec, routing *GroupRouting, bucket int) (*core.DataFrame, error) {
 	spec.Sorted = false // hashing per bucket; sortedness is a single-node optimization
 	heavy := routing.Heavy != nil && routing.Heavy[bucket]
-	out, err := mergeGroupPieces(pool, frames, spec, heavy)
+	out, err := mergeGroupPieces(pool, pieces, spec, heavy)
 	if err != nil {
 		return nil, err
 	}
-	lo, hi := routing.Starts[bucket], routing.Starts[bucket+1]
-	if out.NRows() != hi-lo {
-		return nil, fmt.Errorf("modin: groupby bucket %d produced %d groups, plan routed %d", bucket, out.NRows(), hi-lo)
+	ranks := routing.Ranks[bucket]
+	if out.NRows() != len(ranks) {
+		return nil, fmt.Errorf("modin: groupby bucket %d produced %d groups, plan routed %d", bucket, out.NRows(), len(ranks))
 	}
-	if spec.AsLabels {
+	if len(routing.Ranks) == 1 {
+		// Single bucket: its ranks are already 0..n-1, no restore follows.
+		if spec.AsLabels {
+			return out, nil
+		}
+		return out.WithRowLabels(vector.Range(0, out.NRows()))
+	}
+	return out.AppendColumn(types.String(GroupRankCol), vector.NewInt(ranks, nil), types.Int)
+}
+
+// RestoreGroupOrder interleaves the merged buckets back into global
+// first-appearance group order: each bucket's groups sit in ascending rank
+// order (MergeGroupBucket validated them against the plan), so a k-way
+// ascending-rank merge over the buckets reproduces the exact group order —
+// and, with positional labels reassigned, the exact frame — the single
+// barrier plan produced. asLabels keeps the buckets' key row labels (the
+// AsIndex form); otherwise labels become the global positional sequence.
+func RestoreGroupOrder(frames []*core.DataFrame, ranks [][]int64, asLabels bool) (*core.DataFrame, error) {
+	nb := len(frames)
+	bc := make([]int, 2*nb) // bucket b's stacked-row offset (bc[b]) and fold cursor (bc[nb+b])
+	base, cur := bc[:nb], bc[nb:]
+	total := 0
+	for b, f := range frames {
+		if f.NRows() != len(ranks[b]) {
+			return nil, fmt.Errorf("modin: group restore bucket %d has %d groups, plan routed %d", b, f.NRows(), len(ranks[b]))
+		}
+		base[b] = total
+		total += f.NRows()
+	}
+	perm := make([]int, 0, total)
+	identity := true
+	for len(perm) < total {
+		min := -1
+		for b := 0; b < nb; b++ {
+			if cur[b] < len(ranks[b]) && (min < 0 || ranks[b][cur[b]] < ranks[min][cur[min]]) {
+				min = b
+			}
+		}
+		next := base[min] + cur[min]
+		if next != len(perm) {
+			identity = false
+		}
+		perm = append(perm, next)
+		cur[min]++
+	}
+	out, err := algebra.VStackFrames(frames...)
+	if err != nil {
+		return nil, err
+	}
+	if !identity {
+		out = out.TakeRows(perm)
+	}
+	if asLabels {
 		return out, nil
 	}
-	// Positional labels are global: bucket b's groups occupy the rank range
-	// [lo, hi), so the concatenated buckets read 0..n-1.
-	return out.WithRowLabels(vector.Range(int64(lo), out.NRows()))
+	return out.WithRowLabels(vector.Range(0, total))
 }
 
 // SampleSortKeys draws a band's bounded key sample for the sort plan.

@@ -95,11 +95,16 @@ type Engine struct {
 	// Out-of-core shuffle state (spill.go): routed-but-unmerged shuffle
 	// pieces are accounted against spillBudget resident cells; pieces past
 	// it spill through spillStore (lazily created, freed by ReleaseSpill).
+	// spillGroups tracks the cancellation groups of runs scheduled while the
+	// budget is on, so ReleaseSpill can quiesce their straggler tasks before
+	// closing the store (a cancelled run's partition tasks would otherwise
+	// lazily re-create it and leak their spill files).
 	spillBudget   int
 	spillMu       sync.Mutex
 	spillStore    *storage.Store
 	spillResident int
 	spillSeq      int64
+	spillGroups   []*exec.Group
 }
 
 // Option configures the engine.
@@ -201,6 +206,7 @@ func (e *Engine) ExecuteAsync(n algebra.Node) *exec.Future {
 func (e *Engine) ExecuteCompiled(plan *physical.Node) (*core.DataFrame, error) {
 	sched := physical.NewScheduler(e.pool)
 	sched.OnBandRelease = func() { e.stats.StreamReleasedBands.Add(1) }
+	e.trackSpillRun(sched)
 	res, err := sched.Run(plan)
 	if err != nil {
 		return nil, err
@@ -238,6 +244,7 @@ func (e *Engine) schedule(n algebra.Node) (*physical.Node, *physical.Result, *ph
 	}
 	sched := physical.NewScheduler(e.pool)
 	sched.OnBandRelease = func() { e.stats.StreamReleasedBands.Add(1) }
+	e.trackSpillRun(sched)
 	res, err := sched.Run(plan)
 	if err != nil {
 		return nil, nil, nil, err

@@ -16,6 +16,10 @@ import (
 // Each produces one independent output-band future per bucket, so
 // downstream fused stages start as soon as the band that feeds them lands.
 
+// restoreMinBandRows is the smallest restored-groupby band worth its own
+// downstream task: outputs smaller than this per band stay in fewer bands.
+const restoreMinBandRows = 256
+
 // bandCuts splits n items into nb roughly-equal contiguous ranges
 // (mirroring the partition layer's band boundaries).
 func bandCuts(n, nb int) []int {
@@ -26,84 +30,70 @@ func bandCuts(n, nb int) []int {
 	return out
 }
 
-// weightedCuts cuts the global group ranks into nb contiguous ranges of
-// roughly equal ROW volume rather than equal group count: each bucket takes
-// groups until it reaches its fair share of the remaining rows, so under
-// key skew a hot key fills a bucket (nearly) by itself instead of dragging
-// its whole even-count rank range into one overloaded merge.
-func weightedCuts(counts []int64, nb int) []int {
-	cuts := make([]int, nb+1)
-	var remaining int64
-	for _, c := range counts {
-		remaining += c
-	}
-	g := 0
-	for b := 0; b < nb; b++ {
-		cuts[b] = g
-		share := remaining / int64(nb-b)
-		var acc int64
-		for g < len(counts) && (acc == 0 || acc+counts[g] <= share) {
-			acc += counts[g]
-			g++
-		}
-		remaining -= acc
-	}
-	cuts[nb] = len(counts)
-	return cuts
+// groupByShuffle lowers GROUPBY to a band-routed key shuffle. Routing
+// hashes the typed key columns (vector.HashRows — no per-row rendering) and
+// assigns bucket hash%buckets — a pure function of the key, identical in
+// every band — so each band partitions from its OWN summary the moment it
+// parses, with no all-band barrier (physical.Shuffle.BandRouting). The
+// global plan fold (PlanGroupRouting, shared with the cluster coordinator)
+// runs concurrently and gates only the merges: it hands each bucket its
+// groups' ascending global first-appearance ranks, which MergeGroupBucket
+// validates and tags onto the merged groups for the downstream restore pass
+// (groupRestoreExchange) to interleave back into exact single-node order —
+// same group order, same positional row labels.
+// groupBandSummary splits a band's key summary for the two consumers of
+// the summarize phase: the O(rows) ordinal table (sum) feeds only the
+// band's own Partition call, while the O(distinct) stat half feeds the
+// global plan fold. Partition drops sum once the band is routed — without
+// the split, every band's ordinals stay pinned behind the plan future
+// until end-of-scan, which alone is O(input rows) of heap on a streamed
+// pass-through groupby. Partition writes sum, Plan reads stat: disjoint
+// fields, so the concurrent tasks don't race.
+type groupBandSummary struct {
+	stat GroupBandStat
+	sum  *algebra.GroupKeySummary
 }
 
-// groupPlan is the routing state shared by every groupby partition and
-// merge task: the folded routing tables (distrib.go) plus the per-band row
-// ordinals carried over from the summaries. Nothing here is a rendered
-// key: group identity travels as small ints, with 64-bit hashes plus boxed
-// exemplar tuples (one per distinct key, not per row) resolving identity
-// across bands — hash collisions between distinct keys are broken by
-// exemplar verification.
-type groupPlan struct {
-	routing  *GroupRouting
-	ordinals [][]int32 // per band: row → band-ordinal
-}
-
-// groupByShuffle lowers GROUPBY to a key shuffle. Routing hashes the typed
-// key columns (vector.HashRows — no per-row rendering), but bucket
-// assignment follows each key's GLOBAL first-appearance rank (computed by
-// the plan phase from cheap per-band key summaries): bucket b owns the
-// contiguous rank range [starts[b], starts[b+1]), so concatenating the
-// merged buckets in order reproduces the ordered-dataframe groupby exactly
-// — same group order, same positional row labels — while every output band
-// stays an independent future.
 func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 	spec.Sorted = false // hashing per bucket; sortedness is a single-node optimization
 	nb := e.bands
 	keys := spec.Keys
 	return &physical.Shuffle{
-		Name:    "groupby",
-		Buckets: nb,
+		Name:        "groupby",
+		Buckets:     nb,
+		BandRouting: true,
 		Summarize: func(_ int, band *core.DataFrame) (any, error) {
-			return algebra.SummarizeGroupKeys(band, keys)
+			sum, err := algebra.SummarizeGroupKeys(band, keys)
+			if err != nil {
+				return nil, err
+			}
+			counts := make([]int64, len(sum.Hashes))
+			for _, d := range sum.Ordinals {
+				counts[d]++
+			}
+			return &groupBandSummary{
+				stat: GroupBandStat{Hashes: sum.Hashes, Exemplars: sum.Exemplars, Counts: counts},
+				sum:  sum,
+			}, nil
 		},
 		Plan: func(summaries []any, _ []*partition.Frame) (any, error) {
-			// Folding the band orders in band order reproduces the
-			// single-node scan's first-appearance order, which is what
-			// keeps the shuffled result identical to the gather
-			// implementation; the fold itself is PlanGroupRouting
-			// (distrib.go), shared with the cluster coordinator.
+			// Folding the band summaries in band order reproduces the
+			// single-node scan's first-appearance order.
 			stats := make([]*GroupBandStat, len(summaries))
-			ordinals := make([][]int32, len(summaries))
 			for r, s := range summaries {
-				sum := s.(*algebra.GroupKeySummary)
-				stats[r] = GroupStatOf(sum)
-				ordinals[r] = sum.Ordinals
+				stats[r] = &s.(*groupBandSummary).stat
 			}
-			return &groupPlan{routing: PlanGroupRouting(stats, nb, e.statsOn), ordinals: ordinals}, nil
+			return PlanGroupRouting(stats, nb, e.statsOn), nil
 		},
-		Partition: func(band int, df *core.DataFrame, plan any) ([]any, error) {
-			p := plan.(*groupPlan)
-			ords := p.ordinals[band]
-			bucketOf := p.routing.BucketOf[band]
-			assign := make([]int, len(ords))
-			for i, d := range ords {
-				assign[i] = int(bucketOf[d])
+		Partition: func(_ int, df *core.DataFrame, plan any) ([]any, error) {
+			// Band routing: plan is this band's own key summary, nothing
+			// global. hash%nb routes a key identically wherever it appears.
+			gs := plan.(*groupBandSummary)
+			sum := gs.sum
+			gs.sum = nil // free the ordinals; only stat stays live for the plan fold
+			assign := make([]int, len(sum.Ordinals))
+			for i, d := range sum.Ordinals {
+				assign[i] = int(sum.Hashes[d] % uint64(nb))
 			}
 			views, err := partition.SplitRows(df, assign, nb)
 			if err != nil {
@@ -116,40 +106,97 @@ func (e *Engine) groupByShuffle(spec expr.GroupBySpec) *physical.Shuffle {
 			return pieces, nil
 		},
 		Merge: func(bucket int, pieces []any, plan any) (*core.DataFrame, error) {
-			p := plan.(*groupPlan)
-			frames := make([]*core.DataFrame, len(pieces))
-			for r, piece := range pieces {
-				frames[r] = piece.(*core.DataFrame)
-			}
-			return MergeGroupBucket(e.pool, frames, spec, p.routing, bucket)
+			// Pieces may arrive deferred (PieceSource) under a spill budget;
+			// the fold resolves each one at consumption.
+			return mergeGroupBucketPieces(e.pool, pieces, spec, plan.(*GroupRouting), bucket)
 		},
 	}
 }
 
-// mergeGroupPieces folds one bucket's routed pieces into its grouped frame.
-// Dict-coded keys short-circuit to the typed code-indexed kernel
-// (algebra.DictGroupFrames — the pieces are views over band slices of one
-// shared category table, so the direct-code path applies). A bucket flagged
-// heavy splits its pieces into contiguous chunks, builds a group partial per
-// chunk in parallel, and recombines in chunk order — GroupPartial.Merge
-// appends the right side's new groups after the left's, so the chunked fold
-// reproduces the sequential first-appearance group order exactly.
-func mergeGroupPieces(pool *exec.Pool, frames []*core.DataFrame, spec expr.GroupBySpec, heavy bool) (*core.DataFrame, error) {
-	if out, ok, err := algebra.DictGroupFrames(frames, spec); ok || err != nil {
-		return out, err
+// groupRestoreExchange interleaves the merged groupby buckets back into
+// global first-appearance group order. Each multi-bucket merge tagged its
+// groups with their global ranks (GroupRankCol, always the last column); a
+// single-bucket shuffle needs no repair and passes through. The k-way rank
+// merge itself is RestoreGroupOrder (distrib.go), shared with the cluster
+// coordinator.
+// desc is resolved lazily — the description string is only rendered when a
+// restore actually fails, not on every compile.
+func (e *Engine) groupRestoreExchange(spec expr.GroupBySpec, desc func() string, shuffled *physical.Node) *physical.Node {
+	asLabels := spec.AsLabels
+	run := func(in []*partition.Frame) (*partition.Frame, error) {
+		f := in[0]
+		nb := f.RowBands()
+		if nb == 1 {
+			// One bucket: MergeGroupBucket already produced final order and
+			// labels, with no rank column to strip.
+			return f, nil
+		}
+		frames := make([]*core.DataFrame, nb)
+		ranks := make([][]int64, nb)
+		for b := 0; b < nb; b++ {
+			df, err := f.RowBand(b)
+			if err != nil {
+				return nil, err
+			}
+			j := df.NCols() - 1
+			ranks[b] = ordColumn(df.TypedCol(j))
+			frames[b] = df.DropColumn(j)
+		}
+		out, err := RestoreGroupOrder(frames, ranks, asLabels)
+		if err != nil {
+			return nil, err
+		}
+		// Grouped outputs are usually O(distinct keys) rows; fanning a
+		// handful of groups across every band costs more than it buys.
+		bands := e.bands
+		if max := (out.NRows() + restoreMinBandRows - 1) / restoreMinBandRows; max < bands {
+			bands = max
+		}
+		return partition.New(out, partition.Rows, bands), nil
 	}
-	if heavy && len(frames) > 1 {
+	wrapped := func(in []*partition.Frame) (*partition.Frame, error) {
+		out, err := run(in)
+		if err != nil {
+			return nil, describeErr(desc(), err)
+		}
+		return out, nil
+	}
+	return physical.NewExchange("groupby-restore", wrapped, shuffled)
+}
+
+// mergeGroupPieces folds one bucket's routed pieces into its grouped frame.
+// When every piece is already resident, dict-coded keys short-circuit to
+// the typed code-indexed kernel (algebra.DictGroupFrames — the pieces are
+// views over band slices of one shared category table, so the direct-code
+// path applies); deferred (PieceSource) pieces instead resolve one at a
+// time as the fold consumes them, so a spilled bucket never re-materializes
+// whole. A bucket flagged heavy splits its pieces into contiguous chunks,
+// builds a group partial per chunk in parallel, and recombines in chunk
+// order — GroupPartial.Merge appends the right side's new groups after the
+// left's, so the chunked fold reproduces the sequential first-appearance
+// group order exactly.
+func mergeGroupPieces(pool *exec.Pool, pieces []any, spec expr.GroupBySpec, heavy bool) (*core.DataFrame, error) {
+	if frames, eager := eagerFrames(pieces); eager {
+		if out, ok, err := algebra.DictGroupFrames(frames, spec); ok || err != nil {
+			return out, err
+		}
+	}
+	if heavy && len(pieces) > 1 {
 		chunks := pool.Workers()
-		if chunks > len(frames) {
-			chunks = len(frames)
+		if chunks > len(pieces) {
+			chunks = len(pieces)
 		}
 		if chunks < 2 {
 			chunks = 2
 		}
-		cuts := bandCuts(len(frames), chunks)
+		cuts := bandCuts(len(pieces), chunks)
 		partials, err := exec.MapParallel(pool, chunks, func(c int) (*algebra.GroupPartial, error) {
 			g := algebra.NewGroupPartial(spec)
-			for _, f := range frames[cuts[c]:cuts[c+1]] {
+			for _, p := range pieces[cuts[c]:cuts[c+1]] {
+				f, err := pieceFrame(p)
+				if err != nil {
+					return nil, err
+				}
 				if err := g.AddFrame(f); err != nil {
 					return nil, err
 				}
@@ -166,12 +213,30 @@ func mergeGroupPieces(pool *exec.Pool, frames []*core.DataFrame, spec expr.Group
 		return g.Finalize()
 	}
 	g := algebra.NewGroupPartial(spec)
-	for _, f := range frames {
+	for _, p := range pieces {
+		f, err := pieceFrame(p)
+		if err != nil {
+			return nil, err
+		}
 		if err := g.AddFrame(f); err != nil {
 			return nil, err
 		}
 	}
 	return g.Finalize()
+}
+
+// eagerFrames unwraps pieces when every one is already a resident frame —
+// the gate for whole-bucket kernels like the dict short-circuit.
+func eagerFrames(pieces []any) ([]*core.DataFrame, bool) {
+	frames := make([]*core.DataFrame, len(pieces))
+	for i, p := range pieces {
+		f, ok := p.(*core.DataFrame)
+		if !ok {
+			return nil, false
+		}
+		frames[i] = f
+	}
+	return frames, true
 }
 
 // joinProbeShuffle lowers an inner/left join to an anchored shuffle: the

@@ -82,9 +82,20 @@ func (e *Engine) spillShuffle(sh *physical.Shuffle) *physical.Shuffle {
 		}
 		return pieces, nil
 	}
+	// Band-routed (keyed) merges fold their pieces sequentially in band
+	// order, so they take deferred handles and resolve each piece at
+	// consumption — at most one spilled piece per merge worker is resident,
+	// which is what keeps a pass-through groupby's merge phase bounded.
+	// Order-sensitive merges (sort's k-way run merge) need every run at
+	// once, so they keep the eager resolve.
+	streamMerge := sh.BandRouting
 	w.Merge = func(bucket int, pieces []any, plan any) (*core.DataFrame, error) {
 		resolved := make([]any, len(pieces))
 		for i, p := range pieces {
+			if streamMerge {
+				resolved[i] = lazyPiece{e: e, inner: p}
+				continue
+			}
 			rp, err := e.resolvePiece(p)
 			if err != nil {
 				return nil, err
@@ -94,6 +105,25 @@ func (e *Engine) spillShuffle(sh *physical.Shuffle) *physical.Shuffle {
 		return merge(bucket, resolved, plan)
 	}
 	return &w
+}
+
+// lazyPiece defers one admitted piece's resolution to the merge's
+// consumption point (modin.PieceSource).
+type lazyPiece struct {
+	e     *Engine
+	inner any
+}
+
+func (p lazyPiece) Frame() (*core.DataFrame, error) {
+	v, err := p.e.resolvePiece(p.inner)
+	if err != nil {
+		return nil, err
+	}
+	df, ok := v.(*core.DataFrame)
+	if !ok {
+		return nil, fmt.Errorf("modin: deferred piece resolved to %T, want frame", v)
+	}
+	return df, nil
 }
 
 // admitPiece routes one partition-phase piece through the budget. Frames
@@ -196,11 +226,36 @@ func (e *Engine) spillStoreLocked() (*storage.Store, error) {
 	return st, nil
 }
 
+// trackSpillRun records a run's cancellation group while the spill budget
+// is on, so ReleaseSpill can wait out the run's stragglers.
+func (e *Engine) trackSpillRun(sched *physical.Scheduler) {
+	if e.spillBudget <= 0 {
+		return
+	}
+	e.spillMu.Lock()
+	e.spillGroups = append(e.spillGroups, sched.Group())
+	e.spillMu.Unlock()
+}
+
 // ReleaseSpill closes the engine's spill store, removing every spill file.
 // The store is re-created lazily if the engine runs again, so callers can
 // release after each collected query. Safe to call when spilling never
 // engaged or is disabled.
+//
+// A cancelled run (a merge failed mid-shuffle, say) may still have
+// partition tasks on workers when its caller observes the error and
+// releases: each would admit its pieces, lazily re-creating the store and
+// stranding its spill files on disk forever. ReleaseSpill therefore
+// quiesces every tracked run's task group first — stragglers drain, THEN
+// the store (including anything they just wrote) closes and unlinks.
 func (e *Engine) ReleaseSpill() error {
+	e.spillMu.Lock()
+	groups := e.spillGroups
+	e.spillGroups = nil
+	e.spillMu.Unlock()
+	for _, g := range groups {
+		g.Quiesce()
+	}
 	e.spillMu.Lock()
 	st := e.spillStore
 	e.spillStore = nil

@@ -13,6 +13,7 @@ package partition
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/core"
@@ -65,6 +66,16 @@ type Frame struct {
 	// the one stage that reads a block may ReleaseBand it afterwards so the
 	// band's cells do not stay resident for the life of the query.
 	transient bool
+	// Release notification: relCh[r] closes when band r is released, and
+	// releasing records that the consumer promised to release EVERY routed
+	// band. Together they let the producer of a streamed frame hold its
+	// parse-ahead window against band release (parsed AND routed AND
+	// spilled) instead of mere band resolution — without the stronger
+	// signal, a consumer slower than the parser accumulates resolved bands
+	// without bound.
+	relMu     sync.Mutex
+	relCh     map[int]chan struct{}
+	releasing bool
 }
 
 // MarkTransient flags the frame as single-consumer: its blocks may be
@@ -88,6 +99,50 @@ func (f *Frame) ReleaseBand(r int) {
 	for _, fut := range f.grid[r] {
 		fut.Forget()
 	}
+	f.relMu.Lock()
+	ch := f.relChLocked(r)
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+	f.relMu.Unlock()
+}
+
+// MarkReleasing records the consumer's promise to ReleaseBand every band it
+// routes. The stream producer keys its backpressure signal off this: only a
+// consumer that releases can be waited on without deadlock.
+func (f *Frame) MarkReleasing() {
+	f.relMu.Lock()
+	f.releasing = true
+	f.relMu.Unlock()
+}
+
+// Releasing reports whether a consumer has promised to release every band.
+func (f *Frame) Releasing() bool {
+	f.relMu.Lock()
+	defer f.relMu.Unlock()
+	return f.releasing
+}
+
+// BandReleased returns a channel closed when band r is released. Wait on it
+// only when Releasing() — otherwise no release may ever come.
+func (f *Frame) BandReleased(r int) <-chan struct{} {
+	f.relMu.Lock()
+	defer f.relMu.Unlock()
+	return f.relChLocked(r)
+}
+
+func (f *Frame) relChLocked(r int) chan struct{} {
+	if f.relCh == nil {
+		f.relCh = make(map[int]chan struct{})
+	}
+	ch, ok := f.relCh[r]
+	if !ok {
+		ch = make(chan struct{})
+		f.relCh[r] = ch
+	}
+	return ch
 }
 
 // Stats returns the frame's statistics table, or nil when none were
@@ -519,11 +574,20 @@ func SplitRows(df *core.DataFrame, assign []int, buckets int) ([]*core.DataFrame
 	if len(assign) != df.NRows() {
 		return nil, fmt.Errorf("partition: %d bucket assignments for %d rows", len(assign), df.NRows())
 	}
-	idx := make([][]int, buckets)
+	counts := make([]int, buckets)
 	for i, b := range assign {
 		if b < 0 || b >= buckets {
 			return nil, fmt.Errorf("partition: row %d assigned to bucket %d of %d", i, b, buckets)
 		}
+		counts[b]++
+	}
+	idx := make([][]int, buckets)
+	backing := make([]int, len(assign))
+	for b := range idx {
+		idx[b] = backing[:0:counts[b]]
+		backing = backing[counts[b]:]
+	}
+	for i, b := range assign {
 		idx[b] = append(idx[b], i)
 	}
 	domains := append([]types.Domain(nil), df.Domains()...)

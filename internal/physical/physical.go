@@ -93,6 +93,17 @@ type Shuffle struct {
 	// later ones, so prefix-planned passes keep streaming band by band
 	// instead of barriering on the slowest band.
 	PrefixPlan func(prefix []any) (any, error)
+	// BandRouting (partitioned shuffles only, requires Summarize, Plan and
+	// Partition; mutually exclusive with PrefixPlan) routes each band from
+	// its OWN summary instead of the global plan: band r's Partition call
+	// receives summaries[r] as its plan argument and depends only on band r
+	// plus its summary — NOT on the all-band plan fold. The global Plan
+	// still runs, but gates only the merges. This is the keyed analogue of
+	// PrefixPlan: routing must then be a pure function of the band itself
+	// (e.g. stable key hashes), with Plan repairing any global ordering at
+	// merge time. It removes the one barrier that made streamed inputs
+	// accumulate every routed-but-unplanned band.
+	BandRouting bool
 	// Partition splits input band `band` into exactly Buckets pieces;
 	// piece b is routed to output band b. Nil marks an anchored shuffle.
 	Partition func(band int, df *core.DataFrame, plan any) ([]any, error)
@@ -488,12 +499,22 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 	if sh.PrefixPlan != nil && (sh.Plan != nil || sh.Partition != nil || sh.Summarize == nil) {
 		return nil, fmt.Errorf("physical: shuffle %s prefix plan requires an anchored shuffle with summaries and no global plan", sh.Name)
 	}
+	if sh.BandRouting && (sh.Summarize == nil || sh.Plan == nil || sh.Partition == nil || sh.PrefixPlan != nil) {
+		return nil, fmt.Errorf("physical: shuffle %s band routing requires a partitioned shuffle with summaries and a global plan", sh.Name)
+	}
 	s.Stats.ShuffleStages.Add(1)
 	if in.frame == nil {
 		return s.scheduleShuffleFallback(sh, in, sides), nil
 	}
 	f := in.frame
 	rb := f.RowBands()
+	if sh.ReleaseBands && f.Transient() {
+		// Every routed band will be released, so the stream producer may
+		// hold its parse-ahead window against release instead of mere
+		// resolution — backpressure that spans the whole route-and-spill
+		// path, not just the parse.
+		f.MarkReleasing()
+	}
 	release := func(r int) {
 		if sh.ReleaseBands && f.Transient() {
 			f.ReleaseBand(r)
@@ -640,27 +661,40 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 		s.Stats.ShufflePartitionTasks.Add(int64(rb))
 		for r := 0; r < rb; r++ {
 			r := r
+			partDeps := withPlan(bandDeps(r))
+			partPlan := planVal
+			if sh.BandRouting {
+				// Band routing: band r partitions from its OWN summary the
+				// moment both exist — no dependency on the global plan fold,
+				// so a streamed band routes (and releases) as soon as it
+				// parses instead of accumulating behind the slowest band.
+				partDeps = append(bandDeps(r), sums[r])
+				partPlan = sums[r].Wait
+			}
 			parts[r] = s.pool.SubmitIn(s.group, func() (any, error) {
 				band, err := f.RowBand(r)
 				if err != nil {
 					return nil, err
 				}
-				plan, err := planVal()
+				plan, err := partPlan()
 				if err != nil {
 					return nil, err
 				}
 				pieces, err := s.runPartition(sh, r, band, plan)
 				if err == nil {
-					// Any summary over this band already ran: the plan task
-					// (a dependency of this partition task) waits on all
-					// summaries before it resolves.
+					// This band's summary already ran: it is a dependency of
+					// this partition task, either directly (band routing) or
+					// through the plan task (which waits on all summaries).
 					release(r)
 				}
 				return pieces, err
-			}, withPlan(bandDeps(r))...)
+			}, partDeps...)
 		}
 		mergeFuts = make([]*exec.Future, nb)
 		s.Stats.ShuffleMergeTasks.Add(int64(nb))
+		// Under band routing the partition tasks no longer imply the plan,
+		// so the merges must gate on it explicitly.
+		mergeDeps := withPlan(parts)
 		for b := 0; b < nb; b++ {
 			b := b
 			mergeFuts[b] = s.pool.SubmitIn(s.group, func() (any, error) {
@@ -677,7 +711,7 @@ func (s *Scheduler) scheduleShuffle(sh *Shuffle, in *Result, sides []*Result) (*
 					return nil, err
 				}
 				return s.runMerge(sh, b, pieces, plan)
-			}, parts...)
+			}, mergeDeps...)
 		}
 	}
 	grid := make([][]*exec.Future, len(mergeFuts))
@@ -760,7 +794,11 @@ func (s *Scheduler) runShuffleSync(sh *Shuffle, f *partition.Frame, sides []*par
 	} else {
 		var parts [][]any
 		parts, err = exec.MapParallel(s.pool, rb, func(r int) ([]any, error) {
-			return s.runPartition(sh, r, bands[r], plan)
+			bandPlan := plan
+			if sh.BandRouting {
+				bandPlan = summaries[r]
+			}
+			return s.runPartition(sh, r, bands[r], bandPlan)
 		})
 		if err != nil {
 			return nil, err

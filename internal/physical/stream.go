@@ -154,7 +154,7 @@ func (s *Scheduler) scheduleStream(n *Node) (*Result, error) {
 	if st.SingleUse {
 		frame.MarkTransient()
 	}
-	go s.produceStream(st, cur, chain, first, eof, bandRows, futs, resolve)
+	go s.produceStream(st, cur, chain, first, eof, bandRows, frame, futs, resolve)
 	return &Result{frame: frame}, nil
 }
 
@@ -164,7 +164,7 @@ func (s *Scheduler) scheduleStream(n *Node) (*Result, error) {
 // chain); the final band absorbs any morsels past the estimated grid as
 // already-chained (filtered) outputs; tail bands that never arrive resolve
 // to the chained empty band so every promise resolves exactly once.
-func (s *Scheduler) produceStream(st *StreamSource, cur StreamCursor, chain func(*core.DataFrame) (*core.DataFrame, error), first *core.DataFrame, eof bool, bandRows int, futs []*exec.Future, resolve []func(any, error)) {
+func (s *Scheduler) produceStream(st *StreamSource, cur StreamCursor, chain func(*core.DataFrame) (*core.DataFrame, error), first *core.DataFrame, eof bool, bandRows int, frame *partition.Frame, futs []*exec.Future, resolve []func(any, error)) {
 	defer cur.Close()
 	b := len(futs)
 	window := 2 * s.pool.Workers()
@@ -204,6 +204,23 @@ func (s *Scheduler) produceStream(st *StreamSource, cur StreamCursor, chain func
 				case <-s.group.Done():
 					fail(s.group.Err())
 					return
+				}
+				if frame.Releasing() {
+					// The consumer releases every band it routes, so hold
+					// the window against RELEASE — parsed, routed, and
+					// (past the spill budget) on disk. Without this the
+					// window only bounds raw morsels: when routing is
+					// slower than parsing (spill admission serializes on
+					// rendering and disk writes), resolved-but-unrouted
+					// bands accumulate without bound, and the streamed
+					// pass-through ceiling grows with the file instead of
+					// the window.
+					select {
+					case <-frame.BandReleased(i - window):
+					case <-s.group.Done():
+						fail(s.group.Err())
+						return
+					}
 				}
 			}
 			band, res := labeled, resolve[i]
